@@ -1,0 +1,116 @@
+// Ablation and micro benchmarks (google-benchmark):
+//  - branch-and-bound pruning on/off (the engine's cost-limit design),
+//  - interpreted (P2V-generated) vs. compiled (hand-coded) rule actions,
+//  - memo insertion/deduplication throughput,
+//  - descriptor copy/hash costs (the engine's hottest data structure).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "optimizers/props.h"
+
+namespace {
+
+using prairie::bench::BuildOodbPair;
+using prairie::bench::OptimizerPair;
+
+const OptimizerPair& Pair() {
+  static OptimizerPair pair = [] {
+    auto p = BuildOodbPair();
+    if (!p.ok()) std::abort();
+    return *p;
+  }();
+  return pair;
+}
+
+void OptimizeOnce(const prairie::volcano::RuleSet& rules, int qnum, int n,
+                  bool prune, benchmark::State& state) {
+  prairie::workload::QuerySpec spec = prairie::workload::PaperQuery(qnum, n, 7);
+  auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+  if (!w.ok()) {
+    state.SkipWithError(w.status().ToString().c_str());
+    return;
+  }
+  size_t plans = 0;
+  for (auto _ : state) {
+    prairie::volcano::OptimizerOptions opts;
+    opts.prune = prune;
+    prairie::volcano::Optimizer optimizer(&rules, &w->catalog, opts);
+    auto plan = optimizer.Optimize(*w->query);
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    plans = optimizer.stats().plans_costed;
+    benchmark::DoNotOptimize(plan->cost);
+  }
+  state.counters["plans_costed"] = static_cast<double>(plans);
+}
+
+void BM_PruneOn(benchmark::State& state) {
+  OptimizeOnce(*Pair().hand, 1, static_cast<int>(state.range(0)), true,
+               state);
+}
+BENCHMARK(BM_PruneOn)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void BM_PruneOff(benchmark::State& state) {
+  OptimizeOnce(*Pair().hand, 1, static_cast<int>(state.range(0)), false,
+               state);
+}
+BENCHMARK(BM_PruneOff)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void BM_InterpretedRules(benchmark::State& state) {
+  OptimizeOnce(*Pair().generated, 5, static_cast<int>(state.range(0)), true,
+               state);
+}
+BENCHMARK(BM_InterpretedRules)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+void BM_CompiledRules(benchmark::State& state) {
+  OptimizeOnce(*Pair().hand, 5, static_cast<int>(state.range(0)), true,
+               state);
+}
+BENCHMARK(BM_CompiledRules)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+void BM_MemoCopyIn(benchmark::State& state) {
+  const auto& rules = *Pair().hand;
+  prairie::workload::QuerySpec spec =
+      prairie::workload::PaperQuery(1, static_cast<int>(state.range(0)), 7);
+  auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+  if (!w.ok()) {
+    state.SkipWithError(w.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    prairie::volcano::Memo memo(&rules, prairie::volcano::MemoLimits{});
+    auto g = memo.CopyIn(*w->query);
+    benchmark::DoNotOptimize(g.ok());
+  }
+}
+BENCHMARK(BM_MemoCopyIn)->DenseRange(2, 8, 2);
+
+void BM_DescriptorCopy(benchmark::State& state) {
+  const auto& rules = *Pair().hand;
+  prairie::workload::QuerySpec spec = prairie::workload::PaperQuery(5, 3, 7);
+  auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+  const prairie::algebra::Descriptor& d = w->query->descriptor();
+  for (auto _ : state) {
+    prairie::algebra::Descriptor copy = d;
+    benchmark::DoNotOptimize(copy.valid());
+  }
+}
+BENCHMARK(BM_DescriptorCopy);
+
+void BM_DescriptorHash(benchmark::State& state) {
+  const auto& rules = *Pair().hand;
+  prairie::workload::QuerySpec spec = prairie::workload::PaperQuery(5, 3, 7);
+  auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+  const prairie::algebra::Descriptor& d = w->query->descriptor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Hash());
+  }
+}
+BENCHMARK(BM_DescriptorHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

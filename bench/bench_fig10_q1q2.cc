@@ -1,0 +1,24 @@
+// Figure 10: query optimization times for Q1 and Q2 (expression E1 —
+// an N-way join of base-class retrievals), Prairie vs. Volcano, without
+// (Q1) and with (Q2) indices.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  auto pair = prairie::bench::BuildOodbPair();
+  if (!pair.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 pair.status().ToString().c_str());
+    return 1;
+  }
+  int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 8);
+  prairie::bench::RunFigure(
+      "Figure 10: optimization time for Q1 / Q2 (E1, N-way join)", *pair,
+      /*qa=*/1, /*qb=*/2, max_joins, /*per_point_budget_s=*/20.0);
+  std::printf(
+      "Paper shape check: Q1 and Q2 curves should coincide (the two join\n"
+      "algorithms ignore indices), and Prairie ~= Volcano at every point.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §4.2 Programmer productivity: rule counts and specification sizes of
+// the Prairie rule set vs. the hand-designed Volcano rule set vs. the
+// P2V-regenerated Volcano rule set.
+//
+// Paper numbers for the Open OODB rule set: 22 T-rules + 11 I-rules in
+// Prairie vs. 17 trans_rules + 9 impl_rules in Volcano; the Prairie
+// specification was ~10% smaller (12100 vs. 13400 lines; the regenerated
+// Volcano spec was 15800 lines). Our line counts are for rendered
+// specifications, so only their ordering is comparable.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "optimizers/oodb.h"
+#include "optimizers/relational.h"
+#include "p2v/emit_cpp.h"
+#include "p2v/translator.h"
+#include "optimizers/native_helpers.h"
+
+namespace {
+
+int CountLines(const std::string& text) {
+  int lines = 1;
+  for (char c : text) lines += (c == '\n');
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  using prairie::p2v::TranslationReport;
+
+  for (bool oodb : {false, true}) {
+    auto prairie_rules = oodb ? prairie::opt::BuildOodbPrairie()
+                              : prairie::opt::BuildRelationalPrairie();
+    if (!prairie_rules.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   prairie_rules.status().ToString().c_str());
+      return 1;
+    }
+    TranslationReport report;
+    auto generated = prairie::p2v::Translate(*prairie_rules, &report);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "P2V failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    const char* name = oodb ? "Open-OODB-scale rule set (paper §4.2)"
+                            : "relational rule set (paper §4 recap of [5])";
+    std::printf("=== %s ===\n\n", name);
+    std::printf("%s\n", report.ToString().c_str());
+    if (oodb) {
+      std::printf(
+          "paper: 22 T-rules + 11 I-rules -> 17 trans_rules + 9 "
+          "impl_rules (+1 enforcer)\n");
+      std::printf("ours : %d T-rules + %d I-rules -> %d trans_rules + %d "
+                  "impl_rules (+%d enforcer)\n\n",
+                  report.input_trules, report.input_irules,
+                  report.output_trans_rules, report.output_impl_rules,
+                  report.output_enforcers);
+    }
+    const char* spec_text = oodb ? prairie::opt::OodbSpecText()
+                                 : prairie::opt::RelationalSpecText();
+    int prairie_lines = CountLines(spec_text);
+    int regenerated_lines = CountLines((*generated)->ToString());
+    prairie::p2v::EmitOptions emit_options;
+    emit_options.native_helpers = prairie::opt::native::NativeHelperMap();
+    auto emitted = prairie::p2v::EmitCpp(*prairie_rules, emit_options);
+    int emitted_lines = emitted.ok() ? CountLines(*emitted) : -1;
+    std::printf("specification sizes (rendered):\n");
+    std::printf("  Prairie DSL source:           %5d lines\n",
+                prairie_lines);
+    std::printf("  P2V-regenerated Volcano spec: %5d lines (summary form)\n",
+                regenerated_lines);
+    std::printf("  P2V-emitted C++ optimizer:    %5d lines\n",
+                emitted_lines);
+    std::printf(
+        "  (the paper reports 12100 Prairie vs. 13400 hand-coded vs. 15800 "
+        "regenerated lines,\n   i.e. the Prairie source is the smallest of "
+        "the three)\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// §4 recap of [Das & Batory 1993]: the centralized relational optimizer,
+// specified in Prairie and generated through P2V, vs. the hand-coded
+// Volcano optimizer. The paper reports a <5% optimization-time overhead
+// for the generated optimizer.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  auto pair = prairie::bench::BuildRelationalPair();
+  if (!pair.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 pair.status().ToString().c_str());
+    return 1;
+  }
+  int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 8);
+  prairie::bench::RunFigure(
+      "Relational optimizer (Prairie vs. hand-coded Volcano), E1 queries",
+      *pair, /*qa=*/1, /*qb=*/2, max_joins, /*per_point_budget_s=*/20.0);
+  return 0;
+}

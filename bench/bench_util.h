@@ -1,0 +1,65 @@
+// Shared harness for the experiment benchmarks (paper §4.3).
+//
+// Each figure bench optimizes the paper's queries with both optimizers —
+// the P2V-generated one (from the Prairie DSL specification) and the
+// hand-coded Volcano one — averaging per-query optimization time over 5
+// cardinality seeds per point, exactly like the paper's methodology.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "volcano/engine.h"
+#include "workload/workload.h"
+
+namespace prairie::bench {
+
+/// \brief The optimizers of the comparison: the Prairie specification in
+/// its two generated deployments (interpreted rule actions, and compiled
+/// C++ emitted by p2v_emit at build time) against the hand-coded Volcano
+/// baseline.
+struct OptimizerPair {
+  std::shared_ptr<volcano::RuleSet> generated;  ///< Prairie -> P2V, interpreted.
+  std::shared_ptr<volcano::RuleSet> emitted;    ///< Prairie -> P2V -> C++.
+  std::shared_ptr<volcano::RuleSet> hand;       ///< Hand-coded Volcano.
+};
+
+/// Builds the OODB pair (used by Figures 10-13, Table 5).
+common::Result<OptimizerPair> BuildOodbPair();
+
+/// Builds the relational pair (used by the §4 recap bench).
+common::Result<OptimizerPair> BuildRelationalPair();
+
+/// \brief One measured point.
+struct Measurement {
+  double seconds = 0;      ///< Mean per-query optimization time.
+  double cost = 0;         ///< Plan cost of the last instance.
+  size_t groups = 0;       ///< Equivalence classes (last instance).
+  size_t trans_matched = 0;
+  size_t impl_matched = 0;
+  common::Status status;   ///< Non-OK if any instance failed.
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Optimizes query `qnum` (paper numbering Q1..Q8) at `num_joins`,
+/// averaging over `num_seeds` cardinality seeds. `repeats` re-optimizes
+/// each instance to stabilize sub-millisecond timings (the paper looped
+/// 3000x for the same reason).
+Measurement MeasureQuery(const volcano::RuleSet& rules, int qnum,
+                         int num_joins, int num_seeds = 5, int repeats = 1);
+
+/// Prints one figure: per-N mean optimization times for two queries under
+/// both optimizers, in a paper-style table. Points whose previous N
+/// exceeded `per_point_budget_s` are skipped (mirrors the paper stopping
+/// when virtual memory was exhausted).
+void RunFigure(const std::string& title, const OptimizerPair& pair, int qa,
+               int qb, int max_joins, double per_point_budget_s);
+
+/// Reads a positive integer override from the environment (for extending
+/// sweeps), else returns `def`.
+int EnvInt(const char* name, int def);
+
+}  // namespace prairie::bench

@@ -1,0 +1,83 @@
+#include "algebra/algebra.h"
+
+#include "common/strings.h"
+
+namespace prairie::algebra {
+
+using common::Result;
+using common::Status;
+
+Algebra::Algebra() {
+  // The Null algorithm (paper §2.5): a unary pass-through implementation
+  // every enforcer-operator has.
+  null_alg_ = Register("Null", 1, /*is_algorithm=*/true).ValueOrDie();
+}
+
+Result<OpId> Algebra::Register(std::string name, int arity,
+                               bool is_algorithm) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("operation '" + name +
+                                 "' already registered");
+  }
+  if (arity < 0 || arity > 8) {
+    return Status::InvalidArgument("operation '" + name +
+                                   "' has unsupported arity " +
+                                   std::to_string(arity));
+  }
+  OpId id = static_cast<OpId>(ops_.size());
+  by_name_[name] = id;
+  ops_.push_back(OpInfo{std::move(name), arity, is_algorithm});
+  return id;
+}
+
+Result<OpId> Algebra::RegisterOperator(std::string name, int arity) {
+  return Register(std::move(name), arity, /*is_algorithm=*/false);
+}
+
+Result<OpId> Algebra::RegisterAlgorithm(std::string name, int arity) {
+  return Register(std::move(name), arity, /*is_algorithm=*/true);
+}
+
+std::optional<OpId> Algebra::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<OpId> Algebra::Require(const std::string& name) const {
+  auto id = Find(name);
+  if (!id.has_value()) {
+    return Status::NotFound("unknown operation '" + name + "'");
+  }
+  return *id;
+}
+
+std::vector<OpId> Algebra::Operators() const {
+  std::vector<OpId> out;
+  for (OpId id = 0; id < size(); ++id) {
+    if (!ops_[id].is_algorithm) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<OpId> Algebra::Algorithms() const {
+  std::vector<OpId> out;
+  for (OpId id = 0; id < size(); ++id) {
+    if (ops_[id].is_algorithm) out.push_back(id);
+  }
+  return out;
+}
+
+std::string Algebra::ToString() const {
+  std::string out = "algebra {\n";
+  for (const OpInfo& op : ops_) {
+    out += common::StringPrintf("  %s %s(%d);\n",
+                                op.is_algorithm ? "algorithm" : "operator",
+                                op.name.c_str(), op.arity);
+  }
+  out += common::Indent(properties_.ToString(), 2);
+  out += "\n}";
+  return out;
+}
+
+}  // namespace prairie::algebra

@@ -1,0 +1,72 @@
+// The Algebra registry: the closed set of database operations (paper §1,
+// goal 1). All abstract operators and concrete algorithms are first-class
+// and registered here; only registered operations may appear in rules.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/property.h"
+#include "common/result.h"
+
+namespace prairie::algebra {
+
+using OpId = int;
+
+/// \brief Metadata for one registered operation (operator or algorithm).
+struct OpInfo {
+  std::string name;
+  int arity = 0;  ///< Number of essential (stream/file) parameters.
+  bool is_algorithm = false;
+};
+
+/// \brief Registry of operators, algorithms and the descriptor property
+/// schema of one optimizer specification.
+///
+/// By convention (paper §2.1) operators are ALL-CAPS ("JOIN") and algorithms
+/// are Capitalized ("Nested_loops"); the registry does not enforce the
+/// convention but printers rely on registered names. The special "Null"
+/// algorithm (paper §2.5) is pre-registered in every Algebra.
+class Algebra {
+ public:
+  Algebra();
+
+  common::Result<OpId> RegisterOperator(std::string name, int arity);
+  common::Result<OpId> RegisterAlgorithm(std::string name, int arity);
+
+  std::optional<OpId> Find(const std::string& name) const;
+  common::Result<OpId> Require(const std::string& name) const;
+
+  const OpInfo& info(OpId id) const { return ops_[id]; }
+  const std::string& name(OpId id) const { return ops_[id].name; }
+  int arity(OpId id) const { return ops_[id].arity; }
+  bool is_algorithm(OpId id) const { return ops_[id].is_algorithm; }
+  int size() const { return static_cast<int>(ops_.size()); }
+
+  /// Id of the pre-registered "Null" pass-through algorithm.
+  OpId null_alg() const { return null_alg_; }
+
+  PropertySchema* mutable_properties() { return &properties_; }
+  const PropertySchema& properties() const { return properties_; }
+
+  /// All registered operator ids (non-algorithms), in registration order.
+  std::vector<OpId> Operators() const;
+  /// All registered algorithm ids, in registration order.
+  std::vector<OpId> Algorithms() const;
+
+  std::string ToString() const;
+
+ private:
+  common::Result<OpId> Register(std::string name, int arity,
+                                bool is_algorithm);
+
+  std::vector<OpInfo> ops_;
+  std::unordered_map<std::string, OpId> by_name_;
+  PropertySchema properties_;
+  OpId null_alg_ = -1;
+};
+
+}  // namespace prairie::algebra

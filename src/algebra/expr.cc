@@ -1,0 +1,114 @@
+#include "algebra/expr.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace prairie::algebra {
+
+ExprPtr Expr::MakeOp(OpId op, std::vector<ExprPtr> children,
+                     Descriptor descriptor) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = Kind::kOperation;
+  e->op_ = op;
+  e->children_ = std::move(children);
+  e->descriptor_ = std::move(descriptor);
+  return e;
+}
+
+ExprPtr Expr::MakeFile(std::string file_name, Descriptor descriptor) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = Kind::kFile;
+  e->file_name_ = std::move(file_name);
+  e->descriptor_ = std::move(descriptor);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = kind_;
+  e->op_ = op_;
+  e->file_name_ = file_name_;
+  e->descriptor_ = descriptor_;
+  e->children_.reserve(children_.size());
+  for (const ExprPtr& c : children_) e->children_.push_back(c->Clone());
+  return e;
+}
+
+int Expr::NodeCount() const {
+  int n = 1;
+  for (const ExprPtr& c : children_) n += c->NodeCount();
+  return n;
+}
+
+bool Expr::IsAccessPlan(const Algebra& algebra) const {
+  if (is_file()) return true;
+  if (!algebra.is_algorithm(op_)) return false;
+  for (const ExprPtr& c : children_) {
+    if (!c->IsAccessPlan(algebra)) return false;
+  }
+  return true;
+}
+
+bool Expr::IsLogical(const Algebra& algebra) const {
+  if (is_file()) return true;
+  if (algebra.is_algorithm(op_)) return false;
+  for (const ExprPtr& c : children_) {
+    if (!c->IsLogical(algebra)) return false;
+  }
+  return true;
+}
+
+std::string Expr::ToString(const Algebra& algebra) const {
+  if (is_file()) return file_name_;
+  std::vector<std::string> parts;
+  parts.reserve(children_.size());
+  for (const ExprPtr& c : children_) parts.push_back(c->ToString(algebra));
+  return algebra.name(op_) + "(" + common::Join(parts, ", ") + ")";
+}
+
+void Expr::TreeStringRec(const Algebra& algebra, int depth,
+                         std::string* out) const {
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  if (is_file()) {
+    *out += file_name_;
+  } else {
+    *out += algebra.name(op_);
+  }
+  std::string annotations = descriptor_.ToString();
+  if (annotations != "{}") {
+    *out += " ";
+    *out += annotations;
+  }
+  *out += "\n";
+  for (const ExprPtr& c : children_) {
+    c->TreeStringRec(algebra, depth + 1, out);
+  }
+}
+
+std::string Expr::TreeString(const Algebra& algebra) const {
+  std::string out;
+  TreeStringRec(algebra, 0, &out);
+  return out;
+}
+
+bool Expr::Equals(const Expr& o) const {
+  if (kind_ != o.kind_ || op_ != o.op_ || file_name_ != o.file_name_) {
+    return false;
+  }
+  if (!(descriptor_ == o.descriptor_)) return false;
+  if (children_.size() != o.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*o.children_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t h = common::HashMix(static_cast<uint64_t>(kind_), op_);
+  h = common::HashMix(h, file_name_);
+  h = common::HashCombine(h, descriptor_.Hash());
+  for (const ExprPtr& c : children_) h = common::HashCombine(h, c->Hash());
+  return h;
+}
+
+}  // namespace prairie::algebra

@@ -1,0 +1,90 @@
+// Operator trees and access plans (paper §2.1).
+//
+// An Expr is a rooted tree whose interior nodes are database operations
+// (operators or algorithms) and whose leaves are stored files; every node
+// carries a descriptor. An operator tree whose interior nodes are all
+// algorithms is an *access plan*.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "algebra/property.h"
+
+namespace prairie::algebra {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief One node of an operator tree / access plan.
+class Expr {
+ public:
+  enum class Kind {
+    kOperation,  ///< Interior node: an operator or algorithm (OpId).
+    kFile,       ///< Leaf: a stored file (relation or class).
+  };
+
+  /// Creates an interior node; children become the essential parameters.
+  static ExprPtr MakeOp(OpId op, std::vector<ExprPtr> children,
+                        Descriptor descriptor);
+
+  /// Creates a stored-file leaf. The descriptor typically carries catalog
+  /// annotations (cardinality, tuple size, attribute list, ...).
+  static ExprPtr MakeFile(std::string file_name, Descriptor descriptor);
+
+  Kind kind() const { return kind_; }
+  bool is_file() const { return kind_ == Kind::kFile; }
+
+  OpId op() const { return op_; }
+  const std::string& file_name() const { return file_name_; }
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+  std::vector<ExprPtr>* mutable_children() { return &children_; }
+  const Expr& child(size_t i) const { return *children_[i]; }
+  size_t num_children() const { return children_.size(); }
+
+  const Descriptor& descriptor() const { return descriptor_; }
+  Descriptor* mutable_descriptor() { return &descriptor_; }
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// Total node count (including leaves).
+  int NodeCount() const;
+
+  /// True if every interior node is an algorithm (the tree is an access
+  /// plan, paper §2.1).
+  bool IsAccessPlan(const Algebra& algebra) const;
+
+  /// True if every interior node is an abstract operator.
+  bool IsLogical(const Algebra& algebra) const;
+
+  /// Compact one-line rendering, e.g. "SORT(JOIN(RET(R1), RET(R2)))".
+  /// Descriptors are omitted.
+  std::string ToString(const Algebra& algebra) const;
+
+  /// Multi-line indented rendering including non-null annotations.
+  std::string TreeString(const Algebra& algebra) const;
+
+  /// Structural equality including descriptors.
+  bool Equals(const Expr& o) const;
+
+  uint64_t Hash() const;
+
+ private:
+  Expr() = default;
+
+  void TreeStringRec(const Algebra& algebra, int depth,
+                     std::string* out) const;
+
+  Kind kind_ = Kind::kFile;
+  OpId op_ = -1;
+  std::string file_name_;
+  std::vector<ExprPtr> children_;
+  Descriptor descriptor_;
+};
+
+}  // namespace prairie::algebra

@@ -1,0 +1,33 @@
+#include "algebra/pattern.h"
+
+#include "common/strings.h"
+
+namespace prairie::algebra {
+
+std::string PatNode::ToString(const Algebra& algebra) const {
+  if (is_stream()) {
+    std::string out = "?" + std::to_string(stream_var);
+    if (desc_slot >= 0) out += ":D" + std::to_string(desc_slot + 1);
+    return out;
+  }
+  std::string out = algebra.name(op);
+  if (desc_slot >= 0) out += "[D" + std::to_string(desc_slot + 1) + "]";
+  std::vector<std::string> parts;
+  parts.reserve(children.size());
+  for (const PatNodePtr& c : children) parts.push_back(c->ToString(algebra));
+  out += "(" + common::Join(parts, ", ") + ")";
+  return out;
+}
+
+bool PatNode::Same(const PatNode& o) const {
+  if (kind != o.kind || op != o.op || stream_var != o.stream_var ||
+      desc_slot != o.desc_slot || children.size() != o.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->Same(*o.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace prairie::algebra

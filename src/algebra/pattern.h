@@ -1,0 +1,102 @@
+// Rule-side patterns: operator trees with stream variables.
+//
+// Both Prairie rules (core/) and Volcano rules (volcano/) describe their
+// left- and right-hand sides as patterns over the algebra: interior nodes
+// name operations, leaves are stream variables ?1, ?2, ... Every node is
+// associated with a *descriptor slot* (the D1..Dn of the paper's rule
+// notation, 0-based here).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "common/result.h"
+
+namespace prairie::algebra {
+
+struct PatNode;
+using PatNodePtr = std::unique_ptr<PatNode>;
+
+/// \brief One node of a rule pattern.
+struct PatNode {
+  enum class Kind {
+    kOp,      ///< An operation (operator or algorithm) with children.
+    kStream,  ///< A stream variable ?k matching any input expression.
+  };
+
+  Kind kind = Kind::kStream;
+  OpId op = -1;         ///< Valid when kind == kOp.
+  int stream_var = 0;   ///< 1-based variable number, valid when kStream.
+  int desc_slot = -1;   ///< Descriptor slot (0-based D-index) of this node.
+  std::vector<PatNodePtr> children;
+
+  static PatNodePtr Stream(int var, int desc_slot) {
+    auto n = std::make_unique<PatNode>();
+    n->kind = Kind::kStream;
+    n->stream_var = var;
+    n->desc_slot = desc_slot;
+    return n;
+  }
+
+  static PatNodePtr Op(OpId op, int desc_slot,
+                       std::vector<PatNodePtr> children) {
+    auto n = std::make_unique<PatNode>();
+    n->kind = Kind::kOp;
+    n->op = op;
+    n->desc_slot = desc_slot;
+    n->children = std::move(children);
+    return n;
+  }
+
+  bool is_stream() const { return kind == Kind::kStream; }
+
+  PatNodePtr Clone() const {
+    auto n = std::make_unique<PatNode>();
+    n->kind = kind;
+    n->op = op;
+    n->stream_var = stream_var;
+    n->desc_slot = desc_slot;
+    n->children.reserve(children.size());
+    for (const PatNodePtr& c : children) n->children.push_back(c->Clone());
+    return n;
+  }
+
+  /// Number of pattern nodes (operations + stream leaves).
+  int NodeCount() const {
+    int n = 1;
+    for (const PatNodePtr& c : children) n += c->NodeCount();
+    return n;
+  }
+
+  /// Highest stream variable number in the subtree (0 if none).
+  int MaxStreamVar() const {
+    int v = is_stream() ? stream_var : 0;
+    for (const PatNodePtr& c : children) {
+      int cv = c->MaxStreamVar();
+      if (cv > v) v = cv;
+    }
+    return v;
+  }
+
+  /// Highest descriptor slot in the subtree (-1 if none set).
+  int MaxDescSlot() const {
+    int v = desc_slot;
+    for (const PatNodePtr& c : children) {
+      int cv = c->MaxDescSlot();
+      if (cv > v) v = cv;
+    }
+    return v;
+  }
+
+  /// Renders like the paper: "JOIN[D5](JOIN[D4](?1, ?2), ?3)". Slots are
+  /// printed 1-based to match the D-numbering convention.
+  std::string ToString(const Algebra& algebra) const;
+
+  /// Structural equality (ops, stream vars and slots).
+  bool Same(const PatNode& o) const;
+};
+
+}  // namespace prairie::algebra

@@ -1,0 +1,303 @@
+#include "algebra/predicate.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace prairie::algebra {
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+uint64_t Scalar::Hash() const {
+  uint64_t h = v.index() * 0xc2b2ae3d27d4eb4fULL;
+  switch (v.index()) {
+    case 1:
+      return common::HashMix(h, std::get<bool>(v));
+    case 2:
+      return common::HashMix(h, std::get<int64_t>(v));
+    case 3:
+      return common::HashMix(h, std::get<double>(v));
+    case 4:
+      return common::HashMix(h, std::get<std::string>(v));
+    default:
+      return h;
+  }
+}
+
+std::string Scalar::ToString() const {
+  switch (v.index()) {
+    case 1:
+      return std::get<bool>(v) ? "true" : "false";
+    case 2:
+      return std::to_string(std::get<int64_t>(v));
+    case 3:
+      return common::FormatDouble(std::get<double>(v));
+    case 4:
+      return "'" + std::get<std::string>(v) + "'";
+    default:
+      return "null";
+  }
+}
+
+bool Term::operator==(const Term& o) const {
+  if (kind != o.kind) return false;
+  return kind == Kind::kAttr ? attr == o.attr : scalar == o.scalar;
+}
+
+uint64_t Term::Hash() const {
+  uint64_t h = static_cast<uint64_t>(kind) + 0x1357;
+  return kind == Kind::kAttr ? common::HashCombine(h, attr.Hash())
+                             : common::HashCombine(h, scalar.Hash());
+}
+
+std::string Term::ToString() const {
+  return kind == Kind::kAttr ? attr.ToString() : scalar.ToString();
+}
+
+PredicateRef Predicate::True() {
+  static const PredicateRef kTrue = [] {
+    auto p = std::shared_ptr<Predicate>(new Predicate());
+    p->kind_ = Kind::kTrue;
+    return p;
+  }();
+  return kTrue;
+}
+
+PredicateRef Predicate::False() {
+  static const PredicateRef kFalse = [] {
+    auto p = std::shared_ptr<Predicate>(new Predicate());
+    p->kind_ = Kind::kFalse;
+    return p;
+  }();
+  return kFalse;
+}
+
+PredicateRef Predicate::Cmp(CmpOp op, Term left, Term right) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kCmp;
+  p->cmp_op_ = op;
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+PredicateRef Predicate::EqConst(Attr attr, Scalar constant) {
+  return Cmp(CmpOp::kEq, Term::MakeAttr(std::move(attr)),
+             Term::MakeConst(std::move(constant)));
+}
+
+PredicateRef Predicate::EqAttrs(Attr left, Attr right) {
+  return Cmp(CmpOp::kEq, Term::MakeAttr(std::move(left)),
+             Term::MakeAttr(std::move(right)));
+}
+
+PredicateRef Predicate::And(std::vector<PredicateRef> children) {
+  std::vector<PredicateRef> flat;
+  for (PredicateRef& c : children) {
+    if (c == nullptr || c->is_true()) continue;
+    if (c->kind() == Kind::kAnd) {
+      for (const PredicateRef& g : c->children()) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  // Canonical conjunct order (by structural hash): conjunctions assembled
+  // along different rule-derivation paths must compare equal so the memo
+  // deduplicates the expressions that carry them.
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const PredicateRef& a, const PredicateRef& b) {
+                     return a->Hash() < b->Hash();
+                   });
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->children_ = std::move(flat);
+  return p;
+}
+
+PredicateRef Predicate::Or(std::vector<PredicateRef> children) {
+  if (children.empty()) return False();
+  if (children.size() == 1) return children[0];
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicateRef Predicate::Not(PredicateRef child) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->children_.push_back(std::move(child));
+  return p;
+}
+
+AttrList Predicate::ReferencedAttrs() const {
+  AttrList out;
+  switch (kind_) {
+    case Kind::kCmp:
+      if (left_.is_attr() && !Contains(out, left_.attr)) {
+        out.push_back(left_.attr);
+      }
+      if (right_.is_attr() && !Contains(out, right_.attr)) {
+        out.push_back(right_.attr);
+      }
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const PredicateRef& c : children_) {
+        out = UnionAttrs(out, c->ReferencedAttrs());
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<std::string> Predicate::ReferencedClasses() const {
+  std::vector<std::string> out;
+  for (const Attr& a : ReferencedAttrs()) {
+    if (std::find(out.begin(), out.end(), a.cls) == out.end()) {
+      out.push_back(a.cls);
+    }
+  }
+  return out;
+}
+
+std::vector<PredicateRef> Predicate::Conjuncts() const {
+  std::vector<PredicateRef> out;
+  if (kind_ == Kind::kTrue) return out;
+  if (kind_ == Kind::kAnd) {
+    for (const PredicateRef& c : children_) {
+      auto sub = c->Conjuncts();
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  // A non-AND predicate is its own conjunct; rebuild a ref to this node.
+  // Conjuncts() is only called through PredicateRef, so shared_from_this
+  // semantics are emulated by cloning comparison leaves.
+  if (kind_ == Kind::kCmp) {
+    out.push_back(Cmp(cmp_op_, left_, right_));
+  } else if (kind_ == Kind::kFalse) {
+    out.push_back(False());
+  } else if (kind_ == Kind::kNot) {
+    out.push_back(Not(children_[0]));
+  } else if (kind_ == Kind::kOr) {
+    out.push_back(Or(children_));
+  }
+  return out;
+}
+
+bool Predicate::IsEquiJoin() const {
+  return kind_ == Kind::kCmp && cmp_op_ == CmpOp::kEq && left_.is_attr() &&
+         right_.is_attr();
+}
+
+bool Predicate::RefersOnlyTo(const std::vector<std::string>& classes) const {
+  for (const Attr& a : ReferencedAttrs()) {
+    if (std::find(classes.begin(), classes.end(), a.cls) == classes.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Predicate::Equals(const Predicate& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return true;
+    case Kind::kCmp:
+      return cmp_op_ == o.cmp_op_ && left_ == o.left_ && right_ == o.right_;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      if (children_.size() != o.children_.size()) return false;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (!children_[i]->Equals(*o.children_[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Predicate::Hash() const {
+  uint64_t h = static_cast<uint64_t>(kind_) * 0xff51afd7ed558ccdULL;
+  switch (kind_) {
+    case Kind::kCmp:
+      h = common::HashMix(h, static_cast<int>(cmp_op_));
+      h = common::HashCombine(h, left_.Hash());
+      h = common::HashCombine(h, right_.Hash());
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const PredicateRef& c : children_) {
+        h = common::HashCombine(h, c->Hash());
+      }
+      break;
+    default:
+      break;
+  }
+  return h;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kFalse:
+      return "FALSE";
+    case Kind::kCmp:
+      return left_.ToString() + " " + std::string(CmpOpName(cmp_op_)) + " " +
+             right_.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const PredicateRef& c : children_) {
+        parts.push_back("(" + c->ToString() + ")");
+      }
+      return common::Join(parts, kind_ == Kind::kAnd ? " AND " : " OR ");
+    }
+    case Kind::kNot:
+      return "NOT (" + children_[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+bool PredEquals(const PredicateRef& a, const PredicateRef& b) {
+  const Predicate& pa = a ? *a : *Predicate::True();
+  const Predicate& pb = b ? *b : *Predicate::True();
+  return pa.Equals(pb);
+}
+
+PredicateRef PredAnd(const PredicateRef& a, const PredicateRef& b) {
+  std::vector<PredicateRef> parts;
+  if (a) parts.push_back(a);
+  if (b) parts.push_back(b);
+  return Predicate::And(std::move(parts));
+}
+
+}  // namespace prairie::algebra

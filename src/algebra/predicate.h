@@ -1,0 +1,129 @@
+// Predicates: selection and join conditions carried in descriptors.
+//
+// Predicates are immutable trees shared via PredicateRef. Constants inside
+// predicates are scalars (bool/int/real/string); structured Values never
+// nest inside predicates, which keeps the two types acyclic.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "algebra/value.h"
+#include "common/result.h"
+
+namespace prairie::algebra {
+
+/// Comparison operators usable in predicate leaves.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpName(CmpOp op);
+
+/// \brief A scalar constant inside a predicate.
+struct Scalar {
+  std::variant<std::monostate, bool, int64_t, double, std::string> v;
+
+  static Scalar Null() { return Scalar{}; }
+  static Scalar Bool(bool b) { return Scalar{b}; }
+  static Scalar Int(int64_t i) { return Scalar{i}; }
+  static Scalar Real(double d) { return Scalar{d}; }
+  static Scalar Str(std::string s) { return Scalar{std::move(s)}; }
+
+  bool operator==(const Scalar& o) const { return v == o.v; }
+  uint64_t Hash() const;
+  std::string ToString() const;
+};
+
+/// \brief One side of a comparison: an attribute or a constant.
+struct Term {
+  enum class Kind { kAttr, kConst };
+  Kind kind = Kind::kConst;
+  Attr attr;      ///< Valid when kind == kAttr.
+  Scalar scalar;  ///< Valid when kind == kConst.
+
+  static Term MakeAttr(Attr a) {
+    Term t;
+    t.kind = Kind::kAttr;
+    t.attr = std::move(a);
+    return t;
+  }
+  static Term MakeConst(Scalar s) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.scalar = std::move(s);
+    return t;
+  }
+
+  bool is_attr() const { return kind == Kind::kAttr; }
+  bool operator==(const Term& o) const;
+  uint64_t Hash() const;
+  std::string ToString() const;
+};
+
+/// \brief An immutable boolean expression tree over attribute comparisons.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kFalse, kCmp, kAnd, kOr, kNot };
+
+  static PredicateRef True();
+  static PredicateRef False();
+  static PredicateRef Cmp(CmpOp op, Term left, Term right);
+  /// Convenience: attr = constant.
+  static PredicateRef EqConst(Attr attr, Scalar constant);
+  /// Convenience: attr = attr (an equi-join predicate).
+  static PredicateRef EqAttrs(Attr left, Attr right);
+  /// Conjunction; flattens nested ANDs and drops TRUE children. An empty
+  /// list yields TRUE.
+  static PredicateRef And(std::vector<PredicateRef> children);
+  static PredicateRef Or(std::vector<PredicateRef> children);
+  static PredicateRef Not(PredicateRef child);
+
+  Kind kind() const { return kind_; }
+  bool is_true() const { return kind_ == Kind::kTrue; }
+  bool is_false() const { return kind_ == Kind::kFalse; }
+
+  CmpOp cmp_op() const { return cmp_op_; }
+  const Term& left() const { return left_; }
+  const Term& right() const { return right_; }
+  const std::vector<PredicateRef>& children() const { return children_; }
+
+  /// All attributes referenced anywhere in the tree (first-occurrence order).
+  AttrList ReferencedAttrs() const;
+
+  /// All class / range-variable names referenced.
+  std::vector<std::string> ReferencedClasses() const;
+
+  /// Splits a top-level conjunction into its conjuncts (a non-AND predicate
+  /// is its own single conjunct; TRUE yields an empty list).
+  std::vector<PredicateRef> Conjuncts() const;
+
+  /// True for a single attr-op-attr comparison with CmpOp::kEq.
+  bool IsEquiJoin() const;
+
+  /// True if every referenced attribute belongs to one of `classes`.
+  bool RefersOnlyTo(const std::vector<std::string>& classes) const;
+
+  bool Equals(const Predicate& o) const;
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  Term left_, right_;
+  std::vector<PredicateRef> children_;
+};
+
+/// Structural equality that treats null refs as TRUE.
+bool PredEquals(const PredicateRef& a, const PredicateRef& b);
+
+/// Conjunction of two possibly-null predicate refs.
+PredicateRef PredAnd(const PredicateRef& a, const PredicateRef& b);
+
+}  // namespace prairie::algebra

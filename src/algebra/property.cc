@@ -1,0 +1,118 @@
+#include "algebra/property.h"
+
+#include "common/strings.h"
+
+namespace prairie::algebra {
+
+using common::Result;
+using common::Status;
+
+std::string PropertyDecl::ToString() const {
+  std::string out = "property " + name + " : ";
+  out += is_cost ? "cost" : std::string(ValueTypeName(type));
+  return out;
+}
+
+Status PropertySchema::Add(PropertyDecl decl) {
+  if (by_name_.count(decl.name) > 0) {
+    return Status::AlreadyExists("duplicate property '" + decl.name + "'");
+  }
+  by_name_[decl.name] = static_cast<PropertyId>(decls_.size());
+  decls_.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Status PropertySchema::Add(std::string name, ValueType type, bool is_cost) {
+  return Add(PropertyDecl{std::move(name), type, is_cost});
+}
+
+std::optional<PropertyId> PropertySchema::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<PropertyId> PropertySchema::Require(const std::string& name) const {
+  auto id = Find(name);
+  if (!id.has_value()) {
+    return Status::NotFound("unknown property '" + name + "'");
+  }
+  return *id;
+}
+
+std::string PropertySchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(decls_.size());
+  for (const PropertyDecl& d : decls_) parts.push_back(d.ToString());
+  return common::Join(parts, ";\n") + (decls_.empty() ? "" : ";");
+}
+
+Result<Value> Descriptor::Get(const std::string& name) const {
+  if (schema_ == nullptr) return Status::Internal("descriptor has no schema");
+  PRAIRIE_ASSIGN_OR_RETURN(PropertyId id, schema_->Require(name));
+  return values_[id];
+}
+
+Status Descriptor::Set(const std::string& name, Value v) {
+  if (schema_ == nullptr) return Status::Internal("descriptor has no schema");
+  PRAIRIE_ASSIGN_OR_RETURN(PropertyId id, schema_->Require(name));
+  return SetChecked(id, std::move(v));
+}
+
+Status Descriptor::SetChecked(PropertyId id, Value v) {
+  const PropertyDecl& decl = schema_->decl(id);
+  if (!v.is_null() && v.type() != decl.type) {
+    // Ints silently widen to real-typed properties (covers cost arithmetic).
+    if (decl.type == ValueType::kReal && v.type() == ValueType::kInt) {
+      values_[id] = Value::Real(static_cast<double>(v.AsInt()));
+      return Status::OK();
+    }
+    return Status::TypeError("property '" + decl.name + "' expects " +
+                             std::string(ValueTypeName(decl.type)) +
+                             ", got " + std::string(ValueTypeName(v.type())));
+  }
+  values_[id] = std::move(v);
+  return Status::OK();
+}
+
+bool Descriptor::operator==(const Descriptor& o) const {
+  if (schema_ != o.schema_) return false;
+  return values_ == o.values_;
+}
+
+uint64_t Descriptor::Hash() const {
+  uint64_t h = 0xd35c;
+  for (const Value& v : values_) h = common::HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string Descriptor::ToString() const {
+  if (schema_ == nullptr) return "{}";
+  std::vector<std::string> parts;
+  for (int i = 0; i < schema_->size(); ++i) {
+    if (values_[i].is_null()) continue;
+    parts.push_back(schema_->decl(i).name + ": " + values_[i].ToString());
+  }
+  return "{" + common::Join(parts, ", ") + "}";
+}
+
+Descriptor PropertySlice::Project(const Descriptor& full) const {
+  Descriptor out(full.schema());
+  for (PropertyId id : ids) out.SetUnchecked(id, full.Get(id));
+  return out;
+}
+
+uint64_t PropertySlice::HashOf(const Descriptor& d) const {
+  uint64_t h = 0x51ce;
+  for (PropertyId id : ids) h = common::HashCombine(h, d.Get(id).Hash());
+  return h;
+}
+
+bool PropertySlice::EqualOn(const Descriptor& a, const Descriptor& b) const {
+  for (PropertyId id : ids) {
+    if (!(a.Get(id) == b.Get(id))) return false;
+  }
+  return true;
+}
+
+}  // namespace prairie::algebra

@@ -1,0 +1,194 @@
+#include "algebra/value.h"
+
+#include <algorithm>
+
+#include "algebra/predicate.h"
+#include "common/strings.h"
+
+namespace prairie::algebra {
+
+using common::Result;
+using common::Status;
+
+bool Contains(const AttrList& list, const Attr& attr) {
+  return std::find(list.begin(), list.end(), attr) != list.end();
+}
+
+AttrList UnionAttrs(const AttrList& a, const AttrList& b) {
+  AttrList out = a;
+  for (const Attr& attr : b) {
+    if (!Contains(out, attr)) out.push_back(attr);
+  }
+  // Canonical (sorted) order: the same attribute set computed along
+  // different rule-derivation paths must compare equal, or the memo would
+  // fail to deduplicate logically identical expressions.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool IsSubset(const AttrList& subset, const AttrList& superset) {
+  for (const Attr& attr : subset) {
+    if (!Contains(superset, attr)) return false;
+  }
+  return true;
+}
+
+bool SortSpec::Satisfies(const SortSpec& required) const {
+  if (required.is_dont_care()) return true;
+  if (required.keys.size() > keys.size()) return false;
+  for (size_t i = 0; i < required.keys.size(); ++i) {
+    if (!(keys[i] == required.keys[i])) return false;
+  }
+  return true;
+}
+
+uint64_t SortSpec::Hash() const {
+  uint64_t h = 0x50a7;
+  for (const Key& k : keys) {
+    h = common::HashCombine(h, k.attr.Hash());
+    h = common::HashMix(h, k.ascending);
+  }
+  return h;
+}
+
+std::string SortSpec::ToString() const {
+  if (is_dont_care()) return "DONT_CARE";
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (const Key& k : keys) {
+    parts.push_back(k.attr.ToString() + (k.ascending ? " ASC" : " DESC"));
+  }
+  return "sorted(" + common::Join(parts, ", ") + ")";
+}
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kSort:
+      return "sortspec";
+    case ValueType::kAttrs:
+      return "attrs";
+    case ValueType::kPred:
+      return "predicate";
+  }
+  return "unknown";
+}
+
+Result<double> Value::ToReal() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kReal:
+      return AsReal();
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               std::string(ValueTypeName(type())) +
+                               " to real");
+  }
+}
+
+Result<bool> Value::ToBool() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return AsBool();
+    case ValueType::kInt:
+      return AsInt() != 0;
+    case ValueType::kReal:
+      return AsReal() != 0.0;
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               std::string(ValueTypeName(type())) +
+                               " to bool");
+  }
+}
+
+bool Value::operator==(const Value& o) const {
+  if (type() != o.type()) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return AsBool() == o.AsBool();
+    case ValueType::kInt:
+      return AsInt() == o.AsInt();
+    case ValueType::kReal:
+      return AsReal() == o.AsReal();
+    case ValueType::kString:
+      return AsString() == o.AsString();
+    case ValueType::kSort:
+      return AsSort() == o.AsSort();
+    case ValueType::kAttrs:
+      return AsAttrs() == o.AsAttrs();
+    case ValueType::kPred: {
+      return PredEquals(AsPred(), o.AsPred());
+    }
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  uint64_t h = static_cast<uint64_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      return h;
+    case ValueType::kBool:
+      return common::HashMix(h, AsBool());
+    case ValueType::kInt:
+      return common::HashMix(h, AsInt());
+    case ValueType::kReal:
+      return common::HashMix(h, AsReal());
+    case ValueType::kString:
+      return common::HashMix(h, AsString());
+    case ValueType::kSort:
+      return common::HashCombine(h, AsSort().Hash());
+    case ValueType::kAttrs: {
+      for (const Attr& a : AsAttrs()) h = common::HashCombine(h, a.Hash());
+      return h;
+    }
+    case ValueType::kPred: {
+      const PredicateRef& p = AsPred();
+      return common::HashCombine(h, p == nullptr ? 0x7242 : p->Hash());
+    }
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kReal:
+      return common::FormatDouble(AsReal());
+    case ValueType::kString:
+      return "\"" + AsString() + "\"";
+    case ValueType::kSort:
+      return AsSort().ToString();
+    case ValueType::kAttrs: {
+      std::vector<std::string> parts;
+      for (const Attr& a : AsAttrs()) parts.push_back(a.ToString());
+      return "[" + common::Join(parts, ", ") + "]";
+    }
+    case ValueType::kPred: {
+      const PredicateRef& p = AsPred();
+      return p == nullptr ? "TRUE" : p->ToString();
+    }
+  }
+  return "?";
+}
+
+}  // namespace prairie::algebra

@@ -1,0 +1,25 @@
+// Hash combining utilities (boost::hash_combine style, 64-bit).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace prairie::common {
+
+/// Mixes `value` into `seed` (64-bit variant of boost::hash_combine).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Golden-ratio based mixing constant for 64-bit combine.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hashes an arbitrary value with std::hash and mixes it into `seed`.
+template <typename T>
+uint64_t HashMix(uint64_t seed, const T& value) {
+  return HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace prairie::common

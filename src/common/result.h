@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// operations. Mirrors arrow::Result / rocksdb's Status+out-param pattern
+// with value semantics.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace prairie::common {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Constructing a Result from an OK status is a programming error (there
+/// would be no value); it is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Like ValueOrDie; used by PRAIRIE_ASSIGN_OR_RETURN after checking ok().
+  T&& ValueUnsafe() && { return std::get<T>(std::move(repr_)); }
+
+  /// The value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace prairie::common

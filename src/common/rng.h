@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for workload generators
+// and property tests. All randomness in the repository flows through Rng
+// with explicit seeds so experiments are reproducible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace prairie::common {
+
+/// \brief Small, fast, seedable PRNG (xoshiro256** core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator (splitmix64 state expansion).
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random element index for a container of size n (n>0).
+  size_t Index(size_t n) {
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace prairie::common

@@ -1,0 +1,122 @@
+// Status: the error model used throughout Prairie.
+//
+// The library does not throw exceptions; fallible operations return a
+// Status (or a Result<T>, see result.h). This follows the conventions of
+// production database codebases (RocksDB, Arrow).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace prairie::common {
+
+/// Error categories for Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kRuleError,
+  kOptimizeError,
+  kExecError,
+  kInternal,
+  kNotImplemented,
+  kResourceExhausted,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy in the
+/// OK case and carry a heap-allocated message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status RuleError(std::string msg) {
+    return Status(StatusCode::kRuleError, std::move(msg));
+  }
+  static Status OptimizeError(std::string msg) {
+    return Status(StatusCode::kOptimizeError, std::move(msg));
+  }
+  static Status ExecError(std::string msg) {
+    return Status(StatusCode::kExecError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// for adding call-site detail as an error propagates upward.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace prairie::common
+
+/// Propagates a non-OK Status to the caller.
+#define PRAIRIE_RETURN_NOT_OK(expr)                       \
+  do {                                                    \
+    ::prairie::common::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                            \
+  } while (0)
+
+#define PRAIRIE_CONCAT_IMPL(a, b) a##b
+#define PRAIRIE_CONCAT(a, b) PRAIRIE_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define PRAIRIE_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  PRAIRIE_ASSIGN_OR_RETURN_IMPL(                                   \
+      PRAIRIE_CONCAT(_prairie_result_, __LINE__), lhs, rexpr)
+
+#define PRAIRIE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueUnsafe();

@@ -1,0 +1,178 @@
+// The Prairie action language (paper §2.3, §2.4).
+//
+// Rule actions are series of assignment statements whose left-hand sides
+// are output descriptors (or members of output descriptors) and whose
+// right-hand sides are expressions over input descriptors, constants,
+// arithmetic/boolean operators and helper-function calls. Tests are
+// boolean expressions of the same language.
+//
+// Statements and expressions are immutable ASTs. One evaluator serves
+// T-rule pre/post-test sections, I-rule pre/post-opt sections, and the
+// Volcano helper functions P2V synthesizes from them.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/property.h"
+#include "common/result.h"
+
+namespace prairie::catalog {
+class Catalog;
+}
+
+namespace prairie::core {
+
+class ActionExpr;
+using ActionExprPtr = std::shared_ptr<const ActionExpr>;
+
+/// Binary operators of the action language.
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+std::string_view BinOpName(BinOp op);
+
+/// Unary operators of the action language.
+enum class UnOp { kNot, kNeg };
+
+/// \brief An expression of the action language.
+class ActionExpr {
+ public:
+  enum class Kind {
+    kConst,   ///< Literal value.
+    kProp,    ///< Dk.property — a descriptor member.
+    kDesc,    ///< Dk — a whole descriptor (in D_a = D_b and helper args).
+    kCall,    ///< helper(args...).
+    kBinary,  ///< a op b.
+    kUnary,   ///< !a or -a.
+  };
+
+  static ActionExprPtr Const(algebra::Value v);
+  /// `property_id` is the pre-resolved PropertyId when the schema is known
+  /// at construction time (the DSL parser supplies it); -1 falls back to a
+  /// by-name lookup at evaluation time.
+  static ActionExprPtr Prop(int desc_slot, std::string property,
+                            algebra::PropertyId property_id = -1);
+  static ActionExprPtr Desc(int desc_slot);
+  static ActionExprPtr Call(std::string fn, std::vector<ActionExprPtr> args);
+  static ActionExprPtr Binary(BinOp op, ActionExprPtr l, ActionExprPtr r);
+  static ActionExprPtr Unary(UnOp op, ActionExprPtr e);
+
+  Kind kind() const { return kind_; }
+  const algebra::Value& constant() const { return constant_; }
+  int desc_slot() const { return desc_slot_; }
+  const std::string& property() const { return property_; }
+  algebra::PropertyId property_id() const { return property_id_; }
+  const std::string& fn() const { return fn_; }
+  const std::vector<ActionExprPtr>& args() const { return args_; }
+  BinOp bin_op() const { return bin_op_; }
+  UnOp un_op() const { return un_op_; }
+  const ActionExprPtr& left() const { return args_[0]; }
+  const ActionExprPtr& right() const { return args_[1]; }
+
+  /// Calls `visit` on this node and every descendant (pre-order).
+  void Visit(const std::function<void(const ActionExpr&)>& visit) const;
+
+  /// Renders with 1-based D-numbering, e.g. "D4.cost + D4.num_records * D2.cost".
+  std::string ToString() const;
+
+ private:
+  ActionExpr() = default;
+
+  Kind kind_ = Kind::kConst;
+  algebra::Value constant_;
+  int desc_slot_ = -1;
+  std::string property_;
+  algebra::PropertyId property_id_ = -1;
+  std::string fn_;
+  std::vector<ActionExprPtr> args_;
+  BinOp bin_op_ = BinOp::kAdd;
+  UnOp un_op_ = UnOp::kNot;
+};
+
+/// \brief One assignment statement: `Dk = expr;` or `Dk.prop = expr;`.
+struct ActionStmt {
+  int target_slot = -1;
+  std::string target_prop;  ///< Empty for whole-descriptor assignment.
+  /// Pre-resolved PropertyId of target_prop (-1: resolve by name).
+  algebra::PropertyId target_prop_id = -1;
+  ActionExprPtr value;
+
+  bool assigns_whole_descriptor() const { return target_prop.empty(); }
+  std::string ToString() const;
+};
+
+/// Pretty-prints a statement block `{{ ... }}` like the paper.
+std::string BlockToString(const std::vector<ActionStmt>& stmts, int indent);
+
+class HelperRegistry;
+
+/// \brief Evaluation context: the descriptor slots of one rule firing plus
+/// the ambient registries helpers may consult.
+struct EvalContext {
+  /// Descriptor slot array; slot i is the rule's D(i+1). Entries may be
+  /// null for slots not bound in the current phase (reading one fails).
+  std::vector<algebra::Descriptor*> slots;
+  /// Allocation-free alternative used on the hot path: a contiguous
+  /// descriptor array (e.g. a BindingView's slots). Takes precedence over
+  /// `slots` when set.
+  algebra::Descriptor* contiguous = nullptr;
+  int contiguous_count = 0;
+  const HelperRegistry* helpers = nullptr;
+  const catalog::Catalog* catalog = nullptr;
+
+  algebra::Descriptor* slot(int i) const {
+    if (contiguous != nullptr) {
+      return (i >= 0 && i < contiguous_count) ? contiguous + i : nullptr;
+    }
+    return (i >= 0 && i < static_cast<int>(slots.size())) ? slots[i] : nullptr;
+  }
+};
+
+/// \brief Result of evaluating an action expression: a Value, or a whole
+/// descriptor (only `Dk` expressions produce the latter).
+///
+/// Property reads return *borrowed* values (a pointer into the owning
+/// descriptor) to avoid copying attribute lists and predicates on every
+/// access; borrowed values are only valid until the slot descriptors are
+/// next mutated, which is after the enclosing statement finishes.
+struct EvalResult {
+  algebra::Value value;
+  const algebra::Value* borrowed = nullptr;
+  const algebra::Descriptor* desc = nullptr;
+
+  bool is_desc() const { return desc != nullptr; }
+  const algebra::Value& val() const {
+    return borrowed != nullptr ? *borrowed : value;
+  }
+};
+
+/// Evaluates an expression in `ctx`.
+common::Result<EvalResult> Eval(const ActionExpr& expr, const EvalContext& ctx);
+
+/// Evaluates a boolean test; a null expression means TRUE.
+common::Result<bool> EvalTest(const ActionExprPtr& test,
+                              const EvalContext& ctx);
+
+/// Executes one assignment statement.
+common::Status Execute(const ActionStmt& stmt, const EvalContext& ctx);
+
+/// Executes a statement block in order, stopping at the first error.
+common::Status ExecuteAll(const std::vector<ActionStmt>& stmts,
+                          const EvalContext& ctx);
+
+}  // namespace prairie::core

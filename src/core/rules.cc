@@ -1,0 +1,101 @@
+#include "core/rules.h"
+
+#include "common/strings.h"
+
+namespace prairie::core {
+
+namespace {
+
+std::string RuleActionsToString(const std::vector<ActionStmt>& first_block,
+                                const ActionExprPtr& test,
+                                const std::vector<ActionStmt>& second_block) {
+  std::string out;
+  out += BlockToString(first_block, 0) + "\n";
+  out += (test == nullptr ? std::string("TRUE") : test->ToString()) + "\n";
+  out += BlockToString(second_block, 0);
+  return out;
+}
+
+}  // namespace
+
+TRule TRule::Clone() const {
+  TRule out;
+  out.name = name;
+  out.lhs = lhs->Clone();
+  out.rhs = rhs->Clone();
+  out.pre_test = pre_test;
+  out.test = test;
+  out.post_test = post_test;
+  out.num_slots = num_slots;
+  return out;
+}
+
+std::string TRule::ToString(const algebra::Algebra& algebra) const {
+  std::string out = "trule " + name + ":\n";
+  out += "  " + lhs->ToString(algebra) + " => " + rhs->ToString(algebra) +
+         "\n";
+  out += common::Indent(
+      RuleActionsToString(pre_test, test, post_test), 2);
+  return out;
+}
+
+IRule IRule::Clone() const {
+  IRule out;
+  out.name = name;
+  out.op = op;
+  out.alg = alg;
+  out.arity = arity;
+  out.rhs_input_slots = rhs_input_slots;
+  out.alg_slot = alg_slot;
+  out.test = test;
+  out.pre_opt = pre_opt;
+  out.post_opt = post_opt;
+  out.num_slots = num_slots;
+  return out;
+}
+
+std::string IRule::ToString(const algebra::Algebra& algebra) const {
+  auto side = [&](algebra::OpId operation, bool rhs) {
+    std::string s = algebra.name(operation);
+    s += "[D" + std::to_string((rhs ? alg_slot : op_slot()) + 1) + "](";
+    std::vector<std::string> parts;
+    for (int i = 0; i < arity; ++i) {
+      std::string p = "?" + std::to_string(i + 1);
+      int slot = rhs ? rhs_input_slots[i] : i;
+      p += ":D" + std::to_string(slot + 1);
+      parts.push_back(p);
+    }
+    s += common::Join(parts, ", ") + ")";
+    return s;
+  };
+  std::string out = "irule " + name + ":\n";
+  out += "  " + side(op, false) + " => " + side(alg, true) + "\n";
+  std::string body;
+  body += (test == nullptr ? std::string("TRUE") : test->ToString()) + "\n";
+  body += BlockToString(pre_opt, 0) + "\n";
+  body += BlockToString(post_opt, 0);
+  out += common::Indent(body, 2);
+  return out;
+}
+
+IRule MakeIRuleSkeleton(std::string name, const algebra::Algebra& algebra,
+                        algebra::OpId op, algebra::OpId alg,
+                        const std::vector<bool>& fresh_inputs) {
+  IRule r;
+  r.name = std::move(name);
+  r.op = op;
+  r.alg = alg;
+  r.arity = algebra.arity(op);
+  int next_slot = r.arity + 1;  // inputs D1..Dk, op desc D(k+1)
+  r.rhs_input_slots.resize(static_cast<size_t>(r.arity));
+  for (int i = 0; i < r.arity; ++i) {
+    bool fresh =
+        i < static_cast<int>(fresh_inputs.size()) && fresh_inputs[i];
+    r.rhs_input_slots[static_cast<size_t>(i)] = fresh ? next_slot++ : i;
+  }
+  r.alg_slot = next_slot++;
+  r.num_slots = next_slot;
+  return r;
+}
+
+}  // namespace prairie::core

@@ -1,0 +1,84 @@
+// Prairie transformation rules (T-rules, paper §2.3) and implementation
+// rules (I-rules, paper §2.4).
+//
+// Descriptor slot numbering follows the paper's convention: the LHS leaf
+// streams are D1..Dk (slot 0..k-1); further slots are assigned to LHS
+// interior nodes and to RHS nodes that introduce new descriptors. A RHS
+// stream occurrence without an explicit annotation reuses the LHS slot of
+// the same stream variable.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "core/action.h"
+
+namespace prairie::core {
+
+/// \brief A transformation rule: E : D => E' : D' with pre-test statements,
+/// a test, and post-test statements (Figure 2 of the paper).
+struct TRule {
+  std::string name;
+  algebra::PatNodePtr lhs;
+  algebra::PatNodePtr rhs;
+  std::vector<ActionStmt> pre_test;
+  ActionExprPtr test;  ///< Null means TRUE.
+  std::vector<ActionStmt> post_test;
+  int num_slots = 0;  ///< Total descriptor slots referenced by the rule.
+
+  TRule() = default;
+  TRule(TRule&&) = default;
+  TRule& operator=(TRule&&) = default;
+  TRule Clone() const;
+
+  /// Paper-style rendering of the full rule.
+  std::string ToString(const algebra::Algebra& algebra) const;
+};
+
+/// \brief An implementation rule: O(x1..xn) : D => A(x1..xn) : D' with a
+/// test, pre-opt statements and post-opt statements (Figure 4).
+///
+/// Slot layout (k = arity of `op`):
+///   0..k-1          LHS input streams D1..Dk
+///   k               the operator's descriptor
+///   rhs_input_slot[i]  descriptor of RHS stream occurrence i — equal to i
+///                      when the stream keeps its LHS descriptor, or a
+///                      fresh slot when the rule re-annotates it (as in
+///                      Nested_loops(S1:D4, S2) or the Null rule).
+///   alg_slot        the algorithm's descriptor (always fresh).
+struct IRule {
+  std::string name;
+  algebra::OpId op = -1;
+  algebra::OpId alg = -1;
+  int arity = 0;
+  std::vector<int> rhs_input_slots;
+  int alg_slot = -1;
+  ActionExprPtr test;  ///< Null means TRUE.
+  std::vector<ActionStmt> pre_opt;
+  std::vector<ActionStmt> post_opt;
+  int num_slots = 0;
+
+  /// Slot of the operator's own descriptor.
+  int op_slot() const { return arity; }
+
+  /// True when the RHS re-annotates input `i` with a fresh descriptor.
+  bool input_reannotated(int i) const { return rhs_input_slots[i] != i; }
+
+  IRule() = default;
+  IRule(IRule&&) = default;
+  IRule& operator=(IRule&&) = default;
+  IRule Clone() const;
+
+  std::string ToString(const algebra::Algebra& algebra) const;
+};
+
+/// Builds the canonical slot layout for an I-rule over `op` implementing it
+/// with `alg`; `fresh_inputs[i]` marks inputs whose RHS occurrence gets a
+/// fresh descriptor slot.
+IRule MakeIRuleSkeleton(std::string name, const algebra::Algebra& algebra,
+                        algebra::OpId op, algebra::OpId alg,
+                        const std::vector<bool>& fresh_inputs);
+
+}  // namespace prairie::core

@@ -1,0 +1,282 @@
+#include "core/ruleset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace prairie::core {
+
+using algebra::Algebra;
+using algebra::OpId;
+using algebra::PatNode;
+using common::Status;
+
+namespace {
+
+struct PatternInfo {
+  std::set<int> stream_vars;
+  std::set<int> slots;
+};
+
+Status CollectPattern(const Algebra& algebra, const PatNode& node,
+                      bool allow_algorithms, PatternInfo* info) {
+  if (node.desc_slot < 0) {
+    return Status::RuleError("pattern node without a descriptor slot");
+  }
+  if (info->slots.count(node.desc_slot) > 0) {
+    return Status::RuleError("descriptor slot D" +
+                             std::to_string(node.desc_slot + 1) +
+                             " used by two pattern nodes on the same side");
+  }
+  info->slots.insert(node.desc_slot);
+  if (node.is_stream()) {
+    if (node.stream_var <= 0) {
+      return Status::RuleError("stream variables are numbered from ?1");
+    }
+    if (info->stream_vars.count(node.stream_var) > 0) {
+      return Status::RuleError(
+          "non-linear pattern: stream variable ?" +
+          std::to_string(node.stream_var) + " occurs twice on one side");
+    }
+    info->stream_vars.insert(node.stream_var);
+    return Status::OK();
+  }
+  if (node.op < 0 || node.op >= algebra.size()) {
+    return Status::RuleError("pattern references an unregistered operation");
+  }
+  if (!allow_algorithms && algebra.is_algorithm(node.op)) {
+    return Status::RuleError("T-rule patterns may only use abstract "
+                             "operators; found algorithm '" +
+                             algebra.name(node.op) + "'");
+  }
+  if (static_cast<int>(node.children.size()) != algebra.arity(node.op)) {
+    return Status::RuleError(common::StringPrintf(
+        "'%s' has arity %d but pattern gives it %d input(s)",
+        algebra.name(node.op).c_str(), algebra.arity(node.op),
+        static_cast<int>(node.children.size())));
+  }
+  for (const algebra::PatNodePtr& c : node.children) {
+    PRAIRIE_RETURN_NOT_OK(CollectPattern(algebra, *c, allow_algorithms, info));
+  }
+  return Status::OK();
+}
+
+/// Checks every Dk.prop reference in `expr` against the schema and every
+/// helper call against the registry; checks slots are within num_slots and,
+/// when `readable` is given, that reads only touch readable slots.
+Status CheckExpr(const ActionExpr& expr, const Algebra& algebra,
+                 const HelperRegistry* helpers, int num_slots,
+                 const std::set<int>* readable) {
+  Status st = Status::OK();
+  expr.Visit([&](const ActionExpr& e) {
+    if (!st.ok()) return;
+    switch (e.kind()) {
+      case ActionExpr::Kind::kProp:
+      case ActionExpr::Kind::kDesc: {
+        if (e.desc_slot() < 0 || e.desc_slot() >= num_slots) {
+          st = Status::RuleError("reference to out-of-range descriptor D" +
+                                 std::to_string(e.desc_slot() + 1));
+          return;
+        }
+        if (readable != nullptr && readable->count(e.desc_slot()) == 0) {
+          st = Status::RuleError(
+              "D" + std::to_string(e.desc_slot() + 1) +
+              " is not bound at the point this expression runs");
+          return;
+        }
+        if (e.kind() == ActionExpr::Kind::kProp &&
+            !algebra.properties().Find(e.property()).has_value()) {
+          st = Status::RuleError("unknown property '" + e.property() + "'");
+        }
+        break;
+      }
+      case ActionExpr::Kind::kCall:
+        if (helpers != nullptr && !helpers->Contains(e.fn())) {
+          st = Status::RuleError("unknown helper function '" + e.fn() + "'");
+        }
+        break;
+      default:
+        break;
+    }
+  });
+  return st;
+}
+
+Status CheckBlock(const std::vector<ActionStmt>& stmts, const Algebra& algebra,
+                  const HelperRegistry* helpers, int num_slots,
+                  const std::set<int>& writable) {
+  for (const ActionStmt& s : stmts) {
+    if (s.target_slot < 0 || s.target_slot >= num_slots) {
+      return Status::RuleError("assignment to out-of-range descriptor in '" +
+                               s.ToString() + "'");
+    }
+    if (writable.count(s.target_slot) == 0) {
+      return Status::RuleError(
+          "assignment to left-hand-side descriptor D" +
+          std::to_string(s.target_slot + 1) + " in '" + s.ToString() +
+          "' (LHS descriptors are never changed)");
+    }
+    if (!s.target_prop.empty() &&
+        !algebra.properties().Find(s.target_prop).has_value()) {
+      return Status::RuleError("unknown property '" + s.target_prop +
+                               "' in '" + s.ToString() + "'");
+    }
+    if (s.value == nullptr) {
+      return Status::RuleError("assignment without a value in rule action");
+    }
+    PRAIRIE_RETURN_NOT_OK(
+        CheckExpr(*s.value, algebra, helpers, num_slots, nullptr)
+            .WithContext("in '" + s.ToString() + "'"));
+  }
+  return Status::OK();
+}
+
+Status ValidateTRule(const TRule& r, const Algebra& algebra,
+                     const HelperRegistry* helpers) {
+  if (r.lhs == nullptr || r.rhs == nullptr) {
+    return Status::RuleError("T-rule is missing a side");
+  }
+  if (r.lhs->is_stream() || r.rhs->is_stream()) {
+    return Status::RuleError("T-rule sides must be rooted at an operator");
+  }
+  PatternInfo lhs_info, rhs_info;
+  PRAIRIE_RETURN_NOT_OK(
+      CollectPattern(algebra, *r.lhs, /*allow_algorithms=*/false, &lhs_info));
+  PRAIRIE_RETURN_NOT_OK(
+      CollectPattern(algebra, *r.rhs, /*allow_algorithms=*/false, &rhs_info));
+  for (int v : rhs_info.stream_vars) {
+    if (lhs_info.stream_vars.count(v) == 0) {
+      return Status::RuleError("RHS stream variable ?" + std::to_string(v) +
+                               " does not occur on the LHS");
+    }
+  }
+  int max_slot = std::max(r.lhs->MaxDescSlot(), r.rhs->MaxDescSlot());
+  if (r.num_slots <= max_slot) {
+    return Status::RuleError("num_slots smaller than referenced slots");
+  }
+  // Writable slots: RHS-side slots that are not LHS slots.
+  std::set<int> writable;
+  for (int s : rhs_info.slots) {
+    if (lhs_info.slots.count(s) == 0) writable.insert(s);
+  }
+  PRAIRIE_RETURN_NOT_OK(
+      CheckBlock(r.pre_test, algebra, helpers, r.num_slots, writable));
+  if (r.test != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(
+        CheckExpr(*r.test, algebra, helpers, r.num_slots, nullptr));
+  }
+  PRAIRIE_RETURN_NOT_OK(
+      CheckBlock(r.post_test, algebra, helpers, r.num_slots, writable));
+  return Status::OK();
+}
+
+Status ValidateIRule(const IRule& r, const Algebra& algebra,
+                     const HelperRegistry* helpers) {
+  if (r.op < 0 || r.op >= algebra.size() || algebra.is_algorithm(r.op)) {
+    return Status::RuleError("I-rule LHS must be an abstract operator");
+  }
+  if (r.alg < 0 || r.alg >= algebra.size() || !algebra.is_algorithm(r.alg)) {
+    return Status::RuleError("I-rule RHS must be an algorithm");
+  }
+  if (algebra.arity(r.op) != r.arity ||
+      algebra.arity(r.alg) != r.arity) {
+    return Status::RuleError(
+        "I-rule '" + r.name + "': operator and algorithm arities disagree");
+  }
+  if (static_cast<int>(r.rhs_input_slots.size()) != r.arity) {
+    return Status::RuleError("I-rule '" + r.name +
+                             "': rhs_input_slots has wrong size");
+  }
+  std::set<int> writable;
+  writable.insert(r.alg_slot);
+  for (int i = 0; i < r.arity; ++i) {
+    int slot = r.rhs_input_slots[static_cast<size_t>(i)];
+    if (slot != i) {
+      if (slot <= r.op_slot()) {
+        return Status::RuleError("I-rule '" + r.name +
+                                 "': re-annotated input must use a fresh "
+                                 "descriptor slot");
+      }
+      writable.insert(slot);
+    }
+  }
+  if (r.alg_slot <= r.op_slot()) {
+    return Status::RuleError("I-rule '" + r.name +
+                             "': algorithm descriptor must be fresh");
+  }
+  // The test runs before pre-opt: only LHS descriptors are bound.
+  std::set<int> test_readable;
+  for (int i = 0; i <= r.op_slot(); ++i) test_readable.insert(i);
+  if (r.test != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(
+        CheckExpr(*r.test, algebra, helpers, r.num_slots, &test_readable)
+            .WithContext("I-rule '" + r.name + "' test"));
+  }
+  PRAIRIE_RETURN_NOT_OK(
+      CheckBlock(r.pre_opt, algebra, helpers, r.num_slots, writable)
+          .WithContext("I-rule '" + r.name + "' pre-opt"));
+  PRAIRIE_RETURN_NOT_OK(
+      CheckBlock(r.post_opt, algebra, helpers, r.num_slots, writable)
+          .WithContext("I-rule '" + r.name + "' post-opt"));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RuleSet::Validate() const {
+  if (algebra == nullptr) {
+    return Status::RuleError("rule set has no algebra");
+  }
+  const HelperRegistry* reg = helpers.get();
+  std::set<std::string> names;
+  for (const TRule& r : trules) {
+    if (!names.insert("T:" + r.name).second) {
+      return Status::RuleError("duplicate T-rule name '" + r.name + "'");
+    }
+    PRAIRIE_RETURN_NOT_OK(
+        ValidateTRule(r, *algebra, reg).WithContext("T-rule '" + r.name + "'"));
+  }
+  for (const IRule& r : irules) {
+    if (!names.insert("I:" + r.name).second) {
+      return Status::RuleError("duplicate I-rule name '" + r.name + "'");
+    }
+    PRAIRIE_RETURN_NOT_OK(ValidateIRule(r, *algebra, reg));
+  }
+  return Status::OK();
+}
+
+std::vector<OpId> RuleSet::EnforcerOperators() const {
+  std::vector<OpId> out;
+  for (const IRule& r : irules) {
+    if (r.alg == algebra->null_alg() &&
+        std::find(out.begin(), out.end(), r.op) == out.end()) {
+      out.push_back(r.op);
+    }
+  }
+  return out;
+}
+
+bool RuleSet::IsEnforcerOperator(OpId op) const {
+  for (const IRule& r : irules) {
+    if (r.op == op && r.alg == algebra->null_alg()) return true;
+  }
+  return false;
+}
+
+std::vector<const IRule*> RuleSet::IRulesFor(OpId op) const {
+  std::vector<const IRule*> out;
+  for (const IRule& r : irules) {
+    if (r.op == op) out.push_back(&r);
+  }
+  return out;
+}
+
+std::string RuleSet::ToString() const {
+  std::string out = algebra->ToString() + "\n\n";
+  for (const TRule& r : trules) out += r.ToString(*algebra) + "\n\n";
+  for (const IRule& r : irules) out += r.ToString(*algebra) + "\n\n";
+  return out;
+}
+
+}  // namespace prairie::core

@@ -1,0 +1,51 @@
+// A Prairie rule set: the complete optimizer specification a user writes
+// (algebra + properties + helpers + T-rules + I-rules). Rule sets are what
+// the P2V pre-processor consumes.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "core/helpers.h"
+#include "core/rules.h"
+
+namespace prairie::core {
+
+/// \brief A complete Prairie specification.
+struct RuleSet {
+  std::shared_ptr<algebra::Algebra> algebra;
+  std::shared_ptr<HelperRegistry> helpers;
+  std::vector<TRule> trules;
+  std::vector<IRule> irules;
+
+  /// Structural validation of the whole specification. Checks, per the
+  /// paper's model:
+  ///  - rule operations are registered with matching arities; T-rule sides
+  ///    use only abstract operators, I-rules map one operator to one
+  ///    algorithm of equal arity;
+  ///  - RHS stream variables are a subset of (linear) LHS variables;
+  ///  - descriptor slots are consistent and LHS descriptors are never
+  ///    assigned by actions (§2.3: "descriptors on the left-hand side are
+  ///    never changed");
+  ///  - I-rule tests reference only descriptors bound before pre-opt runs;
+  ///  - referenced properties exist in the schema and referenced helper
+  ///    functions are registered.
+  common::Status Validate() const;
+
+  /// Operators that have a Null-algorithm I-rule (enforcer-operators,
+  /// paper §2.5/§3.1).
+  std::vector<algebra::OpId> EnforcerOperators() const;
+  bool IsEnforcerOperator(algebra::OpId op) const;
+
+  /// All I-rules implementing `op`.
+  std::vector<const IRule*> IRulesFor(algebra::OpId op) const;
+
+  /// Full paper-style textual rendering of the specification; the
+  /// productivity experiment (§4.2) counts its lines.
+  std::string ToString() const;
+};
+
+}  // namespace prairie::core

@@ -1,0 +1,360 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace prairie::dsl {
+
+using common::Result;
+using common::Status;
+
+std::string_view TokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::kEnd:
+      return "end of input";
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kReal:
+      return "real";
+    case TokKind::kString:
+      return "string";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kDot:
+      return "'.'";
+    case TokKind::kQuestion:
+      return "'?'";
+    case TokKind::kAssign:
+      return "'='";
+    case TokKind::kArrow:
+      return "'=>'";
+    case TokKind::kEq:
+      return "'=='";
+    case TokKind::kNe:
+      return "'!='";
+    case TokKind::kLt:
+      return "'<'";
+    case TokKind::kLe:
+      return "'<='";
+    case TokKind::kGt:
+      return "'>'";
+    case TokKind::kGe:
+      return "'>='";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kAndAnd:
+      return "'&&'";
+    case TokKind::kOrOr:
+      return "'||'";
+    case TokKind::kBang:
+      return "'!'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokKind::kInt:
+      return "integer " + std::to_string(int_value);
+    case TokKind::kReal:
+      return "real " + common::FormatDouble(real_value);
+    case TokKind::kString:
+      return "string \"" + text + "\"";
+    default:
+      return std::string(TokKindName(kind));
+  }
+}
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      PRAIRIE_RETURN_NOT_OK(SkipSpaceAndComments());
+      Token t;
+      t.line = line_;
+      t.col = col_;
+      if (AtEnd()) {
+        t.kind = TokKind::kEnd;
+        out.push_back(std::move(t));
+        return out;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        t.kind = TokKind::kIdent;
+        while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                            Peek() == '_')) {
+          t.text += Get();
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        PRAIRIE_RETURN_NOT_OK(Number(&t));
+      } else if (c == '"') {
+        PRAIRIE_RETURN_NOT_OK(StringLit(&t));
+      } else {
+        PRAIRIE_RETURN_NOT_OK(Punct(&t));
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Get() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(common::StringPrintf("line %d, col %d: %s",
+                                                   line_, col_, msg.c_str()));
+  }
+
+  Status SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Get();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Get();
+      } else if (c == '/' && Peek(1) == '*') {
+        int start_line = line_;
+        Get();
+        Get();
+        while (!(Peek() == '*' && Peek(1) == '/')) {
+          if (AtEnd()) {
+            return Err("unterminated comment starting at line " +
+                       std::to_string(start_line));
+          }
+          Get();
+        }
+        Get();
+        Get();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Number(Token* t) {
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Get();
+    }
+    bool is_real = false;
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_real = true;
+      digits += Get();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Get();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_real = true;
+      digits += Get();
+      if (Peek() == '+' || Peek() == '-') digits += Get();
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("malformed exponent in numeric literal");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Get();
+      }
+    }
+    if (is_real) {
+      t->kind = TokKind::kReal;
+      t->real_value = std::stod(digits);
+    } else {
+      t->kind = TokKind::kInt;
+      errno = 0;
+      t->int_value = std::strtoll(digits.c_str(), nullptr, 10);
+      if (errno != 0) return Err("integer literal out of range");
+    }
+    return Status::OK();
+  }
+
+  Status StringLit(Token* t) {
+    Get();  // opening quote
+    t->kind = TokKind::kString;
+    while (true) {
+      if (AtEnd() || Peek() == '\n') return Err("unterminated string literal");
+      char c = Get();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) return Err("unterminated escape in string literal");
+        char e = Get();
+        switch (e) {
+          case 'n':
+            t->text += '\n';
+            break;
+          case 't':
+            t->text += '\t';
+            break;
+          case '\\':
+          case '"':
+            t->text += e;
+            break;
+          default:
+            return Err(std::string("unknown escape '\\") + e + "'");
+        }
+      } else {
+        t->text += c;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Punct(Token* t) {
+    char c = Get();
+    switch (c) {
+      case '(':
+        t->kind = TokKind::kLParen;
+        return Status::OK();
+      case ')':
+        t->kind = TokKind::kRParen;
+        return Status::OK();
+      case '{':
+        t->kind = TokKind::kLBrace;
+        return Status::OK();
+      case '}':
+        t->kind = TokKind::kRBrace;
+        return Status::OK();
+      case '[':
+        t->kind = TokKind::kLBracket;
+        return Status::OK();
+      case ']':
+        t->kind = TokKind::kRBracket;
+        return Status::OK();
+      case ',':
+        t->kind = TokKind::kComma;
+        return Status::OK();
+      case ';':
+        t->kind = TokKind::kSemi;
+        return Status::OK();
+      case ':':
+        t->kind = TokKind::kColon;
+        return Status::OK();
+      case '.':
+        t->kind = TokKind::kDot;
+        return Status::OK();
+      case '?':
+        t->kind = TokKind::kQuestion;
+        return Status::OK();
+      case '+':
+        t->kind = TokKind::kPlus;
+        return Status::OK();
+      case '-':
+        t->kind = TokKind::kMinus;
+        return Status::OK();
+      case '*':
+        t->kind = TokKind::kStar;
+        return Status::OK();
+      case '/':
+        t->kind = TokKind::kSlash;
+        return Status::OK();
+      case '=':
+        if (Peek() == '>') {
+          Get();
+          t->kind = TokKind::kArrow;
+        } else if (Peek() == '=') {
+          Get();
+          t->kind = TokKind::kEq;
+        } else {
+          t->kind = TokKind::kAssign;
+        }
+        return Status::OK();
+      case '!':
+        if (Peek() == '=') {
+          Get();
+          t->kind = TokKind::kNe;
+        } else {
+          t->kind = TokKind::kBang;
+        }
+        return Status::OK();
+      case '<':
+        if (Peek() == '=') {
+          Get();
+          t->kind = TokKind::kLe;
+        } else {
+          t->kind = TokKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        if (Peek() == '=') {
+          Get();
+          t->kind = TokKind::kGe;
+        } else {
+          t->kind = TokKind::kGt;
+        }
+        return Status::OK();
+      case '&':
+        if (Peek() == '&') {
+          Get();
+          t->kind = TokKind::kAndAnd;
+          return Status::OK();
+        }
+        return Err("expected '&&'");
+      case '|':
+        if (Peek() == '|') {
+          Get();
+          t->kind = TokKind::kOrOr;
+          return Status::OK();
+        }
+        return Err("expected '||'");
+      default:
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Scanner(source).Run();
+}
+
+}  // namespace prairie::dsl

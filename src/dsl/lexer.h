@@ -1,0 +1,70 @@
+// Lexer for the Prairie rule-specification language.
+//
+// The original toolchain used flex; this is its in-process equivalent.
+// Tokens carry line/column positions for parser diagnostics. `//` and
+// `/* */` comments are skipped.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prairie::dsl {
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // foo, JOIN, D4, tuple_order
+  kInt,      // 123
+  kReal,     // 1.5
+  kString,   // "abc"
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kLBracket, // [
+  kRBracket, // ]
+  kComma,    // ,
+  kSemi,     // ;
+  kColon,    // :
+  kDot,      // .
+  kQuestion, // ?
+  kAssign,   // =
+  kArrow,    // =>
+  kEq,       // ==
+  kNe,       // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kPlus,     // +
+  kMinus,    // -
+  kStar,     // *
+  kSlash,    // /
+  kAndAnd,   // &&
+  kOrOr,     // ||
+  kBang,     // !
+};
+
+std::string_view TokKindName(TokKind k);
+
+/// \brief One lexed token.
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;      ///< Identifier or string contents.
+  int64_t int_value = 0;
+  double real_value = 0;
+  int line = 1;
+  int col = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes `source`; fails with a ParseError carrying line/column on any
+/// unrecognized character or unterminated string/comment.
+common::Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace prairie::dsl

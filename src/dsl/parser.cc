@@ -1,0 +1,509 @@
+#include "dsl/parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "dsl/lexer.h"
+
+namespace prairie::dsl {
+
+using algebra::OpId;
+using algebra::PatNode;
+using algebra::PatNodePtr;
+using algebra::SortSpec;
+using algebra::Value;
+using algebra::ValueType;
+using common::Result;
+using common::Status;
+using core::ActionExpr;
+using core::ActionExprPtr;
+using core::ActionStmt;
+using core::BinOp;
+using core::UnOp;
+
+namespace {
+
+/// Parses "D<k>" identifiers; returns the 0-based slot or -1.
+int DescSlotOf(const std::string& ident) {
+  if (ident.size() < 2 || ident[0] != 'D') return -1;
+  for (size_t i = 1; i < ident.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(ident[i]))) return -1;
+  }
+  int k = std::atoi(ident.c_str() + 1);
+  return k >= 1 ? k - 1 : -1;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens,
+         std::shared_ptr<core::HelperRegistry> helpers)
+      : toks_(std::move(tokens)) {
+    rules_.algebra = std::make_shared<algebra::Algebra>();
+    rules_.helpers = helpers != nullptr
+                         ? std::move(helpers)
+                         : core::HelperRegistry::WithBuiltins();
+  }
+
+  Result<core::RuleSet> Run() {
+    while (!At(TokKind::kEnd)) {
+      PRAIRIE_RETURN_NOT_OK(Item());
+    }
+    PRAIRIE_RETURN_NOT_OK(rules_.Validate());
+    return std::move(rules_);
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  bool AtIdent(std::string_view word) const {
+    return At(TokKind::kIdent) && Cur().text == word;
+  }
+  const Token& Advance() { return toks_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(common::StringPrintf(
+        "line %d, col %d: %s (found %s)", Cur().line, Cur().col, msg.c_str(),
+        Cur().Describe().c_str()));
+  }
+
+  Status Expect(TokKind k) {
+    if (!At(k)) {
+      return Err("expected " + std::string(TokKindName(k)));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (!At(TokKind::kIdent)) return Err("expected " + what);
+    return Advance().text;
+  }
+
+  Status Item() {
+    if (AtIdent("property")) return Property();
+    if (AtIdent("operator")) return Operation(/*is_algorithm=*/false);
+    if (AtIdent("algorithm")) return Operation(/*is_algorithm=*/true);
+    if (AtIdent("trule")) return TRuleItem();
+    if (AtIdent("irule")) return IRuleItem();
+    return Err(
+        "expected 'property', 'operator', 'algorithm', 'trule' or 'irule'");
+  }
+
+  Status Property() {
+    Advance();
+    PRAIRIE_ASSIGN_OR_RETURN(std::string name, ExpectIdent("property name"));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kColon));
+    PRAIRIE_ASSIGN_OR_RETURN(std::string type, ExpectIdent("property type"));
+    algebra::PropertyDecl decl;
+    decl.name = std::move(name);
+    if (type == "bool") {
+      decl.type = ValueType::kBool;
+    } else if (type == "int") {
+      decl.type = ValueType::kInt;
+    } else if (type == "real") {
+      decl.type = ValueType::kReal;
+    } else if (type == "string") {
+      decl.type = ValueType::kString;
+    } else if (type == "sortspec") {
+      decl.type = ValueType::kSort;
+    } else if (type == "attrs") {
+      decl.type = ValueType::kAttrs;
+    } else if (type == "predicate") {
+      decl.type = ValueType::kPred;
+    } else if (type == "cost") {
+      decl.type = ValueType::kReal;
+      decl.is_cost = true;
+    } else {
+      return Err("unknown property type '" + type + "'");
+    }
+    PRAIRIE_RETURN_NOT_OK(
+        rules_.algebra->mutable_properties()->Add(std::move(decl)));
+    return Expect(TokKind::kSemi);
+  }
+
+  Status Operation(bool is_algorithm) {
+    Advance();
+    PRAIRIE_ASSIGN_OR_RETURN(std::string name, ExpectIdent("operation name"));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    if (!At(TokKind::kInt)) return Err("expected arity");
+    int arity = static_cast<int>(Advance().int_value);
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kSemi));
+    if (is_algorithm && name == "Null" && arity == 1) {
+      return Status::OK();  // Pre-registered in every Algebra.
+    }
+    common::Result<OpId> id =
+        is_algorithm ? rules_.algebra->RegisterAlgorithm(name, arity)
+                     : rules_.algebra->RegisterOperator(name, arity);
+    return id.status();
+  }
+
+  // -- Patterns ------------------------------------------------------------
+
+  /// lhs_stream_slots maps ?v -> its LHS slot, filled while parsing the
+  /// LHS (null on the LHS itself means "assign defaults").
+  Result<PatNodePtr> Pattern(std::map<int, int>* lhs_stream_slots,
+                             bool is_lhs) {
+    if (At(TokKind::kQuestion)) {
+      Advance();
+      if (!At(TokKind::kInt)) return Err("expected stream variable number");
+      int var = static_cast<int>(Advance().int_value);
+      if (var < 1) return Err("stream variables are numbered from ?1");
+      int slot = -1;
+      if (At(TokKind::kColon)) {
+        Advance();
+        PRAIRIE_ASSIGN_OR_RETURN(std::string d,
+                                 ExpectIdent("descriptor annotation"));
+        slot = DescSlotOf(d);
+        if (slot < 0) return Err("expected descriptor annotation Dk");
+      }
+      if (is_lhs) {
+        if (slot < 0) slot = var - 1;  // Paper convention: Si carries Di.
+        (*lhs_stream_slots)[var] = slot;
+      } else if (slot < 0) {
+        auto it = lhs_stream_slots->find(var);
+        if (it == lhs_stream_slots->end()) {
+          return Err("RHS stream ?" + std::to_string(var) +
+                     " does not occur on the LHS");
+        }
+        slot = it->second;
+      }
+      return PatNode::Stream(var, slot);
+    }
+    PRAIRIE_ASSIGN_OR_RETURN(std::string name, ExpectIdent("operation name"));
+    auto op = rules_.algebra->Find(name);
+    if (!op.has_value()) {
+      return Err("unknown operation '" + name + "'");
+    }
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kLBracket));
+    PRAIRIE_ASSIGN_OR_RETURN(std::string d,
+                             ExpectIdent("descriptor annotation"));
+    int slot = DescSlotOf(d);
+    if (slot < 0) return Err("expected descriptor annotation Dk");
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRBracket));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    std::vector<PatNodePtr> children;
+    if (!At(TokKind::kRParen)) {
+      while (true) {
+        PRAIRIE_ASSIGN_OR_RETURN(PatNodePtr c,
+                                 Pattern(lhs_stream_slots, is_lhs));
+        children.push_back(std::move(c));
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    return PatNode::Op(*op, slot, std::move(children));
+  }
+
+  // -- Expressions ---------------------------------------------------------
+
+  Result<ActionExprPtr> Expr() { return OrExpr(); }
+
+  Result<ActionExprPtr> OrExpr() {
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr lhs, AndExpr());
+    while (At(TokKind::kOrOr)) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr rhs, AndExpr());
+      lhs = ActionExpr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ActionExprPtr> AndExpr() {
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr lhs, CmpExpr());
+    while (At(TokKind::kAndAnd)) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr rhs, CmpExpr());
+      lhs = ActionExpr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ActionExprPtr> CmpExpr() {
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr lhs, AddExpr());
+    BinOp op;
+    switch (Cur().kind) {
+      case TokKind::kEq:
+        op = BinOp::kEq;
+        break;
+      case TokKind::kNe:
+        op = BinOp::kNe;
+        break;
+      case TokKind::kLt:
+        op = BinOp::kLt;
+        break;
+      case TokKind::kLe:
+        op = BinOp::kLe;
+        break;
+      case TokKind::kGt:
+        op = BinOp::kGt;
+        break;
+      case TokKind::kGe:
+        op = BinOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr rhs, AddExpr());
+    return ActionExpr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ActionExprPtr> AddExpr() {
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr lhs, MulExpr());
+    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
+      BinOp op = At(TokKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr rhs, MulExpr());
+      lhs = ActionExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ActionExprPtr> MulExpr() {
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr lhs, UnaryExpr());
+    while (At(TokKind::kStar) || At(TokKind::kSlash)) {
+      BinOp op = At(TokKind::kStar) ? BinOp::kMul : BinOp::kDiv;
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr rhs, UnaryExpr());
+      lhs = ActionExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ActionExprPtr> UnaryExpr() {
+    if (At(TokKind::kBang)) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr e, UnaryExpr());
+      return ActionExpr::Unary(UnOp::kNot, std::move(e));
+    }
+    if (At(TokKind::kMinus)) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr e, UnaryExpr());
+      return ActionExpr::Unary(UnOp::kNeg, std::move(e));
+    }
+    return Primary();
+  }
+
+  Result<ActionExprPtr> Primary() {
+    switch (Cur().kind) {
+      case TokKind::kInt:
+        return ActionExpr::Const(Value::Int(Advance().int_value));
+      case TokKind::kReal:
+        return ActionExpr::Const(Value::Real(Advance().real_value));
+      case TokKind::kString:
+        return ActionExpr::Const(Value::Str(Advance().text));
+      case TokKind::kLParen: {
+        Advance();
+        PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr e, Expr());
+        PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRParen));
+        return e;
+      }
+      case TokKind::kIdent:
+        break;
+      default:
+        return Err("expected an expression");
+    }
+    std::string name = Advance().text;
+    if (name == "true") return ActionExpr::Const(Value::Bool(true));
+    if (name == "false") return ActionExpr::Const(Value::Bool(false));
+    if (name == "null") return ActionExpr::Const(Value::Null());
+    if (name == "DONT_CARE") {
+      return ActionExpr::Const(Value::Sort(SortSpec::DontCare()));
+    }
+    int slot = DescSlotOf(name);
+    if (slot >= 0) {
+      if (At(TokKind::kDot)) {
+        Advance();
+        PRAIRIE_ASSIGN_OR_RETURN(std::string prop,
+                                 ExpectIdent("property name"));
+        auto id = rules_.algebra->properties().Find(prop);
+        return ActionExpr::Prop(slot, prop, id.has_value() ? *id : -1);
+      }
+      return ActionExpr::Desc(slot);
+    }
+    // Helper-function call.
+    PRAIRIE_RETURN_NOT_OK(
+        Expect(TokKind::kLParen).WithContext("after helper name '" + name +
+                                             "'"));
+    std::vector<ActionExprPtr> args;
+    if (!At(TokKind::kRParen)) {
+      while (true) {
+        PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr a, Expr());
+        args.push_back(std::move(a));
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    return ActionExpr::Call(std::move(name), std::move(args));
+  }
+
+  // -- Statements ----------------------------------------------------------
+
+  Result<std::vector<ActionStmt>> Block() {
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kLBrace));
+    std::vector<ActionStmt> out;
+    while (!At(TokKind::kRBrace)) {
+      PRAIRIE_ASSIGN_OR_RETURN(std::string d,
+                               ExpectIdent("descriptor (Dk) on the left of "
+                                           "an assignment"));
+      ActionStmt s;
+      s.target_slot = DescSlotOf(d);
+      if (s.target_slot < 0) {
+        return Err("assignment target must be a descriptor Dk");
+      }
+      if (At(TokKind::kDot)) {
+        Advance();
+        PRAIRIE_ASSIGN_OR_RETURN(s.target_prop, ExpectIdent("property name"));
+        auto id = rules_.algebra->properties().Find(s.target_prop);
+        s.target_prop_id = id.has_value() ? *id : -1;
+      }
+      PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kAssign));
+      PRAIRIE_ASSIGN_OR_RETURN(s.value, Expr());
+      PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kSemi));
+      out.push_back(std::move(s));
+    }
+    Advance();  // '}'
+    return out;
+  }
+
+  // -- Rules ---------------------------------------------------------------
+
+  static void MaxSlotInExpr(const ActionExprPtr& e, int* mx) {
+    if (e == nullptr) return;
+    e->Visit([mx](const core::ActionExpr& n) {
+      if ((n.kind() == ActionExpr::Kind::kProp ||
+           n.kind() == ActionExpr::Kind::kDesc) &&
+          n.desc_slot() > *mx) {
+        *mx = n.desc_slot();
+      }
+    });
+  }
+
+  static void MaxSlotInBlock(const std::vector<ActionStmt>& stmts, int* mx) {
+    for (const ActionStmt& s : stmts) {
+      if (s.target_slot > *mx) *mx = s.target_slot;
+      MaxSlotInExpr(s.value, mx);
+    }
+  }
+
+  Status TRuleItem() {
+    Advance();
+    core::TRule r;
+    PRAIRIE_ASSIGN_OR_RETURN(r.name, ExpectIdent("T-rule name"));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kColon));
+    std::map<int, int> stream_slots;
+    PRAIRIE_ASSIGN_OR_RETURN(r.lhs, Pattern(&stream_slots, /*is_lhs=*/true));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kArrow));
+    PRAIRIE_ASSIGN_OR_RETURN(r.rhs, Pattern(&stream_slots, /*is_lhs=*/false));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kLBrace));
+    if (AtIdent("pre")) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(r.pre_test, Block());
+    }
+    if (AtIdent("test")) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(r.test, Expr());
+      PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kSemi));
+    }
+    if (AtIdent("post")) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(r.post_test, Block());
+    }
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRBrace));
+    int mx = std::max(r.lhs->MaxDescSlot(), r.rhs->MaxDescSlot());
+    MaxSlotInBlock(r.pre_test, &mx);
+    MaxSlotInExpr(r.test, &mx);
+    MaxSlotInBlock(r.post_test, &mx);
+    r.num_slots = mx + 1;
+    rules_.trules.push_back(std::move(r));
+    return Status::OK();
+  }
+
+  Status IRuleItem() {
+    Advance();
+    core::IRule r;
+    PRAIRIE_ASSIGN_OR_RETURN(r.name, ExpectIdent("I-rule name"));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kColon));
+    std::map<int, int> stream_slots;
+    PRAIRIE_ASSIGN_OR_RETURN(PatNodePtr lhs,
+                             Pattern(&stream_slots, /*is_lhs=*/true));
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kArrow));
+    PRAIRIE_ASSIGN_OR_RETURN(PatNodePtr rhs,
+                             Pattern(&stream_slots, /*is_lhs=*/false));
+
+    // Both sides of an I-rule are flat: OP[Dk](?1, .., ?n) => Alg[Dm](...).
+    if (lhs->is_stream() || rhs->is_stream()) {
+      return Err("I-rule sides must be operations over streams");
+    }
+    r.op = lhs->op;
+    r.alg = rhs->op;
+    r.arity = static_cast<int>(lhs->children.size());
+    if (static_cast<int>(rhs->children.size()) != r.arity) {
+      return Err("I-rule sides have different arities");
+    }
+    r.rhs_input_slots.resize(static_cast<size_t>(r.arity));
+    for (int i = 0; i < r.arity; ++i) {
+      const PatNode& lc = *lhs->children[static_cast<size_t>(i)];
+      const PatNode& rc = *rhs->children[static_cast<size_t>(i)];
+      if (!lc.is_stream() || !rc.is_stream()) {
+        return Err("I-rule inputs must be stream variables");
+      }
+      if (lc.stream_var != i + 1 || rc.stream_var != i + 1) {
+        return Err("I-rule streams must appear in order ?1, ?2, ...");
+      }
+      if (lc.desc_slot != i) {
+        return Err("LHS stream ?" + std::to_string(i + 1) +
+                   " of an I-rule must carry descriptor D" +
+                   std::to_string(i + 1));
+      }
+      r.rhs_input_slots[static_cast<size_t>(i)] = rc.desc_slot;
+    }
+    if (lhs->desc_slot != r.arity) {
+      return Err("the I-rule operator must carry descriptor D" +
+                 std::to_string(r.arity + 1));
+    }
+    r.alg_slot = rhs->desc_slot;
+
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kLBrace));
+    if (AtIdent("test")) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(r.test, Expr());
+      PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kSemi));
+    }
+    if (AtIdent("preopt")) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(r.pre_opt, Block());
+    }
+    if (AtIdent("postopt")) {
+      Advance();
+      PRAIRIE_ASSIGN_OR_RETURN(r.post_opt, Block());
+    }
+    PRAIRIE_RETURN_NOT_OK(Expect(TokKind::kRBrace));
+    int mx = std::max(r.alg_slot, r.op_slot());
+    for (int s : r.rhs_input_slots) mx = std::max(mx, s);
+    MaxSlotInExpr(r.test, &mx);
+    MaxSlotInBlock(r.pre_opt, &mx);
+    MaxSlotInBlock(r.post_opt, &mx);
+    r.num_slots = mx + 1;
+    rules_.irules.push_back(std::move(r));
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  core::RuleSet rules_;
+};
+
+}  // namespace
+
+Result<core::RuleSet> ParseRuleSet(
+    std::string_view source, std::shared_ptr<core::HelperRegistry> helpers) {
+  PRAIRIE_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(source));
+  return Parser(std::move(toks), std::move(helpers)).Run();
+}
+
+}  // namespace prairie::dsl

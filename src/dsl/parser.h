@@ -1,0 +1,55 @@
+// Parser for the Prairie rule-specification language.
+//
+// A specification declares the descriptor properties, the operators and
+// algorithms of the algebra, and the T-rules and I-rules. Example:
+//
+//   property tuple_order : sortspec;
+//   property num_records : int;
+//   property cost : cost;
+//
+//   operator JOIN(2);
+//   operator SORT(1);
+//   algorithm Nested_loops(2);
+//   algorithm Merge_sort(1);
+//
+//   trule join_commute: JOIN[D3](?1, ?2) => JOIN[D4](?2, ?1) {
+//     post { D4 = D3; }
+//   }
+//
+//   irule nl_join: JOIN[D3](?1, ?2) => Nested_loops[D5](?1:D4, ?2) {
+//     preopt {
+//       D5 = D3;
+//       D4 = D1;
+//       D4.tuple_order = D3.tuple_order;
+//     }
+//     postopt { D5.cost = D4.cost + D4.num_records * D2.cost; }
+//   }
+//
+//   irule null_sort: SORT[D2](?1) => Null[D4](?1:D3) {
+//     preopt { D4 = D2; D3 = D1; D3.tuple_order = D2.tuple_order; }
+//     postopt { D4.cost = D3.cost; }
+//   }
+//
+// Descriptor indices are 1-based in the text (D1..Dn) matching the paper's
+// notation; an unannotated stream ?k has descriptor Dk on the LHS and
+// keeps its LHS descriptor on the RHS. T-rule bodies use `pre`, `test`,
+// `post`; I-rule bodies use `test`, `preopt`, `postopt`. `DONT_CARE` is
+// the don't-care sort-order literal.
+
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/ruleset.h"
+
+namespace prairie::dsl {
+
+/// Parses a complete Prairie specification. `helpers` supplies the helper
+/// functions rule actions may call (defaults to the numeric builtins);
+/// the resulting rule set is validated before being returned.
+common::Result<core::RuleSet> ParseRuleSet(
+    std::string_view source,
+    std::shared_ptr<core::HelperRegistry> helpers = nullptr);
+
+}  // namespace prairie::dsl

@@ -1,0 +1,191 @@
+#include "dsl/printer.h"
+
+#include "common/strings.h"
+
+namespace prairie::dsl {
+
+using algebra::PatNode;
+using algebra::Value;
+using algebra::ValueType;
+using common::Result;
+using common::Status;
+using core::ActionExpr;
+using core::ActionExprPtr;
+using core::ActionStmt;
+using core::BinOp;
+
+namespace {
+
+std::string TypeName(const algebra::PropertyDecl& decl) {
+  if (decl.is_cost) return "cost";
+  switch (decl.type) {
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kSort:
+      return "sortspec";
+    case ValueType::kAttrs:
+      return "attrs";
+    case ValueType::kPred:
+      return "predicate";
+    case ValueType::kNull:
+      break;
+  }
+  return "int";
+}
+
+Result<std::string> PrintConst(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return std::string("null");
+    case ValueType::kBool:
+      return std::string(v.AsBool() ? "true" : "false");
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kReal:
+      return common::FormatDouble(v.AsReal());
+    case ValueType::kString:
+      return "\"" + v.AsString() + "\"";
+    case ValueType::kSort:
+      if (v.AsSort().is_dont_care()) return std::string("DONT_CARE");
+      return Status::NotImplemented(
+          "sort-spec literals other than DONT_CARE have no DSL syntax");
+    default:
+      return Status::NotImplemented("literal of type " +
+                                    std::string(ValueTypeName(v.type())) +
+                                    " has no DSL syntax");
+  }
+}
+
+Result<std::string> PrintExprRec(const ActionExprPtr& e) {
+  switch (e->kind()) {
+    case ActionExpr::Kind::kConst:
+      return PrintConst(e->constant());
+    case ActionExpr::Kind::kProp:
+      return "D" + std::to_string(e->desc_slot() + 1) + "." + e->property();
+    case ActionExpr::Kind::kDesc:
+      return "D" + std::to_string(e->desc_slot() + 1);
+    case ActionExpr::Kind::kCall: {
+      std::vector<std::string> parts;
+      for (const ActionExprPtr& a : e->args()) {
+        PRAIRIE_ASSIGN_OR_RETURN(std::string s, PrintExprRec(a));
+        parts.push_back(std::move(s));
+      }
+      return e->fn() + "(" + common::Join(parts, ", ") + ")";
+    }
+    case ActionExpr::Kind::kBinary: {
+      PRAIRIE_ASSIGN_OR_RETURN(std::string l, PrintExprRec(e->left()));
+      PRAIRIE_ASSIGN_OR_RETURN(std::string r, PrintExprRec(e->right()));
+      return "(" + l + " " + std::string(core::BinOpName(e->bin_op())) +
+             " " + r + ")";
+    }
+    case ActionExpr::Kind::kUnary: {
+      PRAIRIE_ASSIGN_OR_RETURN(std::string inner,
+                               PrintExprRec(e->args()[0]));
+      return (e->un_op() == core::UnOp::kNot ? "!" : "-") + ("(" + inner +
+                                                             ")");
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+std::string PatText(const algebra::Algebra& algebra, const PatNode& n) {
+  if (n.is_stream()) {
+    return "?" + std::to_string(n.stream_var) + ":D" +
+           std::to_string(n.desc_slot + 1);
+  }
+  std::vector<std::string> parts;
+  for (const algebra::PatNodePtr& c : n.children) {
+    parts.push_back(PatText(algebra, *c));
+  }
+  return algebra.name(n.op) + "[D" + std::to_string(n.desc_slot + 1) + "](" +
+         common::Join(parts, ", ") + ")";
+}
+
+Result<std::string> BlockText(const std::vector<ActionStmt>& stmts,
+                              const char* keyword) {
+  if (stmts.empty()) return std::string();
+  std::string out = "  ";
+  out += keyword;
+  out += " {\n";
+  for (const ActionStmt& s : stmts) {
+    out += "    D" + std::to_string(s.target_slot + 1);
+    if (!s.target_prop.empty()) out += "." + s.target_prop;
+    PRAIRIE_ASSIGN_OR_RETURN(std::string rhs, PrintExprRec(s.value));
+    out += " = " + rhs + ";\n";
+  }
+  out += "  }\n";
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const ActionExprPtr& expr) {
+  if (expr == nullptr) return "true";
+  auto r = PrintExprRec(expr);
+  return r.ok() ? *r : "<unprintable>";
+}
+
+Result<std::string> PrintRuleSet(const core::RuleSet& rules) {
+  const algebra::Algebra& algebra = *rules.algebra;
+  std::string out;
+  for (const algebra::PropertyDecl& d : algebra.properties().decls()) {
+    out += "property " + d.name + " : " + TypeName(d) + ";\n";
+  }
+  out += "\n";
+  for (algebra::OpId op = 0; op < algebra.size(); ++op) {
+    if (op == algebra.null_alg()) continue;
+    const algebra::OpInfo& info = algebra.info(op);
+    out += std::string(info.is_algorithm ? "algorithm " : "operator ") +
+           info.name + "(" + std::to_string(info.arity) + ");\n";
+  }
+  out += "\n";
+  for (const core::TRule& r : rules.trules) {
+    out += "trule " + r.name + ": " + PatText(algebra, *r.lhs) + " => " +
+           PatText(algebra, *r.rhs) + " {\n";
+    PRAIRIE_ASSIGN_OR_RETURN(std::string pre, BlockText(r.pre_test, "pre"));
+    out += pre;
+    if (r.test != nullptr) {
+      PRAIRIE_ASSIGN_OR_RETURN(std::string t, PrintExprRec(r.test));
+      out += "  test " + t + ";\n";
+    }
+    PRAIRIE_ASSIGN_OR_RETURN(std::string post,
+                             BlockText(r.post_test, "post"));
+    out += post;
+    out += "}\n\n";
+  }
+  for (const core::IRule& r : rules.irules) {
+    auto side = [&](algebra::OpId operation, bool rhs) {
+      std::string s = algebra.name(operation) + "[D" +
+                      std::to_string((rhs ? r.alg_slot : r.op_slot()) + 1) +
+                      "](";
+      std::vector<std::string> parts;
+      for (int i = 0; i < r.arity; ++i) {
+        int slot = rhs ? r.rhs_input_slots[static_cast<size_t>(i)] : i;
+        parts.push_back("?" + std::to_string(i + 1) + ":D" +
+                        std::to_string(slot + 1));
+      }
+      return s + common::Join(parts, ", ") + ")";
+    };
+    out += "irule " + r.name + ": " + side(r.op, false) + " => " +
+           side(r.alg, true) + " {\n";
+    if (r.test != nullptr) {
+      PRAIRIE_ASSIGN_OR_RETURN(std::string t, PrintExprRec(r.test));
+      out += "  test " + t + ";\n";
+    }
+    PRAIRIE_ASSIGN_OR_RETURN(std::string pre, BlockText(r.pre_opt, "preopt"));
+    out += pre;
+    PRAIRIE_ASSIGN_OR_RETURN(std::string post,
+                             BlockText(r.post_opt, "postopt"));
+    out += post;
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace prairie::dsl

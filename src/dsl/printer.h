@@ -1,0 +1,23 @@
+// Pretty-printer emitting valid Prairie DSL text from a core::RuleSet.
+//
+// PrintRuleSet(ParseRuleSet(text)) re-parses to a structurally identical
+// rule set (round-trip property, tested), which makes rule sets built
+// programmatically or transformed by tools serializable.
+
+#pragma once
+
+#include <string>
+
+#include "core/ruleset.h"
+
+namespace prairie::dsl {
+
+/// Renders one action expression in DSL syntax.
+std::string PrintExpr(const core::ActionExprPtr& expr);
+
+/// Renders `rules` as a parseable specification. Rules whose literals are
+/// not expressible in the DSL (e.g. attribute-list constants) are printed
+/// best-effort; the shipped rule sets round-trip exactly.
+common::Result<std::string> PrintRuleSet(const core::RuleSet& rules);
+
+}  // namespace prairie::dsl

@@ -1,0 +1,80 @@
+#include "exec/eval.h"
+
+namespace prairie::exec {
+
+using algebra::CmpOp;
+using algebra::Predicate;
+using algebra::PredicateRef;
+using common::Result;
+using common::Status;
+
+Result<bool> EvalCompare(CmpOp op, const Datum& left, const Datum& right) {
+  int c = CompareDatum(left, right);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return Status::Internal("unhandled comparison operator");
+}
+
+namespace {
+
+Result<Datum> ResolveTerm(const algebra::Term& term, const Row& row,
+                          const RowSchema& schema) {
+  if (!term.is_attr()) return term.scalar;
+  PRAIRIE_ASSIGN_OR_RETURN(int i, schema.Require(term.attr));
+  return row[static_cast<size_t>(i)];
+}
+
+}  // namespace
+
+Result<bool> EvalPredicate(const PredicateRef& pred, const Row& row,
+                           const RowSchema& schema) {
+  using Kind = Predicate::Kind;
+  if (pred == nullptr) return true;
+  switch (pred->kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kCmp: {
+      PRAIRIE_ASSIGN_OR_RETURN(Datum l,
+                               ResolveTerm(pred->left(), row, schema));
+      PRAIRIE_ASSIGN_OR_RETURN(Datum r,
+                               ResolveTerm(pred->right(), row, schema));
+      return EvalCompare(pred->cmp_op(), l, r);
+    }
+    case Kind::kAnd: {
+      for (const PredicateRef& c : pred->children()) {
+        PRAIRIE_ASSIGN_OR_RETURN(bool b, EvalPredicate(c, row, schema));
+        if (!b) return false;
+      }
+      return true;
+    }
+    case Kind::kOr: {
+      for (const PredicateRef& c : pred->children()) {
+        PRAIRIE_ASSIGN_OR_RETURN(bool b, EvalPredicate(c, row, schema));
+        if (b) return true;
+      }
+      return false;
+    }
+    case Kind::kNot: {
+      PRAIRIE_ASSIGN_OR_RETURN(bool b,
+                               EvalPredicate(pred->children()[0], row, schema));
+      return !b;
+    }
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+}  // namespace prairie::exec

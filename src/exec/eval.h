@@ -1,0 +1,18 @@
+// Predicate evaluation over rows.
+
+#pragma once
+
+#include "exec/tuple.h"
+
+namespace prairie::exec {
+
+/// Evaluates `pred` over one row with the given schema. A null predicate
+/// is TRUE. Attribute references must resolve in the schema.
+common::Result<bool> EvalPredicate(const algebra::PredicateRef& pred,
+                                   const Row& row, const RowSchema& schema);
+
+/// Evaluates a comparison between two resolved scalars.
+common::Result<bool> EvalCompare(algebra::CmpOp op, const Datum& left,
+                                 const Datum& right);
+
+}  // namespace prairie::exec

@@ -1,0 +1,37 @@
+// The iterator (open/next/close) execution model — the Volcano execution
+// paradigm the paper's access plans target.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/tuple.h"
+
+namespace prairie::exec {
+
+/// \brief Demand-driven stream of rows.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual common::Status Open() = 0;
+  /// Produces the next row into `out`; returns false when exhausted.
+  virtual common::Result<bool> Next(Row* out) = 0;
+  virtual common::Status Close() = 0;
+
+  virtual const RowSchema& schema() const = 0;
+};
+
+using IterPtr = std::unique_ptr<Iterator>;
+
+/// Opens, drains and closes `it`, returning all rows.
+common::Result<std::vector<Row>> CollectAll(Iterator* it);
+
+/// Canonical form for result comparison: rows sorted lexicographically.
+std::vector<Row> Canonicalize(std::vector<Row> rows);
+
+/// Multiset equality of two results (canonicalizes both).
+bool SameResult(std::vector<Row> a, std::vector<Row> b);
+
+}  // namespace prairie::exec

@@ -1,0 +1,66 @@
+// Physical iterator implementations: scans, filters, projections, joins,
+// sorts, and the object-model operators (dereference / unnest).
+
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "exec/iterator.h"
+#include "exec/table.h"
+
+namespace prairie::exec {
+
+/// Full scan of a stored table in storage order.
+IterPtr MakeTableScan(const Table* table);
+
+/// Index-ordered scan of `table` on `attr_name`. With `key`, only rows
+/// whose attribute equals the key are produced. `residual` (nullable) is
+/// applied afterwards. The index must exist.
+IterPtr MakeIndexScan(const Table* table, std::string attr_name,
+                      std::optional<Datum> key,
+                      algebra::PredicateRef residual);
+
+/// Selection: rows of `input` satisfying `pred`.
+IterPtr MakeFilter(IterPtr input, algebra::PredicateRef pred);
+
+/// Projection onto `keep` (attributes must exist in the input schema).
+IterPtr MakeProject(IterPtr input, algebra::AttrList keep);
+
+/// Tuple-at-a-time nested loops join: the inner input is materialized and
+/// rescanned per outer row; `pred` is the join predicate.
+IterPtr MakeNestedLoopsJoin(IterPtr outer, IterPtr inner,
+                            algebra::PredicateRef pred);
+
+/// Hash join: builds on the inner input using the equi-conjuncts of
+/// `pred`; the non-equi residual is applied after matching. Falls back to
+/// a cross-product + filter when no equi-conjunct spans both inputs.
+IterPtr MakeHashJoin(IterPtr outer, IterPtr inner, algebra::PredicateRef pred);
+
+/// Merge join on the first equi-conjunct of `pred`; both inputs must be
+/// sorted ascending on their key. The remaining conjuncts are applied as a
+/// residual. Fails at Open() when `pred` has no equi-conjunct.
+IterPtr MakeMergeJoin(IterPtr outer, IterPtr inner,
+                      algebra::PredicateRef pred);
+
+/// Full sort: materializes and stable-sorts by `spec`.
+IterPtr MakeSort(IterPtr input, algebra::SortSpec spec);
+
+/// Pointer-chasing materialize (the OODB MAT operator): for each input
+/// row, reads OID from `ref_attr` and appends the referenced row of
+/// `target` (rows with dangling OIDs are dropped).
+IterPtr MakeDeref(IterPtr input, algebra::Attr ref_attr, const Table* target);
+
+/// Unnest of a set-valued attribute, fused with the scan of its class:
+/// emits one row per set element with `set_attr`'s column holding the
+/// element.
+IterPtr MakeUnnestScan(const Table* table, std::string set_attr,
+                       algebra::PredicateRef residual);
+
+/// Generic unnest over any input stream: uses the class's "oid" column in
+/// the input to fetch the row's set values from `table`, emitting one
+/// output row per element (rows with empty sets are dropped).
+IterPtr MakeFlatten(IterPtr input, algebra::Attr set_attr,
+                    const Table* table);
+
+}  // namespace prairie::exec

@@ -1,0 +1,108 @@
+#include "exec/table.h"
+
+namespace prairie::exec {
+
+using common::Result;
+using common::Status;
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::ExecError("row width does not match schema of table '" +
+                             name_ + "'");
+  }
+  if (!indexes_.empty()) {
+    return Status::ExecError(
+        "cannot append to table '" + name_ +
+        "' after indexes were built (build indexes last)");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::BuildIndex(const std::string& attr_name) {
+  int pos = schema_.Find(algebra::Attr{name_, attr_name});
+  if (pos < 0) {
+    return Status::NotFound("table '" + name_ + "' has no attribute '" +
+                            attr_name + "'");
+  }
+  Index idx;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    idx.emplace(rows_[i][static_cast<size_t>(pos)], i);
+  }
+  indexes_[attr_name] = std::move(idx);
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::string& attr_name) const {
+  return indexes_.count(attr_name) > 0;
+}
+
+Result<std::vector<size_t>> Table::IndexLookup(const std::string& attr_name,
+                                               const Datum& key) const {
+  auto it = indexes_.find(attr_name);
+  if (it == indexes_.end()) {
+    return Status::ExecError("table '" + name_ + "' has no index on '" +
+                             attr_name + "'");
+  }
+  std::vector<size_t> out;
+  auto [begin, end] = it->second.equal_range(key);
+  for (auto i = begin; i != end; ++i) out.push_back(i->second);
+  return out;
+}
+
+Result<std::vector<size_t>> Table::IndexOrder(
+    const std::string& attr_name) const {
+  auto it = indexes_.find(attr_name);
+  if (it == indexes_.end()) {
+    return Status::ExecError("table '" + name_ + "' has no index on '" +
+                             attr_name + "'");
+  }
+  std::vector<size_t> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, pos] : it->second) out.push_back(pos);
+  return out;
+}
+
+Status Table::SetSetValues(const std::string& attr_name, size_t row,
+                           std::vector<Datum> values) {
+  if (row >= rows_.size()) {
+    return Status::InvalidArgument("row out of range in SetSetValues");
+  }
+  set_values_[attr_name][row] = std::move(values);
+  return Status::OK();
+}
+
+const std::vector<Datum>* Table::GetSetValues(const std::string& attr_name,
+                                              size_t row) const {
+  auto it = set_values_.find(attr_name);
+  if (it == set_values_.end()) return nullptr;
+  auto rit = it->second.find(row);
+  return rit == it->second.end() ? nullptr : &rit->second;
+}
+
+Status Database::AddTable(Table table) {
+  std::string name = table.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::OK();
+}
+
+const Table* Database::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<const Table*> Database::Require(const std::string& name) const {
+  const Table* t = Find(name);
+  if (t == nullptr) return Status::NotFound("no table '" + name + "'");
+  return t;
+}
+
+Table* Database::FindMutable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace prairie::exec

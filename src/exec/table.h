@@ -1,0 +1,82 @@
+// In-memory storage: tables (class extents / base relations), secondary
+// indexes, set-valued attributes, and the database that holds them.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/tuple.h"
+
+namespace prairie::exec {
+
+/// \brief An in-memory stored file. Row `i` has OID `i`; object-model
+/// reference attributes store the OID of a row in the target table.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, RowSchema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const RowSchema& schema() const { return schema_; }
+
+  common::Status Append(Row row);
+
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Builds (or rebuilds) a secondary index on `attr_name`; the index maps
+  /// attribute values to row positions in value order.
+  common::Status BuildIndex(const std::string& attr_name);
+  bool HasIndex(const std::string& attr_name) const;
+
+  /// Row positions whose `attr_name` equals `key` (via the index).
+  common::Result<std::vector<size_t>> IndexLookup(
+      const std::string& attr_name, const Datum& key) const;
+
+  /// All row positions in index (value) order.
+  common::Result<std::vector<size_t>> IndexOrder(
+      const std::string& attr_name) const;
+
+  /// Attaches the set of values of a set-valued attribute for the last
+  /// appended row.
+  common::Status SetSetValues(const std::string& attr_name, size_t row,
+                              std::vector<Datum> values);
+  const std::vector<Datum>* GetSetValues(const std::string& attr_name,
+                                         size_t row) const;
+
+ private:
+  struct DatumLess {
+    bool operator()(const Datum& a, const Datum& b) const {
+      return CompareDatum(a, b) < 0;
+    }
+  };
+  using Index = std::multimap<Datum, size_t, DatumLess>;
+
+  std::string name_;
+  RowSchema schema_;
+  std::vector<Row> rows_;
+  std::unordered_map<std::string, Index> indexes_;
+  /// attr -> row -> element list (sparse; only set-valued attrs appear).
+  std::unordered_map<std::string, std::unordered_map<size_t, std::vector<Datum>>>
+      set_values_;
+};
+
+/// \brief Named collection of tables.
+class Database {
+ public:
+  common::Status AddTable(Table table);
+  const Table* Find(const std::string& name) const;
+  common::Result<const Table*> Require(const std::string& name) const;
+  Table* FindMutable(const std::string& name);
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, Table> tables_;
+};
+
+}  // namespace prairie::exec

@@ -1,0 +1,73 @@
+#include "exec/tuple.h"
+
+#include "common/strings.h"
+
+namespace prairie::exec {
+
+std::string RowSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attrs.size());
+  for (const algebra::Attr& a : attrs) parts.push_back(a.ToString());
+  return "(" + common::Join(parts, ", ") + ")";
+}
+
+namespace {
+
+int TypeRank(const Datum& d) {
+  switch (d.v.index()) {
+    case 0:
+      return 0;  // null
+    case 1:
+      return 1;  // bool
+    case 2:
+    case 3:
+      return 2;  // numeric
+    case 4:
+      return 3;  // string
+  }
+  return 4;
+}
+
+double AsNumber(const Datum& d) {
+  if (std::holds_alternative<int64_t>(d.v)) {
+    return static_cast<double>(std::get<int64_t>(d.v));
+  }
+  return std::get<double>(d.v);
+}
+
+}  // namespace
+
+int CompareDatum(const Datum& a, const Datum& b) {
+  int ra = TypeRank(a);
+  int rb = TypeRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      bool x = std::get<bool>(a.v);
+      bool y = std::get<bool>(b.v);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case 2: {
+      double x = AsNumber(a);
+      double y = AsNumber(b);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case 3: {
+      const std::string& x = std::get<std::string>(a.v);
+      const std::string& y = std::get<std::string>(b.v);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+std::string RowToString(const Row& row) {
+  std::vector<std::string> parts;
+  parts.reserve(row.size());
+  for (const Datum& d : row) parts.push_back(d.ToString());
+  return "[" + common::Join(parts, ", ") + "]";
+}
+
+}  // namespace prairie::exec

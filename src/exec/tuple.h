@@ -1,0 +1,59 @@
+// Tuples and row schemas for the iterator-model execution engine.
+//
+// Field values are algebra::Scalar (the same scalar type predicates use),
+// so predicate evaluation needs no conversions.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "algebra/value.h"
+#include "common/result.h"
+
+namespace prairie::exec {
+
+using Datum = algebra::Scalar;
+
+/// \brief Positional schema of a stream: qualified attribute names.
+struct RowSchema {
+  algebra::AttrList attrs;
+
+  int Find(const algebra::Attr& attr) const {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == attr) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  common::Result<int> Require(const algebra::Attr& attr) const {
+    int i = Find(attr);
+    if (i < 0) {
+      return common::Status::ExecError("attribute '" + attr.ToString() +
+                                       "' not in stream schema");
+    }
+    return i;
+  }
+
+  size_t size() const { return attrs.size(); }
+
+  /// Concatenation (for joins).
+  static RowSchema Concat(const RowSchema& a, const RowSchema& b) {
+    RowSchema out = a;
+    out.attrs.insert(out.attrs.end(), b.attrs.begin(), b.attrs.end());
+    return out;
+  }
+
+  std::string ToString() const;
+};
+
+using Row = std::vector<Datum>;
+
+/// Total order over scalars: nulls first, then bools, ints/reals mixed
+/// numerically, then strings. Returns <0, 0, >0.
+int CompareDatum(const Datum& a, const Datum& b);
+
+std::string RowToString(const Row& row);
+
+}  // namespace prairie::exec

@@ -1,0 +1,16 @@
+// Executor factories for the shipped optimizers' algorithms: maps
+// File_scan / Index_scan / Btree_scan / Filter / Projection / Hash_join /
+// Pointer_join / Nested_loops / Merge_join / Merge_sort / Deref / Flatten
+// plan nodes onto the iterator engine.
+
+#pragma once
+
+#include "exec/builder.h"
+
+namespace prairie::opt {
+
+/// Registers factories for every algorithm of the relational and OODB
+/// optimizers in `reg`.
+common::Status RegisterStandardExecutors(exec::ExecutorRegistry* reg);
+
+}  // namespace prairie::opt

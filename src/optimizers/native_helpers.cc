@@ -1,0 +1,403 @@
+#include "optimizers/native_helpers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prairie::opt::native {
+
+using algebra::Attr;
+using algebra::AttrList;
+using algebra::Predicate;
+using algebra::PredicateRef;
+using algebra::SortSpec;
+using algebra::ValueType;
+using common::Status;
+
+namespace {
+
+Result<PredicateRef> AsPred(const Value& v, const char* fn) {
+  if (v.is_null()) return Predicate::True();
+  if (v.type() != ValueType::kPred) {
+    return Status::TypeError(std::string(fn) + ": expected a predicate, got " +
+                             std::string(ValueTypeName(v.type())));
+  }
+  const PredicateRef& p = v.AsPred();
+  return p == nullptr ? Predicate::True() : p;
+}
+
+Result<AttrList> AsAttrs(const Value& v, const char* fn) {
+  if (v.is_null()) return AttrList{};
+  if (v.type() != ValueType::kAttrs) {
+    return Status::TypeError(std::string(fn) +
+                             ": expected an attribute list, got " +
+                             std::string(ValueTypeName(v.type())));
+  }
+  return v.AsAttrs();
+}
+
+Result<double> AsReal(const Value& v, const char* fn) {
+  auto r = v.ToReal();
+  if (!r.ok()) return r.status().WithContext(fn);
+  return r;
+}
+
+Result<std::string> AsStr(const Value& v, const char* fn) {
+  if (v.is_null() || v.type() != ValueType::kString) {
+    return Status::TypeError(std::string(fn) + ": expected a string");
+  }
+  return v.AsString();
+}
+
+Result<const catalog::Catalog*> NeedCat(const catalog::Catalog* cat,
+                                        const char* fn) {
+  if (cat == nullptr) {
+    return Status::RuleError(std::string(fn) + ": no catalog available");
+  }
+  return cat;
+}
+
+void SplitConjuncts(const PredicateRef& pred, const AttrList& attrs,
+                    std::vector<PredicateRef>* over,
+                    std::vector<PredicateRef>* not_over) {
+  for (const PredicateRef& c : pred->Conjuncts()) {
+    if (algebra::IsSubset(c->ReferencedAttrs(), attrs)) {
+      over->push_back(c);
+    } else {
+      not_over->push_back(c);
+    }
+  }
+}
+
+/// Finds an "attr = constant" conjunct whose attribute has an index.
+bool FindIndexedEq(const PredicateRef& pred, const catalog::Catalog& cat,
+                   Attr* attr, PredicateRef* eq_conjunct) {
+  for (const PredicateRef& c : pred->Conjuncts()) {
+    if (c->kind() != Predicate::Kind::kCmp ||
+        c->cmp_op() != algebra::CmpOp::kEq) {
+      continue;
+    }
+    const algebra::Term* attr_term = nullptr;
+    if (c->left().is_attr() && !c->right().is_attr()) {
+      attr_term = &c->left();
+    } else if (c->right().is_attr() && !c->left().is_attr()) {
+      attr_term = &c->right();
+    } else {
+      continue;
+    }
+    if (cat.HasIndexOn(attr_term->attr)) {
+      if (attr != nullptr) *attr = attr_term->attr;
+      if (eq_conjunct != nullptr) *eq_conjunct = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Value> selectivity(const catalog::Catalog* cat, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "selectivity"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "selectivity"));
+  return Value::Real(catalog::EstimateSelectivity(p, *c));
+}
+
+Result<Value> join_card(const catalog::Catalog* cat, const Value& nl,
+                        const Value& nr, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(double l, AsReal(nl, "join_card"));
+  PRAIRIE_ASSIGN_OR_RETURN(double r, AsReal(nr, "join_card"));
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "join_card"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "join_card"));
+  return Value::Real(l * r * catalog::EstimateSelectivity(p, *c));
+}
+
+Result<Value> union_(const catalog::Catalog*, const Value& a,
+                     const Value& b) {
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList x, AsAttrs(a, "union"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList y, AsAttrs(b, "union"));
+  return Value::Attrs(algebra::UnionAttrs(x, y));
+}
+
+Result<Value> attrs_minus(const catalog::Catalog*, const Value& a,
+                          const Value& b) {
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList x, AsAttrs(a, "attrs_minus"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList y, AsAttrs(b, "attrs_minus"));
+  AttrList out;
+  for (const Attr& attr : x) {
+    if (!algebra::Contains(y, attr)) out.push_back(attr);
+  }
+  return Value::Attrs(std::move(out));
+}
+
+Result<Value> attrs_subset(const catalog::Catalog*, const Value& a,
+                           const Value& b) {
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList x, AsAttrs(a, "attrs_subset"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList y, AsAttrs(b, "attrs_subset"));
+  return Value::Bool(algebra::IsSubset(x, y));
+}
+
+Result<Value> conj_over(const catalog::Catalog*, const Value& pred,
+                        const Value& attrs) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "conj_over"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList a, AsAttrs(attrs, "conj_over"));
+  std::vector<PredicateRef> over, rest;
+  SplitConjuncts(p, a, &over, &rest);
+  return Value::Pred(Predicate::And(std::move(over)));
+}
+
+Result<Value> conj_not_over(const catalog::Catalog*, const Value& pred,
+                            const Value& attrs) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "conj_not_over"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList a, AsAttrs(attrs, "conj_not_over"));
+  std::vector<PredicateRef> over, rest;
+  SplitConjuncts(p, a, &over, &rest);
+  return Value::Pred(Predicate::And(std::move(rest)));
+}
+
+Result<Value> conj_count(const catalog::Catalog*, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "conj_count"));
+  return Value::Int(static_cast<int64_t>(p->Conjuncts().size()));
+}
+
+Result<Value> first_conjunct(const catalog::Catalog*, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "first_conjunct"));
+  auto cs = p->Conjuncts();
+  return Value::Pred(cs.empty() ? Predicate::True() : cs[0]);
+}
+
+Result<Value> rest_conjuncts(const catalog::Catalog*, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "rest_conjuncts"));
+  auto cs = p->Conjuncts();
+  if (cs.size() <= 1) return Value::Pred(Predicate::True());
+  cs.erase(cs.begin());
+  return Value::Pred(Predicate::And(std::move(cs)));
+}
+
+Result<Value> pred_and(const catalog::Catalog*, const Value& a,
+                       const Value& b) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef x, AsPred(a, "pred_and"));
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef y, AsPred(b, "pred_and"));
+  return Value::Pred(algebra::PredAnd(x, y));
+}
+
+Result<Value> refers_both(const catalog::Catalog*, const Value& pred,
+                          const Value& a, const Value& b) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "refers_both"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList x, AsAttrs(a, "refers_both"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList y, AsAttrs(b, "refers_both"));
+  bool in_a = false, in_b = false;
+  for (const Attr& attr : p->ReferencedAttrs()) {
+    in_a = in_a || algebra::Contains(x, attr);
+    in_b = in_b || algebra::Contains(y, attr);
+  }
+  return Value::Bool(in_a && in_b);
+}
+
+Result<Value> refers_only(const catalog::Catalog*, const Value& pred,
+                          const Value& attrs) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "refers_only"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList a, AsAttrs(attrs, "refers_only"));
+  return Value::Bool(algebra::IsSubset(p->ReferencedAttrs(), a));
+}
+
+Result<Value> is_equijoinable(const catalog::Catalog*, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "is_equijoinable"));
+  for (const PredicateRef& c : p->Conjuncts()) {
+    if (c->IsEquiJoin()) return Value::Bool(true);
+  }
+  return Value::Bool(false);
+}
+
+Result<Value> has_index_eq(const catalog::Catalog* cat, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "has_index_eq"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "has_index_eq"));
+  return Value::Bool(FindIndexedEq(p, *c, nullptr, nullptr));
+}
+
+Result<Value> indexed_attr(const catalog::Catalog* cat, const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "indexed_attr"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "indexed_attr"));
+  Attr a;
+  AttrList out;
+  if (FindIndexedEq(p, *c, &a, nullptr)) out.push_back(a);
+  return Value::Attrs(std::move(out));
+}
+
+Result<Value> index_eq_cost(const catalog::Catalog* cat, const Value& card,
+                            const Value& pred) {
+  PRAIRIE_ASSIGN_OR_RETURN(double n, AsReal(card, "index_eq_cost"));
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "index_eq_cost"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "index_eq_cost"));
+  PredicateRef eq;
+  Attr a;
+  if (!FindIndexedEq(p, *c, &a, &eq)) {
+    return Status::RuleError(
+        "index_eq_cost: predicate has no indexed equality conjunct");
+  }
+  double sel = catalog::EstimateSelectivity(eq, *c);
+  return Value::Real(std::max(1.0, n * sel));
+}
+
+Result<Value> any_index(const catalog::Catalog* cat, const Value& attrs) {
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList a, AsAttrs(attrs, "any_index"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "any_index"));
+  for (const Attr& x : a) {
+    if (c->HasIndexOn(x)) return Value::Bool(true);
+  }
+  return Value::Bool(false);
+}
+
+Result<Value> first_index_attr(const catalog::Catalog* cat,
+                               const Value& attrs) {
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList a, AsAttrs(attrs, "first_index_attr"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "first_index_attr"));
+  AttrList out;
+  for (const Attr& x : a) {
+    if (c->HasIndexOn(x)) {
+      out.push_back(x);
+      break;
+    }
+  }
+  return Value::Attrs(std::move(out));
+}
+
+Result<Value> sort_on(const catalog::Catalog*, const Value& attrs) {
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList a, AsAttrs(attrs, "sort_on"));
+  SortSpec spec;
+  for (const Attr& x : a) {
+    spec.keys.push_back(SortSpec::Key{x, /*ascending=*/true});
+  }
+  return Value::Sort(std::move(spec));
+}
+
+Result<Value> side_join_attrs(const catalog::Catalog*, const Value& pred,
+                              const Value& side) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "side_join_attrs"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList s, AsAttrs(side, "side_join_attrs"));
+  AttrList out;
+  for (const PredicateRef& c : p->Conjuncts()) {
+    if (!c->IsEquiJoin()) continue;
+    if (algebra::Contains(s, c->left().attr)) {
+      out.push_back(c->left().attr);
+    } else if (algebra::Contains(s, c->right().attr)) {
+      out.push_back(c->right().attr);
+    }
+  }
+  return Value::Attrs(std::move(out));
+}
+
+Result<Value> is_ref_join(const catalog::Catalog* cat, const Value& pred,
+                          const Value& left, const Value& right) {
+  PRAIRIE_ASSIGN_OR_RETURN(PredicateRef p, AsPred(pred, "is_ref_join"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList l, AsAttrs(left, "is_ref_join"));
+  PRAIRIE_ASSIGN_OR_RETURN(AttrList r, AsAttrs(right, "is_ref_join"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "is_ref_join"));
+  // A pointer join needs one equi conjunct "l.ref = r.oid" where l.ref is
+  // a reference attribute of a left class targeting the right class.
+  for (const PredicateRef& conj : p->Conjuncts()) {
+    if (!conj->IsEquiJoin()) continue;
+    for (const auto& [ref_term, oid_term] :
+         {std::make_pair(conj->left(), conj->right()),
+          std::make_pair(conj->right(), conj->left())}) {
+      if (!algebra::Contains(l, ref_term.attr) ||
+          !algebra::Contains(r, oid_term.attr)) {
+        continue;
+      }
+      const catalog::StoredFile* f = c->Find(ref_term.attr.cls);
+      if (f == nullptr) continue;
+      const catalog::AttributeDef* ad = f->FindAttr(ref_term.attr.name);
+      if (ad == nullptr || !ad->is_reference()) continue;
+      if (ad->ref_class == oid_term.attr.cls && oid_term.attr.name == "oid") {
+        return Value::Bool(true);
+      }
+    }
+  }
+  return Value::Bool(false);
+}
+
+Result<Value> class_attrs(const catalog::Catalog* cat, const Value& cls) {
+  PRAIRIE_ASSIGN_OR_RETURN(std::string name, AsStr(cls, "class_attrs"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "class_attrs"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::StoredFile* f, c->Require(name));
+  return Value::Attrs(f->QualifiedAttrs());
+}
+
+Result<Value> class_card(const catalog::Catalog* cat, const Value& cls) {
+  PRAIRIE_ASSIGN_OR_RETURN(std::string name, AsStr(cls, "class_card"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "class_card"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::StoredFile* f, c->Require(name));
+  return Value::Real(static_cast<double>(f->cardinality()));
+}
+
+Result<Value> class_tuple_size(const catalog::Catalog* cat,
+                               const Value& cls) {
+  PRAIRIE_ASSIGN_OR_RETURN(std::string name, AsStr(cls, "class_tuple_size"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::Catalog* c,
+                           NeedCat(cat, "class_tuple_size"));
+  PRAIRIE_ASSIGN_OR_RETURN(const catalog::StoredFile* f, c->Require(name));
+  return Value::Real(static_cast<double>(f->tuple_size()));
+}
+
+Result<Value> log_(const catalog::Catalog*, const Value& x) {
+  PRAIRIE_ASSIGN_OR_RETURN(double v, AsReal(x, "log"));
+  return Value::Real(v <= 1.0 ? 0.0 : std::log(v));
+}
+
+Result<Value> log2_(const catalog::Catalog*, const Value& x) {
+  PRAIRIE_ASSIGN_OR_RETURN(double v, AsReal(x, "log2"));
+  return Value::Real(v <= 1.0 ? 0.0 : std::log2(v));
+}
+
+Result<Value> ceil_(const catalog::Catalog*, const Value& x) {
+  PRAIRIE_ASSIGN_OR_RETURN(double v, AsReal(x, "ceil"));
+  return Value::Real(std::ceil(v));
+}
+
+Result<Value> floor_(const catalog::Catalog*, const Value& x) {
+  PRAIRIE_ASSIGN_OR_RETURN(double v, AsReal(x, "floor"));
+  return Value::Real(std::floor(v));
+}
+
+Result<Value> abs_(const catalog::Catalog*, const Value& x) {
+  PRAIRIE_ASSIGN_OR_RETURN(double v, AsReal(x, "abs"));
+  return Value::Real(std::fabs(v));
+}
+
+Result<Value> pow_(const catalog::Catalog*, const Value& b, const Value& e) {
+  PRAIRIE_ASSIGN_OR_RETURN(double base, AsReal(b, "pow"));
+  PRAIRIE_ASSIGN_OR_RETURN(double exp, AsReal(e, "pow"));
+  return Value::Real(std::pow(base, exp));
+}
+
+std::map<std::string, std::string> NativeHelperMap() {
+  const char* ns = "prairie::opt::native::";
+  std::map<std::string, std::string> out;
+  for (const char* name :
+       {"selectivity", "join_card", "attrs_minus", "attrs_subset",
+        "conj_over", "conj_not_over", "conj_count", "first_conjunct",
+        "rest_conjuncts", "pred_and", "refers_both", "refers_only",
+        "is_equijoinable", "has_index_eq", "indexed_attr", "index_eq_cost",
+        "any_index", "first_index_attr", "sort_on", "side_join_attrs",
+        "is_ref_join", "class_attrs", "class_card", "class_tuple_size"}) {
+    out[name] = std::string(ns) + name;
+  }
+  out["union"] = std::string(ns) + "union_";
+  out["log"] = std::string(ns) + "log_";
+  out["log2"] = std::string(ns) + "log2_";
+  out["ceil"] = std::string(ns) + "ceil_";
+  out["floor"] = std::string(ns) + "floor_";
+  out["abs"] = std::string(ns) + "abs_";
+  out["pow"] = std::string(ns) + "pow_";
+  return out;
+}
+
+}  // namespace prairie::opt::native

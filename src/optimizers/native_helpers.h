@@ -1,0 +1,81 @@
+// Native implementations of the domain helper functions.
+//
+// These are the "support functions" of the paper's model: hand-written
+// code that rule actions call. They exist once, here, and are deployed
+// two ways:
+//   - wrapped into the core::HelperRegistry (props.cc) for the
+//     interpreted P2V deployment, and
+//   - called *directly* from P2V-emitted C++ (the paper's architecture:
+//     support C code is linked with the generated optimizer), via the
+//     emitter's native-helper map (NativeHelperMap()).
+//
+// Every function takes the catalog (statistics) first and Values for the
+// rule-action arguments; type errors surface as Status.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "algebra/value.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace prairie::opt::native {
+
+using algebra::Value;
+using common::Result;
+
+Result<Value> selectivity(const catalog::Catalog* cat, const Value& pred);
+Result<Value> join_card(const catalog::Catalog* cat, const Value& nl,
+                        const Value& nr, const Value& pred);
+Result<Value> union_(const catalog::Catalog* cat, const Value& a,
+                     const Value& b);
+Result<Value> attrs_minus(const catalog::Catalog* cat, const Value& a,
+                          const Value& b);
+Result<Value> attrs_subset(const catalog::Catalog* cat, const Value& a,
+                           const Value& b);
+Result<Value> conj_over(const catalog::Catalog* cat, const Value& pred,
+                        const Value& attrs);
+Result<Value> conj_not_over(const catalog::Catalog* cat, const Value& pred,
+                            const Value& attrs);
+Result<Value> conj_count(const catalog::Catalog* cat, const Value& pred);
+Result<Value> first_conjunct(const catalog::Catalog* cat, const Value& pred);
+Result<Value> rest_conjuncts(const catalog::Catalog* cat, const Value& pred);
+Result<Value> pred_and(const catalog::Catalog* cat, const Value& a,
+                       const Value& b);
+Result<Value> refers_both(const catalog::Catalog* cat, const Value& pred,
+                          const Value& a, const Value& b);
+Result<Value> refers_only(const catalog::Catalog* cat, const Value& pred,
+                          const Value& attrs);
+Result<Value> is_equijoinable(const catalog::Catalog* cat, const Value& pred);
+Result<Value> has_index_eq(const catalog::Catalog* cat, const Value& pred);
+Result<Value> indexed_attr(const catalog::Catalog* cat, const Value& pred);
+Result<Value> index_eq_cost(const catalog::Catalog* cat, const Value& card,
+                            const Value& pred);
+Result<Value> any_index(const catalog::Catalog* cat, const Value& attrs);
+Result<Value> first_index_attr(const catalog::Catalog* cat,
+                               const Value& attrs);
+Result<Value> sort_on(const catalog::Catalog* cat, const Value& attrs);
+Result<Value> side_join_attrs(const catalog::Catalog* cat, const Value& pred,
+                              const Value& side);
+Result<Value> is_ref_join(const catalog::Catalog* cat, const Value& pred,
+                          const Value& left, const Value& right);
+Result<Value> class_attrs(const catalog::Catalog* cat, const Value& cls);
+Result<Value> class_card(const catalog::Catalog* cat, const Value& cls);
+Result<Value> class_tuple_size(const catalog::Catalog* cat,
+                               const Value& cls);
+// Numeric builtins (catalog unused; uniform signature for the emitter).
+Result<Value> log_(const catalog::Catalog* cat, const Value& x);
+Result<Value> log2_(const catalog::Catalog* cat, const Value& x);
+Result<Value> ceil_(const catalog::Catalog* cat, const Value& x);
+Result<Value> floor_(const catalog::Catalog* cat, const Value& x);
+Result<Value> abs_(const catalog::Catalog* cat, const Value& x);
+Result<Value> pow_(const catalog::Catalog* cat, const Value& b,
+                   const Value& e);
+
+/// Helper name -> fully qualified native function, for the P2V emitter
+/// (names the DSL uses map onto the functions above).
+std::map<std::string, std::string> NativeHelperMap();
+
+}  // namespace prairie::opt::native

@@ -1,0 +1,442 @@
+#include "optimizers/oodb.h"
+
+#include "dsl/parser.h"
+#include "optimizers/props.h"
+
+namespace prairie::opt {
+
+namespace {
+
+constexpr const char* kOodbSpec = R"PRAIRIE(
+// ---------------------------------------------------------------------------
+// Open-OODB-scale object query optimizer (paper §4).
+// 22 T-rules + 11 I-rules; P2V compacts to 17 trans_rules + 9 impl_rules
+// + the Merge_sort enforcer.
+// ---------------------------------------------------------------------------
+
+property tuple_order : sortspec;
+property num_records : real;
+property tuple_size : real;
+property attributes : attrs;
+property selection_predicate : predicate;
+property join_predicate : predicate;
+property projected_attributes : attrs;
+property index_attr : attrs;
+property mat_attr : attrs;
+property mat_class : string;
+property unnest_attr : attrs;
+property unnest_mult : real;
+property cost : cost;
+
+operator RET(1);
+operator JOIN(2);
+operator SELECT(1);
+operator PROJECT(1);
+operator MAT(1);
+operator UNNEST(1);
+operator SORT(1);
+// Alias operators for the enforcer-introduction rules; merged away by P2V.
+operator RETS(1);
+operator JOINS(2);
+operator SELS(1);
+operator MATS(1);
+operator UNNESTS(1);
+
+algorithm File_scan(1);
+algorithm Index_scan(1);
+algorithm Filter(1);
+algorithm Projection(1);
+algorithm Hash_join(2);
+algorithm Pointer_join(2);
+algorithm Deref(1);
+algorithm Flatten(1);
+algorithm Merge_sort(1);
+
+// ================================ T-rules =================================
+
+// --- join reordering (3) ---
+
+trule join_commute: JOIN[D3](?1, ?2) => JOIN[D4](?2, ?1) {
+  post { D4 = D3; }
+}
+
+trule join_assoc_lr:
+    JOIN[D5](JOIN[D4](?1, ?2), ?3) => JOIN[D7](?1, JOIN[D6](?2, ?3)) {
+  pre {
+    D6.join_predicate = conj_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D2.attributes, D3.attributes));
+  }
+  test refers_both(D6.join_predicate, D2.attributes, D3.attributes);
+  post {
+    D6.attributes = union(D2.attributes, D3.attributes);
+    D6.num_records =
+        join_card(D2.num_records, D3.num_records, D6.join_predicate);
+    D6.tuple_size = D2.tuple_size + D3.tuple_size;
+    D7.join_predicate = conj_not_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D2.attributes, D3.attributes));
+    D7.attributes = D5.attributes;
+    D7.num_records = D5.num_records;
+    D7.tuple_size = D5.tuple_size;
+  }
+}
+
+trule join_assoc_rl:
+    JOIN[D5](?1, JOIN[D4](?2, ?3)) => JOIN[D7](JOIN[D6](?1, ?2), ?3) {
+  pre {
+    D6.join_predicate = conj_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D1.attributes, D2.attributes));
+  }
+  test refers_both(D6.join_predicate, D1.attributes, D2.attributes);
+  post {
+    D6.attributes = union(D1.attributes, D2.attributes);
+    D6.num_records =
+        join_card(D1.num_records, D2.num_records, D6.join_predicate);
+    D6.tuple_size = D1.tuple_size + D2.tuple_size;
+    D7.join_predicate = conj_not_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D1.attributes, D2.attributes));
+    D7.attributes = D5.attributes;
+    D7.num_records = D5.num_records;
+    D7.tuple_size = D5.tuple_size;
+  }
+}
+
+// --- selection vs. join (4) ---
+
+trule select_push_join_left:
+    SELECT[D4](JOIN[D3](?1, ?2)) => JOIN[D6](SELECT[D5](?1), ?2) {
+  test refers_only(D4.selection_predicate, D1.attributes);
+  post {
+    D5.selection_predicate = D4.selection_predicate;
+    D5.attributes = D1.attributes;
+    D5.num_records =
+        D1.num_records * selectivity(D4.selection_predicate);
+    D5.tuple_size = D1.tuple_size;
+    D6 = D3;
+    D6.num_records = D4.num_records;
+  }
+}
+
+trule select_pull_join_left:
+    JOIN[D4](SELECT[D3](?1), ?2) => SELECT[D6](JOIN[D5](?1, ?2)) {
+  post {
+    D5.join_predicate = D4.join_predicate;
+    D5.attributes = union(D1.attributes, D2.attributes);
+    D5.num_records =
+        join_card(D1.num_records, D2.num_records, D4.join_predicate);
+    D5.tuple_size = D1.tuple_size + D2.tuple_size;
+    D6.selection_predicate = D3.selection_predicate;
+    D6.attributes = D5.attributes;
+    D6.num_records = D4.num_records;
+    D6.tuple_size = D5.tuple_size;
+  }
+}
+
+trule select_push_join_right:
+    SELECT[D4](JOIN[D3](?1, ?2)) => JOIN[D6](?1, SELECT[D5](?2)) {
+  test refers_only(D4.selection_predicate, D2.attributes);
+  post {
+    D5.selection_predicate = D4.selection_predicate;
+    D5.attributes = D2.attributes;
+    D5.num_records =
+        D2.num_records * selectivity(D4.selection_predicate);
+    D5.tuple_size = D2.tuple_size;
+    D6 = D3;
+    D6.num_records = D4.num_records;
+  }
+}
+
+trule select_pull_join_right:
+    JOIN[D4](?1, SELECT[D3](?2)) => SELECT[D6](JOIN[D5](?1, ?2)) {
+  post {
+    D5.join_predicate = D4.join_predicate;
+    D5.attributes = union(D1.attributes, D2.attributes);
+    D5.num_records =
+        join_card(D1.num_records, D2.num_records, D4.join_predicate);
+    D5.tuple_size = D1.tuple_size + D2.tuple_size;
+    D6.selection_predicate = D3.selection_predicate;
+    D6.attributes = D5.attributes;
+    D6.num_records = D4.num_records;
+    D6.tuple_size = D5.tuple_size;
+  }
+}
+
+// --- selection algebra (3) ---
+
+trule select_split: SELECT[D2](?1) => SELECT[D4](SELECT[D3](?1)) {
+  test conj_count(D2.selection_predicate) >= 2;
+  post {
+    D3.selection_predicate = first_conjunct(D2.selection_predicate);
+    D3.attributes = D1.attributes;
+    D3.num_records =
+        D1.num_records * selectivity(first_conjunct(D2.selection_predicate));
+    D3.tuple_size = D1.tuple_size;
+    D4.selection_predicate = rest_conjuncts(D2.selection_predicate);
+    D4.attributes = D2.attributes;
+    D4.num_records = D2.num_records;
+    D4.tuple_size = D2.tuple_size;
+  }
+}
+
+trule select_merge: SELECT[D3](SELECT[D2](?1)) => SELECT[D4](?1) {
+  post {
+    D4 = D3;
+    D4.selection_predicate =
+        pred_and(D2.selection_predicate, D3.selection_predicate);
+  }
+}
+
+trule select_into_ret: SELECT[D3](RET[D2](?1)) => RET[D4](?1) {
+  post {
+    D4 = D2;
+    D4.selection_predicate =
+        pred_and(D2.selection_predicate, D3.selection_predicate);
+    D4.num_records = D3.num_records;
+  }
+}
+
+// --- selection vs. materialize / unnest (4) ---
+
+trule select_push_mat: SELECT[D4](MAT[D3](?1)) => MAT[D6](SELECT[D5](?1)) {
+  test refers_only(D4.selection_predicate, D1.attributes);
+  post {
+    D5.selection_predicate = D4.selection_predicate;
+    D5.attributes = D1.attributes;
+    D5.num_records =
+        D1.num_records * selectivity(D4.selection_predicate);
+    D5.tuple_size = D1.tuple_size;
+    D6 = D3;
+    D6.num_records = D4.num_records;
+  }
+}
+
+trule select_pull_mat: MAT[D4](SELECT[D3](?1)) => SELECT[D6](MAT[D5](?1)) {
+  post {
+    D5.mat_attr = D4.mat_attr;
+    D5.mat_class = D4.mat_class;
+    D5.attributes = union(D1.attributes, class_attrs(D4.mat_class));
+    D5.num_records = D1.num_records;
+    D5.tuple_size = D1.tuple_size + class_tuple_size(D4.mat_class);
+    D6.selection_predicate = D3.selection_predicate;
+    D6.attributes = D5.attributes;
+    D6.num_records = D4.num_records;
+    D6.tuple_size = D5.tuple_size;
+  }
+}
+
+trule select_push_unnest:
+    SELECT[D4](UNNEST[D3](?1)) => UNNEST[D6](SELECT[D5](?1)) {
+  test refers_only(D4.selection_predicate,
+                   attrs_minus(D1.attributes, D3.unnest_attr));
+  post {
+    D5.selection_predicate = D4.selection_predicate;
+    D5.attributes = D1.attributes;
+    D5.num_records =
+        D1.num_records * selectivity(D4.selection_predicate);
+    D5.tuple_size = D1.tuple_size;
+    D6 = D3;
+    D6.num_records = D4.num_records;
+  }
+}
+
+trule select_pull_unnest:
+    UNNEST[D4](SELECT[D3](?1)) => SELECT[D6](UNNEST[D5](?1)) {
+  test refers_only(D3.selection_predicate,
+                   attrs_minus(D1.attributes, D4.unnest_attr));
+  post {
+    D5.unnest_attr = D4.unnest_attr;
+    D5.unnest_mult = D4.unnest_mult;
+    D5.attributes = D1.attributes;
+    D5.num_records = D1.num_records * D4.unnest_mult;
+    D5.tuple_size = D1.tuple_size;
+    D6.selection_predicate = D3.selection_predicate;
+    D6.attributes = D5.attributes;
+    D6.num_records = D4.num_records;
+    D6.tuple_size = D5.tuple_size;
+  }
+}
+
+// --- materialize vs. join (2) + materialize reordering (1) ---
+
+trule mat_push_join_left:
+    MAT[D4](JOIN[D3](?1, ?2)) => JOIN[D6](MAT[D5](?1), ?2) {
+  test attrs_subset(D4.mat_attr, D1.attributes);
+  post {
+    D5.mat_attr = D4.mat_attr;
+    D5.mat_class = D4.mat_class;
+    D5.attributes = union(D1.attributes, class_attrs(D4.mat_class));
+    D5.num_records = D1.num_records;
+    D5.tuple_size = D1.tuple_size + class_tuple_size(D4.mat_class);
+    D6 = D3;
+    D6.attributes = D4.attributes;
+    D6.tuple_size = D4.tuple_size;
+  }
+}
+
+trule mat_pull_join_left:
+    JOIN[D4](MAT[D3](?1), ?2) => MAT[D6](JOIN[D5](?1, ?2)) {
+  test refers_only(D4.join_predicate, union(D1.attributes, D2.attributes));
+  post {
+    D5.join_predicate = D4.join_predicate;
+    D5.attributes = union(D1.attributes, D2.attributes);
+    D5.num_records =
+        join_card(D1.num_records, D2.num_records, D4.join_predicate);
+    D5.tuple_size = D1.tuple_size + D2.tuple_size;
+    D6.mat_attr = D3.mat_attr;
+    D6.mat_class = D3.mat_class;
+    D6.attributes = union(D5.attributes, class_attrs(D3.mat_class));
+    D6.num_records = D5.num_records;
+    D6.tuple_size = D5.tuple_size + class_tuple_size(D3.mat_class);
+  }
+}
+
+trule mat_mat_swap: MAT[D3](MAT[D2](?1)) => MAT[D5](MAT[D4](?1)) {
+  test attrs_subset(D3.mat_attr, D1.attributes);
+  post {
+    D4.mat_attr = D3.mat_attr;
+    D4.mat_class = D3.mat_class;
+    D4.attributes = union(D1.attributes, class_attrs(D3.mat_class));
+    D4.num_records = D1.num_records;
+    D4.tuple_size = D1.tuple_size + class_tuple_size(D3.mat_class);
+    D5.mat_attr = D2.mat_attr;
+    D5.mat_class = D2.mat_class;
+    D5.attributes = D3.attributes;
+    D5.num_records = D3.num_records;
+    D5.tuple_size = D3.tuple_size;
+  }
+}
+
+// --- enforcer-introduction rules (5), merged away by P2V ---
+
+trule intro_sort_ret: RET[D2](?1) => SORT[D4](RETS[D3](?1)) {
+  post { D3 = D2; D4 = D2; }
+}
+
+trule intro_sort_join: JOIN[D3](?1, ?2) => SORT[D5](JOINS[D4](?1, ?2)) {
+  post { D4 = D3; D5 = D3; }
+}
+
+trule intro_sort_select: SELECT[D2](?1) => SORT[D4](SELS[D3](?1)) {
+  post { D3 = D2; D4 = D2; }
+}
+
+trule intro_sort_mat: MAT[D2](?1) => SORT[D4](MATS[D3](?1)) {
+  post { D3 = D2; D4 = D2; }
+}
+
+trule intro_sort_unnest: UNNEST[D2](?1) => SORT[D4](UNNESTS[D3](?1)) {
+  post { D3 = D2; D4 = D2; }
+}
+
+// ================================ I-rules =================================
+
+irule file_scan: RET[D2](?1) => File_scan[D3](?1) {
+  preopt { D3 = D2; D3.tuple_order = DONT_CARE; }
+  postopt { D3.cost = D1.num_records; }
+}
+
+// Index equality lookup (the per-rule property model lets Index_scan have
+// two I-rules with different properties, §3.2.2).
+irule index_scan_eq: RET[D2](?1) => Index_scan[D3](?1) {
+  test has_index_eq(D2.selection_predicate);
+  preopt {
+    D3 = D2;
+    D3.index_attr = indexed_attr(D2.selection_predicate);
+    D3.tuple_order = DONT_CARE;
+  }
+  postopt {
+    D3.cost = index_eq_cost(D1.num_records, D2.selection_predicate);
+  }
+}
+
+// Full index-order scan: costs a whole pass but delivers a sort order.
+irule index_scan_order: RET[D2](?1) => Index_scan[D3](?1) {
+  test any_index(D1.attributes);
+  preopt {
+    D3 = D2;
+    D3.index_attr = first_index_attr(D1.attributes);
+    D3.tuple_order = sort_on(first_index_attr(D1.attributes));
+  }
+  postopt { D3.cost = D1.num_records + D2.num_records; }
+}
+
+irule filter: SELECT[D2](?1) => Filter[D4](?1:D3) {
+  preopt {
+    D4 = D2;
+    D3 = D1;
+    D3.tuple_order = D2.tuple_order;
+  }
+  postopt { D4.cost = D3.cost + D3.num_records; }
+}
+
+irule projection: PROJECT[D2](?1) => Projection[D4](?1:D3) {
+  preopt {
+    D4 = D2;
+    D3 = D1;
+    D3.tuple_order = D2.tuple_order;
+  }
+  postopt { D4.cost = D3.cost + D3.num_records; }
+}
+
+irule hash_join: JOIN[D3](?1, ?2) => Hash_join[D4](?1, ?2) {
+  test is_equijoinable(D3.join_predicate);
+  preopt { D4 = D3; D4.tuple_order = DONT_CARE; }
+  postopt {
+    D4.cost = D1.cost + D2.cost + D1.num_records + D2.num_records;
+  }
+}
+
+irule pointer_join: JOIN[D3](?1, ?2) => Pointer_join[D4](?1, ?2) {
+  test is_ref_join(D3.join_predicate, D1.attributes, D2.attributes);
+  preopt { D4 = D3; D4.tuple_order = DONT_CARE; }
+  postopt { D4.cost = D1.cost + D2.cost + D1.num_records; }
+}
+
+irule deref: MAT[D2](?1) => Deref[D4](?1:D3) {
+  preopt {
+    D4 = D2;
+    D3 = D1;
+    D3.tuple_order = D2.tuple_order;
+  }
+  postopt { D4.cost = D3.cost + D3.num_records; }
+}
+
+irule flatten: UNNEST[D2](?1) => Flatten[D4](?1:D3) {
+  preopt {
+    D4 = D2;
+    D4.tuple_order = DONT_CARE;
+    D3 = D1;
+  }
+  postopt { D4.cost = D3.cost + D4.num_records; }
+}
+
+// Figure 5 of the paper.
+irule merge_sort: SORT[D2](?1) => Merge_sort[D3](?1) {
+  test D2.tuple_order != DONT_CARE;
+  preopt { D3 = D2; }
+  postopt { D3.cost = D1.cost + D3.num_records * log(D3.num_records); }
+}
+
+// Figure 7(b): SORT is an enforcer-operator.
+irule null_sort: SORT[D2](?1) => Null[D4](?1:D3) {
+  preopt {
+    D4 = D2;
+    D3 = D1;
+    D3.tuple_order = D2.tuple_order;
+  }
+  postopt { D4.cost = D3.cost; }
+}
+)PRAIRIE";
+
+}  // namespace
+
+const char* OodbSpecText() { return kOodbSpec; }
+
+common::Result<core::RuleSet> BuildOodbPrairie() {
+  return dsl::ParseRuleSet(kOodbSpec, StandardHelpers());
+}
+
+}  // namespace prairie::opt

@@ -1,0 +1,22 @@
+// The Open-OODB-scale optimizer (paper §4): object-oriented algebra with
+// SELECT, PROJECT, JOIN, RET, UNNEST and MAT, plus the SORT enforcer-
+// operator. The Prairie specification has 22 T-rules and 11 I-rules; P2V
+// compacts it to 17 trans_rules, 9 impl_rules and 1 enforcer — the counts
+// the paper reports for the TI Open OODB rule set.
+//
+// The original TI rule files are proprietary; DESIGN.md §3 documents this
+// reconstruction and why it preserves the paper's observables.
+
+#pragma once
+
+#include "core/ruleset.h"
+
+namespace prairie::opt {
+
+/// The Prairie specification text (DSL form).
+const char* OodbSpecText();
+
+/// Parses the OODB specification with the standard helper registry.
+common::Result<core::RuleSet> BuildOodbPrairie();
+
+}  // namespace prairie::opt

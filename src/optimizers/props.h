@@ -1,0 +1,114 @@
+// Shared vocabulary of the shipped optimizers: descriptor property names,
+// the property schema, the domain helper functions rule actions call, and
+// operator-tree initialization (paper §2.2: annotations are computed when
+// the tree is built, before optimization starts).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "core/helpers.h"
+
+namespace prairie::opt {
+
+// Property names used by both the relational and the OODB rule sets.
+inline constexpr const char* kTupleOrder = "tuple_order";
+inline constexpr const char* kNumRecords = "num_records";
+inline constexpr const char* kTupleSize = "tuple_size";
+inline constexpr const char* kAttributes = "attributes";
+inline constexpr const char* kSelectionPredicate = "selection_predicate";
+inline constexpr const char* kJoinPredicate = "join_predicate";
+inline constexpr const char* kProjectedAttributes = "projected_attributes";
+inline constexpr const char* kIndexAttr = "index_attr";
+inline constexpr const char* kMatAttr = "mat_attr";
+inline constexpr const char* kMatClass = "mat_class";
+inline constexpr const char* kUnnestAttr = "unnest_attr";
+inline constexpr const char* kUnnestMult = "unnest_mult";
+inline constexpr const char* kCost = "cost";
+
+/// \brief Cached PropertyIds for the standard schema (used by hand-coded
+/// Volcano rule sets and by the executors).
+struct Props {
+  algebra::PropertyId tuple_order = -1;
+  algebra::PropertyId num_records = -1;
+  algebra::PropertyId tuple_size = -1;
+  algebra::PropertyId attributes = -1;
+  algebra::PropertyId selection_predicate = -1;
+  algebra::PropertyId join_predicate = -1;
+  algebra::PropertyId projected_attributes = -1;
+  algebra::PropertyId index_attr = -1;
+  algebra::PropertyId mat_attr = -1;
+  algebra::PropertyId mat_class = -1;
+  algebra::PropertyId unnest_attr = -1;
+  algebra::PropertyId unnest_mult = -1;
+  algebra::PropertyId cost = -1;
+
+  static common::Result<Props> FromSchema(
+      const algebra::PropertySchema& schema);
+};
+
+/// Adds the standard property declarations to `schema` (the order matches
+/// the DSL specifications so PropertyIds agree across rule sets).
+common::Status AddStandardProperties(algebra::PropertySchema* schema);
+
+/// Registers the domain helper functions (selectivity, join_card, union,
+/// conj_over, is_ref_join, ...) on top of the numeric builtins. Helpers
+/// that need statistics read them from the catalog in the evaluation
+/// context.
+common::Status RegisterDomainHelpers(core::HelperRegistry* reg);
+
+/// Returns a registry with builtins + domain helpers.
+std::shared_ptr<core::HelperRegistry> StandardHelpers();
+
+// ---------------------------------------------------------------------------
+// Operator-tree initialization
+// ---------------------------------------------------------------------------
+
+/// \brief Builds initialized logical operator trees over a catalog.
+///
+/// Every node's descriptor is fully annotated (cardinality estimates,
+/// attribute lists, predicates) so rules can read input annotations, as
+/// the paper's model assumes.
+class TreeBuilder {
+ public:
+  TreeBuilder(const algebra::Algebra* algebra,
+              const catalog::Catalog* catalog)
+      : algebra_(algebra), catalog_(catalog) {}
+
+  /// RET(file) with an optional selection predicate; projects all
+  /// attributes. The file leaf below carries the catalog statistics.
+  common::Result<algebra::ExprPtr> Ret(const std::string& file,
+                                       algebra::PredicateRef selection);
+
+  /// JOIN(left, right) with the given join predicate.
+  common::Result<algebra::ExprPtr> Join(algebra::ExprPtr left,
+                                        algebra::ExprPtr right,
+                                        algebra::PredicateRef pred);
+
+  /// SELECT(input).
+  common::Result<algebra::ExprPtr> Select(algebra::ExprPtr input,
+                                          algebra::PredicateRef pred);
+
+  /// PROJECT(input) onto `attrs`.
+  common::Result<algebra::ExprPtr> Project(algebra::ExprPtr input,
+                                           algebra::AttrList attrs);
+
+  /// MAT(input): dereferences `ref_attr` (a reference attribute of some
+  /// class in the input), appending the target class's attributes.
+  common::Result<algebra::ExprPtr> Mat(algebra::ExprPtr input,
+                                       algebra::Attr ref_attr);
+
+  /// UNNEST(input) of a set-valued attribute.
+  common::Result<algebra::ExprPtr> Unnest(algebra::ExprPtr input,
+                                          algebra::Attr set_attr);
+
+ private:
+  common::Result<double> NumRecordsOf(const algebra::Expr& e) const;
+  const algebra::Algebra* algebra_;
+  const catalog::Catalog* catalog_;
+};
+
+}  // namespace prairie::opt

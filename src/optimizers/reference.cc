@@ -1,0 +1,180 @@
+#include "optimizers/reference.h"
+
+#include "exec/eval.h"
+#include "optimizers/props.h"
+
+namespace prairie::opt {
+
+using algebra::Attr;
+using algebra::AttrList;
+using algebra::Expr;
+using algebra::PredicateRef;
+using algebra::Value;
+using algebra::ValueType;
+using common::Result;
+using common::Status;
+using exec::Database;
+using exec::Datum;
+using exec::Row;
+using exec::RowSchema;
+using exec::Table;
+
+namespace {
+
+Result<PredicateRef> PredOf(const Expr& node, const char* prop) {
+  PRAIRIE_ASSIGN_OR_RETURN(Value v, node.descriptor().Get(prop));
+  if (v.is_null() || v.type() != ValueType::kPred) {
+    return PredicateRef(nullptr);
+  }
+  return v.AsPred();
+}
+
+Status Filter(const PredicateRef& pred, ReferenceResult* r) {
+  if (pred == nullptr || pred->is_true()) return Status::OK();
+  std::vector<Row> kept;
+  for (Row& row : r->rows) {
+    PRAIRIE_ASSIGN_OR_RETURN(bool keep,
+                             exec::EvalPredicate(pred, row, r->schema));
+    if (keep) kept.push_back(std::move(row));
+  }
+  r->rows = std::move(kept);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ReferenceResult> EvaluateLogical(const Expr& tree,
+                                        const algebra::Algebra& algebra,
+                                        const Database& db) {
+  if (tree.is_file()) {
+    return Status::ExecError("bare stored file reached the evaluator");
+  }
+  const std::string& op = algebra.name(tree.op());
+
+  if (op == "RET") {
+    PRAIRIE_ASSIGN_OR_RETURN(const Table* t,
+                             db.Require(tree.child(0).file_name()));
+    ReferenceResult r;
+    r.schema = t->schema();
+    r.rows = t->rows();
+    PRAIRIE_ASSIGN_OR_RETURN(PredicateRef pred,
+                             PredOf(tree, kSelectionPredicate));
+    PRAIRIE_RETURN_NOT_OK(Filter(pred, &r));
+    return r;
+  }
+
+  if (op == "JOIN") {
+    PRAIRIE_ASSIGN_OR_RETURN(ReferenceResult l,
+                             EvaluateLogical(tree.child(0), algebra, db));
+    PRAIRIE_ASSIGN_OR_RETURN(ReferenceResult r,
+                             EvaluateLogical(tree.child(1), algebra, db));
+    ReferenceResult out;
+    out.schema = RowSchema::Concat(l.schema, r.schema);
+    PRAIRIE_ASSIGN_OR_RETURN(PredicateRef pred, PredOf(tree, kJoinPredicate));
+    for (const Row& a : l.rows) {
+      for (const Row& b : r.rows) {
+        Row joined = a;
+        joined.insert(joined.end(), b.begin(), b.end());
+        PRAIRIE_ASSIGN_OR_RETURN(
+            bool keep, exec::EvalPredicate(pred, joined, out.schema));
+        if (keep) out.rows.push_back(std::move(joined));
+      }
+    }
+    return out;
+  }
+
+  if (op == "SELECT") {
+    PRAIRIE_ASSIGN_OR_RETURN(ReferenceResult r,
+                             EvaluateLogical(tree.child(0), algebra, db));
+    PRAIRIE_ASSIGN_OR_RETURN(PredicateRef pred,
+                             PredOf(tree, kSelectionPredicate));
+    PRAIRIE_RETURN_NOT_OK(Filter(pred, &r));
+    return r;
+  }
+
+  if (op == "PROJECT") {
+    PRAIRIE_ASSIGN_OR_RETURN(ReferenceResult r,
+                             EvaluateLogical(tree.child(0), algebra, db));
+    PRAIRIE_ASSIGN_OR_RETURN(Value attrs,
+                             tree.descriptor().Get(kProjectedAttributes));
+    if (attrs.is_null()) {
+      return Status::ExecError("PROJECT without projected_attributes");
+    }
+    ReferenceResult out;
+    out.schema.attrs = attrs.AsAttrs();
+    std::vector<size_t> positions;
+    for (const Attr& a : out.schema.attrs) {
+      PRAIRIE_ASSIGN_OR_RETURN(int i, r.schema.Require(a));
+      positions.push_back(static_cast<size_t>(i));
+    }
+    for (const Row& row : r.rows) {
+      Row projected;
+      projected.reserve(positions.size());
+      for (size_t p : positions) projected.push_back(row[p]);
+      out.rows.push_back(std::move(projected));
+    }
+    return out;
+  }
+
+  if (op == "MAT") {
+    PRAIRIE_ASSIGN_OR_RETURN(ReferenceResult r,
+                             EvaluateLogical(tree.child(0), algebra, db));
+    PRAIRIE_ASSIGN_OR_RETURN(Value ref, tree.descriptor().Get(kMatAttr));
+    PRAIRIE_ASSIGN_OR_RETURN(Value cls, tree.descriptor().Get(kMatClass));
+    if (ref.is_null() || ref.AsAttrs().empty() || cls.is_null()) {
+      return Status::ExecError("MAT without mat_attr / mat_class");
+    }
+    PRAIRIE_ASSIGN_OR_RETURN(const Table* target,
+                             db.Require(cls.AsString()));
+    PRAIRIE_ASSIGN_OR_RETURN(int pos, r.schema.Require(ref.AsAttrs()[0]));
+    ReferenceResult out;
+    out.schema = RowSchema::Concat(r.schema, target->schema());
+    for (const Row& row : r.rows) {
+      const Datum& oid = row[static_cast<size_t>(pos)];
+      if (!std::holds_alternative<int64_t>(oid.v)) continue;
+      int64_t id = std::get<int64_t>(oid.v);
+      if (id < 0 || id >= static_cast<int64_t>(target->NumRows())) continue;
+      Row joined = row;
+      const Row& t = target->row(static_cast<size_t>(id));
+      joined.insert(joined.end(), t.begin(), t.end());
+      out.rows.push_back(std::move(joined));
+    }
+    return out;
+  }
+
+  if (op == "UNNEST") {
+    PRAIRIE_ASSIGN_OR_RETURN(ReferenceResult r,
+                             EvaluateLogical(tree.child(0), algebra, db));
+    PRAIRIE_ASSIGN_OR_RETURN(Value attr, tree.descriptor().Get(kUnnestAttr));
+    if (attr.is_null() || attr.AsAttrs().empty()) {
+      return Status::ExecError("UNNEST without unnest_attr");
+    }
+    const Attr& set_attr = attr.AsAttrs()[0];
+    PRAIRIE_ASSIGN_OR_RETURN(const Table* t, db.Require(set_attr.cls));
+    PRAIRIE_ASSIGN_OR_RETURN(int pos, r.schema.Require(set_attr));
+    PRAIRIE_ASSIGN_OR_RETURN(int oid_pos,
+                             r.schema.Require(Attr{set_attr.cls, "oid"}));
+    ReferenceResult out;
+    out.schema = r.schema;
+    for (const Row& row : r.rows) {
+      const Datum& oid = row[static_cast<size_t>(oid_pos)];
+      if (!std::holds_alternative<int64_t>(oid.v)) continue;
+      int64_t id = std::get<int64_t>(oid.v);
+      if (id < 0 || id >= static_cast<int64_t>(t->NumRows())) continue;
+      const std::vector<Datum>* set =
+          t->GetSetValues(set_attr.name, static_cast<size_t>(id));
+      if (set == nullptr) continue;
+      for (const Datum& element : *set) {
+        Row expanded = row;
+        expanded[static_cast<size_t>(pos)] = element;
+        out.rows.push_back(std::move(expanded));
+      }
+    }
+    return out;
+  }
+
+  return Status::NotImplemented("reference evaluation of operator '" + op +
+                                "'");
+}
+
+}  // namespace prairie::opt

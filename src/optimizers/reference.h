@@ -1,0 +1,25 @@
+// Reference evaluator: executes a *logical* operator tree directly, by
+// naive semantics (scan + filter, cross product + filter, row-at-a-time
+// dereference). It is deliberately simple and obviously correct; the
+// property tests compare every optimized access plan's result against it.
+
+#pragma once
+
+#include "algebra/expr.h"
+#include "exec/table.h"
+
+namespace prairie::opt {
+
+/// \brief Rows plus their positional schema.
+struct ReferenceResult {
+  exec::RowSchema schema;
+  std::vector<exec::Row> rows;
+};
+
+/// Evaluates a logical tree over the OODB/relational algebra (RET, JOIN,
+/// SELECT, PROJECT, MAT, UNNEST) against `db`.
+common::Result<ReferenceResult> EvaluateLogical(
+    const algebra::Expr& tree, const algebra::Algebra& algebra,
+    const exec::Database& db);
+
+}  // namespace prairie::opt

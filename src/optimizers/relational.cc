@@ -1,0 +1,187 @@
+#include "optimizers/relational.h"
+
+#include "dsl/parser.h"
+#include "optimizers/props.h"
+
+namespace prairie::opt {
+
+namespace {
+
+constexpr const char* kRelationalSpec = R"PRAIRIE(
+// ---------------------------------------------------------------------------
+// Centralized relational query optimizer (paper §2 running example).
+// ---------------------------------------------------------------------------
+
+property tuple_order : sortspec;
+property num_records : real;
+property tuple_size : real;
+property attributes : attrs;
+property selection_predicate : predicate;
+property join_predicate : predicate;
+property projected_attributes : attrs;
+property index_attr : attrs;
+property mat_attr : attrs;
+property mat_class : string;
+property unnest_attr : attrs;
+property unnest_mult : real;
+property cost : cost;
+
+operator RET(1);
+operator JOIN(2);
+operator SORT(1);
+// Alias operators introduced by the enforcer-introduction T-rules; P2V
+// merges them back into RET / JOIN (§3.3).
+operator RETS(1);
+operator JOINS(2);
+
+algorithm File_scan(1);
+algorithm Index_scan(1);
+algorithm Btree_scan(1);
+algorithm Nested_loops(2);
+algorithm Merge_join(2);
+algorithm Merge_sort(1);
+
+// --------------------------------- T-rules --------------------------------
+
+trule join_commute: JOIN[D3](?1, ?2) => JOIN[D4](?2, ?1) {
+  post { D4 = D3; }
+}
+
+trule join_assoc_lr:
+    JOIN[D5](JOIN[D4](?1, ?2), ?3) => JOIN[D7](?1, JOIN[D6](?2, ?3)) {
+  pre {
+    D6.join_predicate = conj_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D2.attributes, D3.attributes));
+  }
+  test refers_both(D6.join_predicate, D2.attributes, D3.attributes);
+  post {
+    D6.attributes = union(D2.attributes, D3.attributes);
+    D6.num_records =
+        join_card(D2.num_records, D3.num_records, D6.join_predicate);
+    D6.tuple_size = D2.tuple_size + D3.tuple_size;
+    D7.join_predicate = conj_not_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D2.attributes, D3.attributes));
+    D7.attributes = D5.attributes;
+    D7.num_records = D5.num_records;
+    D7.tuple_size = D5.tuple_size;
+  }
+}
+
+trule join_assoc_rl:
+    JOIN[D5](?1, JOIN[D4](?2, ?3)) => JOIN[D7](JOIN[D6](?1, ?2), ?3) {
+  pre {
+    D6.join_predicate = conj_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D1.attributes, D2.attributes));
+  }
+  test refers_both(D6.join_predicate, D1.attributes, D2.attributes);
+  post {
+    D6.attributes = union(D1.attributes, D2.attributes);
+    D6.num_records =
+        join_card(D1.num_records, D2.num_records, D6.join_predicate);
+    D6.tuple_size = D1.tuple_size + D2.tuple_size;
+    D7.join_predicate = conj_not_over(
+        pred_and(D4.join_predicate, D5.join_predicate),
+        union(D1.attributes, D2.attributes));
+    D7.attributes = D5.attributes;
+    D7.num_records = D5.num_records;
+    D7.tuple_size = D5.tuple_size;
+  }
+}
+
+// Enforcer-introduction rules (footnote 5/7): the output of RET / JOIN may
+// be explicitly sorted. After SORT deletion these become idempotent
+// aliases and disappear.
+trule intro_sort_ret: RET[D2](?1) => SORT[D4](RETS[D3](?1)) {
+  post { D3 = D2; D4 = D2; }
+}
+
+trule intro_sort_join: JOIN[D3](?1, ?2) => SORT[D5](JOINS[D4](?1, ?2)) {
+  post { D4 = D3; D5 = D3; }
+}
+
+// --------------------------------- I-rules --------------------------------
+
+irule file_scan: RET[D2](?1) => File_scan[D3](?1) {
+  preopt { D3 = D2; D3.tuple_order = DONT_CARE; }
+  postopt { D3.cost = D1.num_records; }
+}
+
+// Equality lookup through an index referenced by the selection predicate.
+irule index_scan: RET[D2](?1) => Index_scan[D3](?1) {
+  test has_index_eq(D2.selection_predicate);
+  preopt {
+    D3 = D2;
+    D3.index_attr = indexed_attr(D2.selection_predicate);
+    D3.tuple_order = DONT_CARE;
+  }
+  postopt {
+    D3.cost = index_eq_cost(D1.num_records, D2.selection_predicate);
+  }
+}
+
+// Full scan in index order: more expensive, but delivers a sort order.
+irule btree_scan: RET[D2](?1) => Btree_scan[D3](?1) {
+  test any_index(D1.attributes);
+  preopt {
+    D3 = D2;
+    D3.index_attr = first_index_attr(D1.attributes);
+    D3.tuple_order = sort_on(first_index_attr(D1.attributes));
+  }
+  postopt { D3.cost = D1.num_records + D2.num_records; }
+}
+
+// Figure 6 of the paper, verbatim.
+irule nested_loops: JOIN[D3](?1, ?2) => Nested_loops[D5](?1:D4, ?2) {
+  preopt {
+    D5 = D3;
+    D4 = D1;
+    D4.tuple_order = D3.tuple_order;
+  }
+  postopt { D5.cost = D4.cost + D4.num_records * D2.cost; }
+}
+
+irule merge_join: JOIN[D3](?1, ?2) => Merge_join[D6](?1:D4, ?2:D5) {
+  test is_equijoinable(D3.join_predicate);
+  preopt {
+    D6 = D3;
+    D4 = D1;
+    D5 = D2;
+    D4.tuple_order = sort_on(side_join_attrs(D3.join_predicate, D1.attributes));
+    D5.tuple_order = sort_on(side_join_attrs(D3.join_predicate, D2.attributes));
+    D6.tuple_order = sort_on(side_join_attrs(D3.join_predicate, D1.attributes));
+  }
+  postopt {
+    D6.cost = D4.cost + D5.cost + D4.num_records + D5.num_records;
+  }
+}
+
+// Figure 5 of the paper.
+irule merge_sort: SORT[D2](?1) => Merge_sort[D3](?1) {
+  test D2.tuple_order != DONT_CARE;
+  preopt { D3 = D2; }
+  postopt { D3.cost = D1.cost + D3.num_records * log(D3.num_records); }
+}
+
+// Figure 7(b) of the paper: SORT is an enforcer-operator.
+irule null_sort: SORT[D2](?1) => Null[D4](?1:D3) {
+  preopt {
+    D4 = D2;
+    D3 = D1;
+    D3.tuple_order = D2.tuple_order;
+  }
+  postopt { D4.cost = D3.cost; }
+}
+)PRAIRIE";
+
+}  // namespace
+
+const char* RelationalSpecText() { return kRelationalSpec; }
+
+common::Result<core::RuleSet> BuildRelationalPrairie() {
+  return dsl::ParseRuleSet(kRelationalSpec, StandardHelpers());
+}
+
+}  // namespace prairie::opt

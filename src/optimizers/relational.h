@@ -1,0 +1,23 @@
+// The centralized relational optimizer of the paper's running examples
+// (Tables 1-2, Figures 3, 5-7) and of the earlier experiment the paper
+// recaps in §4 [Das & Batory 1993].
+//
+// Algebra: RET / JOIN / SORT; algorithms File_scan, Index_scan,
+// Btree_scan, Nested_loops, Merge_join, Merge_sort, Null. SORT is an
+// enforcer-operator (it has a Null implementation); the enforcer-
+// introduction T-rules and the alias operators RETS / JOINS are merged
+// away by P2V exactly as §3.3 describes.
+
+#pragma once
+
+#include "core/ruleset.h"
+
+namespace prairie::opt {
+
+/// The Prairie specification text (DSL form).
+const char* RelationalSpecText();
+
+/// Parses the relational specification with the standard helper registry.
+common::Result<core::RuleSet> BuildRelationalPrairie();
+
+}  // namespace prairie::opt

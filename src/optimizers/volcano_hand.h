@@ -1,0 +1,26 @@
+// Hand-coded Volcano rule sets: the baseline of the paper's experiments.
+//
+// These construct the same optimizers as the P2V-translated Prairie
+// specifications, but with rule conditions, property transformations and
+// cost functions written directly as compiled C++ (the moral equivalent
+// of the support-function C code a Volcano user writes by hand). The
+// benchmark harness compares their optimization times against the
+// P2V-generated, AST-interpreted rule sets (Figures 10-13).
+
+#pragma once
+
+#include <memory>
+
+#include "volcano/rules.h"
+
+namespace prairie::opt {
+
+/// Hand-coded Volcano version of the relational optimizer
+/// (3 trans_rules, 5 impl_rules, 1 enforcer after compaction).
+common::Result<std::shared_ptr<volcano::RuleSet>> BuildRelationalVolcano();
+
+/// Hand-coded Volcano version of the OODB optimizer
+/// (17 trans_rules, 9 impl_rules, 1 enforcer).
+common::Result<std::shared_ptr<volcano::RuleSet>> BuildOodbVolcano();
+
+}  // namespace prairie::opt

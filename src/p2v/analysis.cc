@@ -1,0 +1,263 @@
+#include "p2v/analysis.h"
+
+#include "common/strings.h"
+#include "volcano/rules.h"
+
+namespace prairie::p2v {
+
+using algebra::OpId;
+using algebra::PatNode;
+using algebra::PatNodePtr;
+using algebra::PropertyId;
+using algebra::Value;
+using common::Result;
+using common::Status;
+using core::ActionExpr;
+using core::ActionExprPtr;
+using core::ActionStmt;
+using core::IRule;
+using core::TRule;
+
+namespace {
+
+bool IsTriviallyTrue(const ActionExprPtr& test) {
+  if (test == nullptr) return true;
+  if (test->kind() != ActionExpr::Kind::kConst) return false;
+  const Value& v = test->constant();
+  return v.type() == algebra::ValueType::kBool && v.AsBool();
+}
+
+/// Clones `node` with enforcer-operator nodes spliced out (their single
+/// input takes their place); records the deleted slots.
+Result<PatNodePtr> DeleteEnforcerOps(const PatNode& node,
+                                     const std::set<OpId>& enforcer_ops,
+                                     const algebra::Algebra& algebra,
+                                     std::set<int>* deleted_slots) {
+  if (!node.is_stream() && enforcer_ops.count(node.op) > 0) {
+    if (node.children.size() != 1) {
+      return Status::RuleError("enforcer-operator '" + algebra.name(node.op) +
+                               "' used with arity != 1 in a T-rule");
+    }
+    deleted_slots->insert(node.desc_slot);
+    return DeleteEnforcerOps(*node.children[0], enforcer_ops, algebra,
+                             deleted_slots);
+  }
+  PatNodePtr out = std::make_unique<PatNode>();
+  out->kind = node.kind;
+  out->op = node.op;
+  out->stream_var = node.stream_var;
+  out->desc_slot = node.desc_slot;
+  out->children.reserve(node.children.size());
+  for (const PatNodePtr& c : node.children) {
+    PRAIRIE_ASSIGN_OR_RETURN(
+        PatNodePtr nc,
+        DeleteEnforcerOps(*c, enforcer_ops, algebra, deleted_slots));
+    out->children.push_back(std::move(nc));
+  }
+  return out;
+}
+
+void SubstituteAliases(PatNode* node, const std::map<OpId, OpId>& aliases) {
+  if (!node->is_stream()) {
+    auto it = aliases.find(node->op);
+    if (it != aliases.end()) node->op = it->second;
+  }
+  for (PatNodePtr& c : node->children) SubstituteAliases(c.get(), aliases);
+}
+
+/// True if `node` is Op(?a, ?b, ...) — a single operation over stream
+/// variables only; collects the variables in order.
+bool IsFlatOp(const PatNode& node, std::vector<int>* vars) {
+  if (node.is_stream()) return false;
+  vars->clear();
+  for (const PatNodePtr& c : node.children) {
+    if (!c->is_stream()) return false;
+    vars->push_back(c->stream_var);
+  }
+  return true;
+}
+
+OpId ResolveAlias(OpId op, const std::map<OpId, OpId>& aliases) {
+  auto it = aliases.find(op);
+  while (it != aliases.end()) {
+    op = it->second;
+    it = aliases.find(op);
+  }
+  return op;
+}
+
+}  // namespace
+
+std::vector<PropertyClass> ClassifyProperties(const core::RuleSet& prairie) {
+  const algebra::PropertySchema& schema = prairie.algebra->properties();
+  std::vector<PropertyClass> out(static_cast<size_t>(schema.size()),
+                                 PropertyClass::kArgument);
+  for (PropertyId id = 0; id < schema.size(); ++id) {
+    if (schema.decl(id).is_cost) {
+      out[static_cast<size_t>(id)] = PropertyClass::kCost;
+    }
+  }
+  // Physical: assigned on a re-annotated (fresh) input-stream descriptor in
+  // the pre-opt section of some I-rule — i.e. a requirement the algorithm
+  // pushes onto its inputs, like tuple_order in the Nested_loops rule.
+  for (const IRule& r : prairie.irules) {
+    std::set<int> fresh;
+    for (int i = 0; i < r.arity; ++i) {
+      if (r.input_reannotated(i)) {
+        fresh.insert(r.rhs_input_slots[static_cast<size_t>(i)]);
+      }
+    }
+    for (const ActionStmt& s : r.pre_opt) {
+      if (s.target_prop.empty() || fresh.count(s.target_slot) == 0) continue;
+      auto id = schema.Find(s.target_prop);
+      if (id.has_value() &&
+          out[static_cast<size_t>(*id)] == PropertyClass::kArgument) {
+        out[static_cast<size_t>(*id)] = PropertyClass::kPhysical;
+      }
+    }
+  }
+  // Remaining numeric properties are class-wide estimates -> logical.
+  for (PropertyId id = 0; id < schema.size(); ++id) {
+    if (out[static_cast<size_t>(id)] != PropertyClass::kArgument) continue;
+    algebra::ValueType t = schema.decl(id).type;
+    if (t == algebra::ValueType::kReal || t == algebra::ValueType::kInt) {
+      out[static_cast<size_t>(id)] = PropertyClass::kLogical;
+    }
+  }
+  return out;
+}
+
+Result<Analysis> Analyze(const core::RuleSet& prairie) {
+  PRAIRIE_RETURN_NOT_OK(prairie.Validate().WithContext("P2V input"));
+  const algebra::Algebra& algebra = *prairie.algebra;
+  const algebra::PropertySchema& schema = algebra.properties();
+
+  Analysis out;
+
+  // -- Enforcer-operator detection.
+  for (OpId op : prairie.EnforcerOperators()) out.enforcer_ops.insert(op);
+
+  // -- Property classification.
+  out.classes = ClassifyProperties(prairie);
+  int cost_count = 0;
+  for (PropertyId id = 0; id < schema.size(); ++id) {
+    switch (out.classes[static_cast<size_t>(id)]) {
+      case PropertyClass::kCost:
+        ++cost_count;
+        out.cost_prop = id;
+        break;
+      case PropertyClass::kPhysical:
+        out.phys_props.push_back(id);
+        break;
+      case PropertyClass::kLogical:
+        out.logical_props.push_back(id);
+        break;
+      case PropertyClass::kArgument:
+        break;
+    }
+  }
+  if (cost_count != 1) {
+    return Status::RuleError(common::StringPrintf(
+        "P2V requires exactly one COST-typed property, found %d",
+        cost_count));
+  }
+
+  // -- T-rule merging (§3.3).
+  for (const TRule& r : prairie.trules) {
+    std::set<int> deleted;
+    PRAIRIE_ASSIGN_OR_RETURN(
+        PatNodePtr lhs,
+        DeleteEnforcerOps(*r.lhs, out.enforcer_ops, algebra, &deleted));
+    PRAIRIE_ASSIGN_OR_RETURN(
+        PatNodePtr rhs,
+        DeleteEnforcerOps(*r.rhs, out.enforcer_ops, algebra, &deleted));
+    if (lhs->is_stream() || rhs->is_stream()) {
+      return Status::RuleError("T-rule '" + r.name +
+                               "' collapses to a bare stream after "
+                               "enforcer-operator deletion");
+    }
+    std::vector<int> lhs_vars, rhs_vars;
+    if (IsFlatOp(*lhs, &lhs_vars) && IsFlatOp(*rhs, &rhs_vars) &&
+        lhs_vars == rhs_vars && IsTriviallyTrue(r.test)) {
+      // Idempotence mapping: drop the rule; alias the RHS operator to the
+      // LHS operator.
+      if (lhs->op != rhs->op) {
+        OpId canon = ResolveAlias(lhs->op, out.aliases);
+        OpId alias = ResolveAlias(rhs->op, out.aliases);
+        if (alias != canon) out.aliases[alias] = canon;
+      }
+      out.dropped_trules.push_back(r.name);
+      continue;
+    }
+    if (!deleted.empty()) {
+      // The rule keeps real structure but lost enforcer-operator nodes; its
+      // actions may reference the deleted descriptors, so refuse rather
+      // than silently change semantics.
+      return Status::RuleError(
+          "T-rule '" + r.name +
+          "' uses an enforcer-operator in a non-idempotent position; P2V "
+          "can only merge enforcer-introduction rules");
+    }
+    out.trules.push_back(AnalyzedTRule{&r, std::move(lhs), std::move(rhs)});
+  }
+  for (AnalyzedTRule& t : out.trules) {
+    SubstituteAliases(t.lhs.get(), out.aliases);
+    SubstituteAliases(t.rhs.get(), out.aliases);
+  }
+
+  // -- I-rules: split into impl rules and enforcers; drop Null rules.
+  for (const IRule& r : prairie.irules) {
+    if (r.alg == algebra.null_alg()) continue;
+    if (out.enforcer_ops.count(r.op) > 0) {
+      if (r.arity != 1) {
+        return Status::RuleError("enforcer-operator I-rule '" + r.name +
+                                 "' must be unary");
+      }
+      if (r.input_reannotated(0)) {
+        return Status::RuleError(
+            "enforcer-algorithm I-rule '" + r.name +
+            "' re-annotates its input, which P2V does not support");
+      }
+      // The enforced property comes from the operator's Null rule (the
+      // property it propagates to its input).
+      PropertyId enforced = -1;
+      for (const IRule& nr : prairie.irules) {
+        if (nr.op != r.op || nr.alg != algebra.null_alg()) continue;
+        for (const ActionStmt& s : nr.pre_opt) {
+          if (s.target_prop.empty()) continue;
+          if (!nr.input_reannotated(0) ||
+              s.target_slot != nr.rhs_input_slots[0]) {
+            continue;
+          }
+          auto id = schema.Find(s.target_prop);
+          if (!id.has_value()) continue;
+          if (enforced >= 0 && enforced != *id) {
+            return Status::RuleError(
+                "enforcer-operator '" + algebra.name(r.op) +
+                "' propagates more than one property; P2V supports one");
+          }
+          enforced = *id;
+        }
+      }
+      if (enforced < 0) {
+        return Status::RuleError(
+            "cannot determine the property enforced by operator '" +
+            algebra.name(r.op) + "': its Null rule propagates none");
+      }
+      AnalyzedEnforcer e;
+      e.src = &r;
+      e.prop = enforced;
+      e.slot_map.assign(static_cast<size_t>(r.num_slots), -1);
+      e.slot_map[0] = volcano::Enforcer::kInputSlot;
+      e.slot_map[static_cast<size_t>(r.op_slot())] = volcano::Enforcer::kOpSlot;
+      e.slot_map[static_cast<size_t>(r.alg_slot)] = volcano::Enforcer::kAlgSlot;
+      out.enforcers.push_back(std::move(e));
+      continue;
+    }
+    out.irules.push_back(
+        AnalyzedImplRule{&r, ResolveAlias(r.op, out.aliases)});
+  }
+  return out;
+}
+
+}  // namespace prairie::p2v

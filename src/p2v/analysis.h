@@ -1,0 +1,73 @@
+// The analysis half of the P2V pre-processor, shared by the two
+// back-ends: Translate() (in-process rule set with interpreted actions)
+// and EmitCpp() (generated C++ source, as the original toolchain emitted
+// C). Performs property classification, enforcer detection and rule
+// merging (paper §3.1-3.3) without committing to a code representation.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ruleset.h"
+
+namespace prairie::p2v {
+
+/// \brief Classification of one property (§3.1, Table 3).
+///
+/// Cost and physical follow the paper's rules; numeric properties that are
+/// neither become Volcano *logical properties* (class-wide estimates like
+/// num_records — Table 3 lists them as having no Prairie counterpart, so
+/// P2V derives them); everything else is an operator/algorithm argument.
+enum class PropertyClass { kCost, kPhysical, kLogical, kArgument };
+
+/// Classifies every schema property of `prairie` per the P2V rules.
+std::vector<PropertyClass> ClassifyProperties(const core::RuleSet& prairie);
+
+/// A T-rule that survives merging, with enforcer-operators deleted and
+/// aliases substituted in its patterns.
+struct AnalyzedTRule {
+  const core::TRule* src = nullptr;
+  algebra::PatNodePtr lhs;
+  algebra::PatNodePtr rhs;
+};
+
+/// An ordinary I-rule (alias-resolved operator).
+struct AnalyzedImplRule {
+  const core::IRule* src = nullptr;
+  algebra::OpId op = -1;
+};
+
+/// An enforcer-algorithm I-rule with its enforced property and the map
+/// from the rule's descriptor slots onto the fixed enforcer layout
+/// (-1 = slot removed).
+struct AnalyzedEnforcer {
+  const core::IRule* src = nullptr;
+  algebra::PropertyId prop = -1;
+  std::vector<int> slot_map;
+};
+
+/// \brief Everything the back-ends need to produce a Volcano rule set.
+struct Analysis {
+  std::vector<PropertyClass> classes;
+  algebra::PropertyId cost_prop = -1;
+  std::vector<algebra::PropertyId> phys_props;
+  std::vector<algebra::PropertyId> logical_props;
+
+  std::set<algebra::OpId> enforcer_ops;
+  /// Alias substitutions discovered by idempotent-rule merging.
+  std::map<algebra::OpId, algebra::OpId> aliases;
+
+  std::vector<AnalyzedTRule> trules;
+  std::vector<std::string> dropped_trules;
+  std::vector<AnalyzedImplRule> irules;
+  std::vector<AnalyzedEnforcer> enforcers;
+};
+
+/// Runs the full analysis. `prairie` must outlive the result (the
+/// analysis borrows its rules).
+common::Result<Analysis> Analyze(const core::RuleSet& prairie);
+
+}  // namespace prairie::p2v

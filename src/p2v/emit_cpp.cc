@@ -1,0 +1,519 @@
+#include "p2v/emit_cpp.h"
+
+#include "common/strings.h"
+#include "p2v/analysis.h"
+
+namespace prairie::p2v {
+
+using algebra::PatNode;
+using algebra::PropertyId;
+using algebra::Value;
+using algebra::ValueType;
+using common::Result;
+using common::Status;
+using core::ActionExpr;
+using core::ActionExprPtr;
+using core::ActionStmt;
+using core::BinOp;
+using core::IRule;
+using core::UnOp;
+
+namespace {
+
+using common::StringPrintf;
+
+/// Remaps a slot through an optional enforcer slot map.
+Result<int> MapSlot(int slot, const std::vector<int>* slot_map) {
+  if (slot_map == nullptr) return slot;
+  if (slot < 0 || slot >= static_cast<int>(slot_map->size()) ||
+      (*slot_map)[static_cast<size_t>(slot)] < 0) {
+    return Status::RuleError(
+        "action references descriptor D" + std::to_string(slot + 1) +
+        " which was removed by the P2V translation");
+  }
+  return (*slot_map)[static_cast<size_t>(slot)];
+}
+
+std::string PropConst(const algebra::PropertySchema& schema, PropertyId id) {
+  return "kProp_" + schema.decl(id).name;
+}
+
+/// Escapes a string for inclusion in an emitted C++ string literal.
+std::string CppEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> EmitConst(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return std::string("Value()");
+    case ValueType::kBool:
+      return std::string(v.AsBool() ? "Value::Bool(true)"
+                                    : "Value::Bool(false)");
+    case ValueType::kInt:
+      return StringPrintf("Value::Int(%lld)",
+                          static_cast<long long>(v.AsInt()));
+    case ValueType::kReal:
+      return StringPrintf("Value::Real(%.17g)", v.AsReal());
+    case ValueType::kString:
+      return "Value::Str(\"" + CppEscape(v.AsString()) + "\")";
+    case ValueType::kSort:
+      if (v.AsSort().is_dont_care()) {
+        return std::string(
+            "Value::Sort(prairie::algebra::SortSpec::DontCare())");
+      }
+      return Status::NotImplemented(
+          "sort-spec constants other than DONT_CARE cannot be emitted");
+    default:
+      return Status::NotImplemented("constants of type " +
+                                    std::string(ValueTypeName(v.type())) +
+                                    " cannot be emitted");
+  }
+}
+
+class Emitter {
+ public:
+  Emitter(const core::RuleSet& prairie, const Analysis& analysis,
+          const EmitOptions& options)
+      : prairie_(prairie),
+        analysis_(analysis),
+        options_(options),
+        schema_(prairie.algebra->properties()) {}
+
+  Result<std::string> Run();
+
+ private:
+  Result<std::string> EmitExpr(const ActionExprPtr& e,
+                               const std::vector<int>* slot_map);
+  Result<std::string> EmitCallArg(const ActionExprPtr& e,
+                                  const std::vector<int>* slot_map);
+  Status EmitBlock(const std::vector<ActionStmt>& stmts,
+                   const std::vector<int>* slot_map, const char* indent,
+                   std::string* out);
+  Status EmitCondLambda(const std::vector<ActionStmt>& pre,
+                        const ActionExprPtr& test,
+                        const std::vector<int>* slot_map, std::string* out);
+  Status EmitActionLambda(const std::vector<ActionStmt>& stmts,
+                          const std::vector<int>* slot_map, std::string* out);
+  std::string EmitPattern(const PatNode& n);
+
+  const core::RuleSet& prairie_;
+  const Analysis& analysis_;
+  const EmitOptions& options_;
+  const algebra::PropertySchema& schema_;
+};
+
+Result<std::string> Emitter::EmitExpr(const ActionExprPtr& e,
+                                      const std::vector<int>* slot_map) {
+  switch (e->kind()) {
+    case ActionExpr::Kind::kConst:
+      return EmitConst(e->constant());
+    case ActionExpr::Kind::kProp: {
+      PRAIRIE_ASSIGN_OR_RETURN(int slot, MapSlot(e->desc_slot(), slot_map));
+      auto id = schema_.Find(e->property());
+      if (!id.has_value()) {
+        return Status::RuleError("unknown property '" + e->property() + "'");
+      }
+      return StringPrintf("ES::P(c, %d, %s)", slot,
+                          PropConst(schema_, *id).c_str());
+    }
+    case ActionExpr::Kind::kDesc:
+      return Status::RuleError(
+          "whole descriptors may only appear as helper arguments or on the "
+          "right of a whole-descriptor assignment");
+    case ActionExpr::Kind::kCall: {
+      auto native = options_.native_helpers.find(e->fn());
+      if (native != options_.native_helpers.end()) {
+        // Direct call into compiled support code (the paper's deployment).
+        std::string out =
+            "ES::Unwrap(c, " + native->second + "(c.bv.catalog";
+        for (const ActionExprPtr& a : e->args()) {
+          PRAIRIE_ASSIGN_OR_RETURN(std::string v, EmitExpr(a, slot_map));
+          out += ", " + v;
+        }
+        out += "))";
+        return out;
+      }
+      std::string out = "ES::Call(c, \"" + e->fn() + "\", {";
+      for (size_t i = 0; i < e->args().size(); ++i) {
+        if (i > 0) out += ", ";
+        PRAIRIE_ASSIGN_OR_RETURN(std::string a,
+                                 EmitCallArg(e->args()[i], slot_map));
+        out += a;
+      }
+      out += "})";
+      return out;
+    }
+    case ActionExpr::Kind::kBinary: {
+      if (e->bin_op() == BinOp::kAnd || e->bin_op() == BinOp::kOr) {
+        // Short-circuit semantics, matching the interpreter.
+        PRAIRIE_ASSIGN_OR_RETURN(std::string l, EmitExpr(e->left(), slot_map));
+        PRAIRIE_ASSIGN_OR_RETURN(std::string r,
+                                 EmitExpr(e->right(), slot_map));
+        const char* stop = e->bin_op() == BinOp::kAnd ? "!" : "";
+        const char* value = e->bin_op() == BinOp::kAnd ? "false" : "true";
+        return "[&]() -> Value { if (" + std::string(stop) + "ES::AsBool(c, " +
+               l + ")) return Value::Bool(" + value +
+               "); return Value::Bool(ES::AsBool(c, " + r + ")); }()";
+      }
+      PRAIRIE_ASSIGN_OR_RETURN(std::string l, EmitExpr(e->left(), slot_map));
+      PRAIRIE_ASSIGN_OR_RETURN(std::string r, EmitExpr(e->right(), slot_map));
+      switch (e->bin_op()) {
+        case BinOp::kAdd:
+          return "ES::Add(c, " + l + ", " + r + ")";
+        case BinOp::kSub:
+          return "ES::Sub(c, " + l + ", " + r + ")";
+        case BinOp::kMul:
+          return "ES::Mul(c, " + l + ", " + r + ")";
+        case BinOp::kDiv:
+          return "ES::Div(c, " + l + ", " + r + ")";
+        case BinOp::kEq:
+          return "ES::Eq(c, " + l + ", " + r + ", false)";
+        case BinOp::kNe:
+          return "ES::Eq(c, " + l + ", " + r + ", true)";
+        case BinOp::kLt:
+          return "ES::Cmp(c, " + l + ", " + r + ", 0)";
+        case BinOp::kLe:
+          return "ES::Cmp(c, " + l + ", " + r + ", 1)";
+        case BinOp::kGt:
+          return "ES::Cmp(c, " + l + ", " + r + ", 2)";
+        case BinOp::kGe:
+          return "ES::Cmp(c, " + l + ", " + r + ", 3)";
+        default:
+          return Status::Internal("unhandled binary op");
+      }
+    }
+    case ActionExpr::Kind::kUnary: {
+      PRAIRIE_ASSIGN_OR_RETURN(std::string inner,
+                               EmitExpr(e->args()[0], slot_map));
+      return std::string(e->un_op() == UnOp::kNot ? "ES::Not" : "ES::Neg") +
+             "(c, " + inner + ")";
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<std::string> Emitter::EmitCallArg(const ActionExprPtr& e,
+                                         const std::vector<int>* slot_map) {
+  if (e->kind() == ActionExpr::Kind::kDesc) {
+    PRAIRIE_ASSIGN_OR_RETURN(int slot, MapSlot(e->desc_slot(), slot_map));
+    return StringPrintf("ES::DescArg(c, %d)", slot);
+  }
+  PRAIRIE_ASSIGN_OR_RETURN(std::string v, EmitExpr(e, slot_map));
+  return "ES::Arg(" + v + ")";
+}
+
+Status Emitter::EmitBlock(const std::vector<ActionStmt>& stmts,
+                          const std::vector<int>* slot_map,
+                          const char* indent, std::string* out) {
+  for (const ActionStmt& s : stmts) {
+    PRAIRIE_ASSIGN_OR_RETURN(int target, MapSlot(s.target_slot, slot_map));
+    *out += indent;
+    if (s.assigns_whole_descriptor()) {
+      if (s.value->kind() != ActionExpr::Kind::kDesc) {
+        return Status::RuleError(
+            "whole-descriptor assignment requires a descriptor source");
+      }
+      PRAIRIE_ASSIGN_OR_RETURN(int from,
+                               MapSlot(s.value->desc_slot(), slot_map));
+      *out += StringPrintf("ES::Copy(c, %d, %d);", target, from);
+    } else {
+      auto id = schema_.Find(s.target_prop);
+      if (!id.has_value()) {
+        return Status::RuleError("unknown property '" + s.target_prop + "'");
+      }
+      PRAIRIE_ASSIGN_OR_RETURN(std::string v, EmitExpr(s.value, slot_map));
+      *out += StringPrintf("ES::Set(c, %d, %s, %s);", target,
+                           PropConst(schema_, *id).c_str(), v.c_str());
+    }
+    *out += "  // ";
+    *out += s.ToString();
+    *out += "\n";
+  }
+  return Status::OK();
+}
+
+Status Emitter::EmitCondLambda(const std::vector<ActionStmt>& pre,
+                               const ActionExprPtr& test,
+                               const std::vector<int>* slot_map,
+                               std::string* out) {
+  *out +=
+      "[helpers](BindingView& bv) -> prairie::common::Result<bool> {\n"
+      "      ES::EmitCtx c{bv, helpers.get(), {}};\n";
+  PRAIRIE_RETURN_NOT_OK(EmitBlock(pre, slot_map, "      ", out));
+  if (test == nullptr) {
+    *out += "      if (c.failed()) return c.st;\n      return true;\n";
+  } else {
+    PRAIRIE_ASSIGN_OR_RETURN(std::string t, EmitExpr(test, slot_map));
+    *out += "      bool ok = ES::AsBool(c, " + t + ");\n";
+    *out += "      if (c.failed()) return c.st;\n      return ok;\n";
+  }
+  *out += "    }";
+  return Status::OK();
+}
+
+Status Emitter::EmitActionLambda(const std::vector<ActionStmt>& stmts,
+                                 const std::vector<int>* slot_map,
+                                 std::string* out) {
+  *out +=
+      "[helpers](BindingView& bv) -> prairie::common::Status {\n"
+      "      ES::EmitCtx c{bv, helpers.get(), {}};\n";
+  PRAIRIE_RETURN_NOT_OK(EmitBlock(stmts, slot_map, "      ", out));
+  *out += "      return c.st;\n    }";
+  return Status::OK();
+}
+
+std::string Emitter::EmitPattern(const PatNode& n) {
+  if (n.is_stream()) {
+    return StringPrintf("S(%d, %d)", n.stream_var, n.desc_slot);
+  }
+  std::string out = StringPrintf(
+      "N(kOp_%s, %d", prairie_.algebra->name(n.op).c_str(), n.desc_slot);
+  for (const algebra::PatNodePtr& c : n.children) {
+    out += ", " + EmitPattern(*c);
+  }
+  out += ")";
+  return out;
+}
+
+Result<std::string> Emitter::Run() {
+  const algebra::Algebra& algebra = *prairie_.algebra;
+  std::string out;
+  out +=
+      "// Generated by the Prairie P2V pre-processor. DO NOT EDIT.\n"
+      "//\n"
+      "// This translation unit builds a Volcano rule set whose rule\n"
+      "// conditions and property transformations are compiled C++\n"
+      "// (the deployment the original P2V toolchain produced as C).\n"
+      "\n"
+      "#include <memory>\n"
+      "#include <utility>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"p2v/emitted_support.h\"\n";
+  for (const std::string& inc : options_.extra_includes) {
+    out += "#include \"" + inc + "\"\n";
+  }
+  out += "\n";
+  if (!options_.namespace_name.empty()) {
+    out += "namespace " + options_.namespace_name + " {\n";
+  }
+  out +=
+      "namespace {\n"
+      "\n"
+      "namespace ES = prairie::p2v::emitted;\n"
+      "using prairie::algebra::PatNode;\n"
+      "using prairie::algebra::PatNodePtr;\n"
+      "using prairie::algebra::Value;\n"
+      "using prairie::volcano::BindingView;\n"
+      "\n"
+      "PatNodePtr S(int var, int slot) { return PatNode::Stream(var, slot); }\n"
+      "\n"
+      "template <typename... Kids>\n"
+      "PatNodePtr N(prairie::algebra::OpId op, int slot, Kids... kids) {\n"
+      "  std::vector<PatNodePtr> v;\n"
+      "  (v.push_back(std::move(kids)), ...);\n"
+      "  return PatNode::Op(op, slot, std::move(v));\n"
+      "}\n"
+      "\n";
+
+  // Property-id and op-id constants (stable by construction order).
+  for (PropertyId id = 0; id < schema_.size(); ++id) {
+    out += StringPrintf(
+        "constexpr prairie::algebra::PropertyId kProp_%s = %d;\n",
+        schema_.decl(id).name.c_str(), id);
+  }
+  out += "\n";
+  for (algebra::OpId op = 0; op < algebra.size(); ++op) {
+    out += StringPrintf("constexpr prairie::algebra::OpId kOp_%s = %d;\n",
+                        algebra.name(op).c_str(), op);
+  }
+  out += "\n}  // namespace\n\n";
+
+  out += "prairie::common::Result<std::shared_ptr<prairie::volcano::RuleSet>>\n";
+  out += options_.function_name +
+         "(std::shared_ptr<prairie::core::HelperRegistry> helpers) {\n";
+  out +=
+      "  auto rules = std::make_shared<prairie::volcano::RuleSet>();\n"
+      "  rules->name = \"p2v-emitted\";\n"
+      "  rules->algebra = std::make_shared<prairie::algebra::Algebra>();\n"
+      "  auto* schema = rules->algebra->mutable_properties();\n";
+  for (PropertyId id = 0; id < schema_.size(); ++id) {
+    const algebra::PropertyDecl& d = schema_.decl(id);
+    out += StringPrintf(
+        "  PRAIRIE_RETURN_NOT_OK(schema->Add(\"%s\", "
+        "prairie::algebra::ValueType::%s, %s));\n",
+        d.name.c_str(),
+        [&] {
+          switch (d.type) {
+            case ValueType::kBool:
+              return "kBool";
+            case ValueType::kInt:
+              return "kInt";
+            case ValueType::kReal:
+              return "kReal";
+            case ValueType::kString:
+              return "kString";
+            case ValueType::kSort:
+              return "kSort";
+            case ValueType::kAttrs:
+              return "kAttrs";
+            case ValueType::kPred:
+              return "kPred";
+            default:
+              return "kNull";
+          }
+        }(),
+        d.is_cost ? "true" : "false");
+  }
+  // Registration in source-id order keeps the kOp_* constants valid (the
+  // pre-registered Null algorithm is id 0 in every Algebra).
+  for (algebra::OpId op = 1; op < algebra.size(); ++op) {
+    const algebra::OpInfo& info = algebra.info(op);
+    out += StringPrintf(
+        "  {\n    auto id = rules->algebra->Register%s(\"%s\", %d);\n"
+        "    if (!id.ok()) return id.status();\n"
+        "    if (*id != kOp_%s) {\n"
+        "      return prairie::common::Status::Internal(\n"
+        "          \"generated operation ids diverged\");\n    }\n  }\n",
+        info.is_algorithm ? "Algorithm" : "Operator", info.name.c_str(),
+        info.arity, info.name.c_str());
+  }
+
+  out += StringPrintf("  rules->cost_prop = %d;\n", analysis_.cost_prop);
+  auto emit_ids = [&](const char* field,
+                      const std::vector<PropertyId>& ids) {
+    out += StringPrintf("  rules->%s = {", field);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PropConst(schema_, ids[i]);
+    }
+    out += "};\n";
+  };
+  emit_ids("phys_props", analysis_.phys_props);
+  emit_ids("logical_props", analysis_.logical_props);
+  out += "\n";
+
+  // trans_rules.
+  for (const AnalyzedTRule& t : analysis_.trules) {
+    const core::TRule& r = *t.src;
+    out += "  {  // trans_rule " + r.name + "\n";
+    out += "    prairie::volcano::TransRule r;\n";
+    out += "    r.name = \"" + r.name + "\";\n";
+    out += "    r.lhs = " + EmitPattern(*t.lhs) + ";\n";
+    out += "    r.rhs = " + EmitPattern(*t.rhs) + ";\n";
+    out += StringPrintf("    r.num_slots = %d;\n", r.num_slots);
+    if (!r.pre_test.empty() || r.test != nullptr) {
+      out += "    r.condition = ";
+      PRAIRIE_RETURN_NOT_OK(
+          EmitCondLambda(r.pre_test, r.test, nullptr, &out));
+      out += ";\n";
+    }
+    if (!r.post_test.empty()) {
+      out += "    r.apply = ";
+      PRAIRIE_RETURN_NOT_OK(EmitActionLambda(r.post_test, nullptr, &out));
+      out += ";\n";
+    }
+    out += "    rules->trans_rules.push_back(std::move(r));\n  }\n";
+  }
+
+  // impl_rules.
+  for (const AnalyzedImplRule& a : analysis_.irules) {
+    const IRule& r = *a.src;
+    out += "  {  // impl_rule " + r.name + "\n";
+    out += "    prairie::volcano::ImplRule r;\n";
+    out += "    r.name = \"" + r.name + "\";\n";
+    out += StringPrintf("    r.op = kOp_%s;\n",
+                        algebra.name(a.op).c_str());
+    out += StringPrintf("    r.alg = kOp_%s;\n",
+                        algebra.name(r.alg).c_str());
+    out += StringPrintf("    r.arity = %d;\n", r.arity);
+    out += "    r.rhs_input_slots = {";
+    for (int i = 0; i < r.arity; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(r.rhs_input_slots[static_cast<size_t>(i)]);
+    }
+    out += "};\n";
+    out += StringPrintf("    r.alg_slot = %d;\n    r.num_slots = %d;\n",
+                        r.alg_slot, r.num_slots);
+    if (r.test != nullptr) {
+      out += "    r.condition = ";
+      PRAIRIE_RETURN_NOT_OK(EmitCondLambda({}, r.test, nullptr, &out));
+      out += ";\n";
+    }
+    if (!r.pre_opt.empty()) {
+      out += "    r.pre_opt = ";
+      PRAIRIE_RETURN_NOT_OK(EmitActionLambda(r.pre_opt, nullptr, &out));
+      out += ";\n";
+    }
+    if (!r.post_opt.empty()) {
+      out += "    r.post_opt = ";
+      PRAIRIE_RETURN_NOT_OK(EmitActionLambda(r.post_opt, nullptr, &out));
+      out += ";\n";
+    }
+    out += "    rules->impl_rules.push_back(std::move(r));\n  }\n";
+  }
+
+  // enforcers.
+  for (const AnalyzedEnforcer& e : analysis_.enforcers) {
+    const IRule& r = *e.src;
+    out += "  {  // enforcer " + r.name + "\n";
+    out += "    prairie::volcano::Enforcer e;\n";
+    out += "    e.name = \"" + r.name + "\";\n";
+    out += StringPrintf("    e.alg = kOp_%s;\n",
+                        algebra.name(r.alg).c_str());
+    out += StringPrintf("    e.prop = %s;\n",
+                        PropConst(schema_, e.prop).c_str());
+    if (r.test != nullptr) {
+      out += "    e.condition = ";
+      PRAIRIE_RETURN_NOT_OK(EmitCondLambda({}, r.test, &e.slot_map, &out));
+      out += ";\n";
+    }
+    out += "    e.pre_opt = ";
+    PRAIRIE_RETURN_NOT_OK(EmitActionLambda(r.pre_opt, &e.slot_map, &out));
+    out += ";\n";
+    out += "    e.post_opt = ";
+    PRAIRIE_RETURN_NOT_OK(EmitActionLambda(r.post_opt, &e.slot_map, &out));
+    out += ";\n";
+    out += "    rules->enforcers.push_back(std::move(e));\n  }\n";
+  }
+
+  out +=
+      "  PRAIRIE_RETURN_NOT_OK(rules->Finalize());\n"
+      "  return rules;\n"
+      "}\n";
+  if (!options_.namespace_name.empty()) {
+    out += "\n}  // namespace " + options_.namespace_name + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> EmitCpp(const core::RuleSet& prairie,
+                            const EmitOptions& options) {
+  PRAIRIE_ASSIGN_OR_RETURN(Analysis analysis, Analyze(prairie));
+  return Emitter(prairie, analysis, options).Run();
+}
+
+}  // namespace prairie::p2v

@@ -1,0 +1,49 @@
+// P2V code generation: emits a C++ translation unit that builds the
+// Volcano rule set with *compiled* rule actions.
+//
+// The original P2V pre-processor emitted C that was compiled together
+// with the Volcano search engine; Translate() replaces that with an
+// in-process interpreted deployment, and EmitCpp() restores the original
+// architecture: the generated source defines
+//
+//   common::Result<std::shared_ptr<volcano::RuleSet>>
+//   <function_name>(std::shared_ptr<core::HelperRegistry> helpers);
+//
+// whose rule conditions and property-transformation sections are
+// straight-line C++ over the p2v/emitted_support.h primitives (helper
+// functions remain calls into the user-supplied registry — in the paper,
+// too, support functions stayed hand-written C). The build compiles the
+// emitted file like any other source; optimizers produced this way have
+// no interpretation overhead.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ruleset.h"
+
+namespace prairie::p2v {
+
+struct EmitOptions {
+  /// Name of the emitted factory function.
+  std::string function_name = "BuildGeneratedOptimizer";
+  /// Namespace the function is placed in (empty = global).
+  std::string namespace_name = "prairie_generated";
+  /// Helper name -> fully qualified C++ function. Mapped helpers are
+  /// called directly (signature: Result<Value>(const catalog::Catalog*,
+  /// const Value&...)); unmapped helpers go through the registry at
+  /// runtime. Pass opt::native::NativeHelperMap() for the shipped set.
+  std::map<std::string, std::string> native_helpers;
+  /// Extra #include lines for the emitted file (e.g. the header declaring
+  /// the native helpers).
+  std::vector<std::string> extra_includes;
+};
+
+/// Emits the C++ translation unit for `prairie`. The rule set must pass
+/// the same analysis as Translate().
+common::Result<std::string> EmitCpp(const core::RuleSet& prairie,
+                                    const EmitOptions& options = {});
+
+}  // namespace prairie::p2v

@@ -1,0 +1,281 @@
+#include "p2v/translator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "core/action.h"
+#include "p2v/analysis.h"
+
+namespace prairie::p2v {
+
+using algebra::OpId;
+using algebra::PropertyId;
+using algebra::Value;
+using common::Result;
+using common::Status;
+using core::ActionExpr;
+using core::ActionExprPtr;
+using core::ActionStmt;
+using core::IRule;
+using core::TRule;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST slot remapping (for enforcers)
+// ---------------------------------------------------------------------------
+
+/// Clones `expr` renumbering descriptor slots through `map` (-1 = invalid).
+Result<ActionExprPtr> RemapExpr(const ActionExprPtr& expr,
+                                const std::vector<int>& map) {
+  if (expr == nullptr) return ActionExprPtr(nullptr);
+  switch (expr->kind()) {
+    case ActionExpr::Kind::kConst:
+      return expr;
+    case ActionExpr::Kind::kProp:
+    case ActionExpr::Kind::kDesc: {
+      int slot = expr->desc_slot();
+      if (slot < 0 || slot >= static_cast<int>(map.size()) ||
+          map[static_cast<size_t>(slot)] < 0) {
+        return Status::RuleError(
+            "action references descriptor D" + std::to_string(slot + 1) +
+            " which was removed by the P2V translation");
+      }
+      int to = map[static_cast<size_t>(slot)];
+      return expr->kind() == ActionExpr::Kind::kProp
+                 ? ActionExpr::Prop(to, expr->property(), expr->property_id())
+                 : ActionExpr::Desc(to);
+    }
+    case ActionExpr::Kind::kCall: {
+      std::vector<ActionExprPtr> args;
+      args.reserve(expr->args().size());
+      for (const ActionExprPtr& a : expr->args()) {
+        PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr r, RemapExpr(a, map));
+        args.push_back(std::move(r));
+      }
+      return ActionExpr::Call(expr->fn(), std::move(args));
+    }
+    case ActionExpr::Kind::kBinary: {
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr l, RemapExpr(expr->left(), map));
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr r, RemapExpr(expr->right(), map));
+      return ActionExpr::Binary(expr->bin_op(), std::move(l), std::move(r));
+    }
+    case ActionExpr::Kind::kUnary: {
+      PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr e,
+                               RemapExpr(expr->args()[0], map));
+      return ActionExpr::Unary(expr->un_op(), std::move(e));
+    }
+  }
+  return Status::Internal("unhandled action expression kind");
+}
+
+Result<std::vector<ActionStmt>> RemapBlock(const std::vector<ActionStmt>& in,
+                                           const std::vector<int>& map) {
+  std::vector<ActionStmt> out;
+  out.reserve(in.size());
+  for (const ActionStmt& s : in) {
+    if (s.target_slot < 0 ||
+        s.target_slot >= static_cast<int>(map.size()) ||
+        map[static_cast<size_t>(s.target_slot)] < 0) {
+      return Status::RuleError(
+          "action assigns descriptor D" + std::to_string(s.target_slot + 1) +
+          " which was removed by the P2V translation");
+    }
+    ActionStmt ns;
+    ns.target_slot = map[static_cast<size_t>(s.target_slot)];
+    ns.target_prop = s.target_prop;
+    ns.target_prop_id = s.target_prop_id;
+    PRAIRIE_ASSIGN_OR_RETURN(ns.value, RemapExpr(s.value, map));
+    out.push_back(std::move(ns));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Interpretation: Prairie action ASTs as Volcano rule callbacks
+// ---------------------------------------------------------------------------
+
+struct InterpCode {
+  std::vector<ActionStmt> pre;
+  ActionExprPtr test;
+  std::vector<ActionStmt> post;
+  std::shared_ptr<core::HelperRegistry> helpers;
+};
+
+core::EvalContext ContextFor(const std::shared_ptr<InterpCode>& code,
+                             volcano::BindingView& bv) {
+  core::EvalContext ctx;
+  ctx.contiguous = bv.slots.data();
+  ctx.contiguous_count = static_cast<int>(bv.slots.size());
+  ctx.helpers = code->helpers.get();
+  ctx.catalog = bv.catalog;
+  return ctx;
+}
+
+/// cond_code: pre-statements then the test.
+volcano::CondFn MakeCondFn(std::shared_ptr<InterpCode> code) {
+  return [code](volcano::BindingView& bv) -> Result<bool> {
+    core::EvalContext ctx = ContextFor(code, bv);
+    PRAIRIE_RETURN_NOT_OK(core::ExecuteAll(code->pre, ctx));
+    return core::EvalTest(code->test, ctx);
+  };
+}
+
+/// Statement-block action (appl_code / pre-opt / post-opt).
+volcano::ActionFn MakeActionFn(std::shared_ptr<InterpCode> code, bool post) {
+  return [code, post](volcano::BindingView& bv) -> Status {
+    core::EvalContext ctx = ContextFor(code, bv);
+    return core::ExecuteAll(post ? code->post : code->pre, ctx);
+  };
+}
+
+}  // namespace
+
+Result<std::shared_ptr<volcano::RuleSet>> Translate(
+    const core::RuleSet& prairie, TranslationReport* report) {
+  PRAIRIE_ASSIGN_OR_RETURN(Analysis analysis, Analyze(prairie));
+  const algebra::Algebra& algebra = *prairie.algebra;
+  const algebra::PropertySchema& schema = algebra.properties();
+
+  TranslationReport local_report;
+  TranslationReport& rep = report != nullptr ? *report : local_report;
+  rep.input_trules = static_cast<int>(prairie.trules.size());
+  rep.input_irules = static_cast<int>(prairie.irules.size());
+  rep.dropped_trules = analysis.dropped_trules;
+  for (OpId op : analysis.enforcer_ops) {
+    rep.enforcer_operators.push_back(algebra.name(op));
+  }
+  for (const auto& [alias, canon] : analysis.aliases) {
+    rep.aliases.emplace_back(algebra.name(alias), algebra.name(canon));
+  }
+  for (PropertyId id = 0; id < schema.size(); ++id) {
+    const std::string& name = schema.decl(id).name;
+    switch (analysis.classes[static_cast<size_t>(id)]) {
+      case PropertyClass::kCost:
+        rep.cost_properties.push_back(name);
+        break;
+      case PropertyClass::kPhysical:
+        rep.physical_properties.push_back(name);
+        break;
+      case PropertyClass::kLogical:
+        rep.logical_properties.push_back(name);
+        break;
+      case PropertyClass::kArgument:
+        rep.argument_properties.push_back(name);
+        break;
+    }
+  }
+
+  auto volcano_rules = std::make_shared<volcano::RuleSet>();
+  volcano_rules->name = "p2v-generated";
+  volcano_rules->algebra = prairie.algebra;
+  volcano_rules->cost_prop = analysis.cost_prop;
+  volcano_rules->phys_props = analysis.phys_props;
+  volcano_rules->logical_props = analysis.logical_props;
+
+  // -- trans_rules with interpreted cond/appl code.
+  for (AnalyzedTRule& p : analysis.trules) {
+    volcano::TransRule tr;
+    tr.name = p.src->name;
+    tr.lhs = std::move(p.lhs);
+    tr.rhs = std::move(p.rhs);
+    tr.num_slots = p.src->num_slots;
+    auto code = std::make_shared<InterpCode>();
+    code->pre = p.src->pre_test;
+    code->test = p.src->test;
+    code->post = p.src->post_test;
+    code->helpers = prairie.helpers;
+    if (!code->pre.empty() || code->test != nullptr) {
+      tr.condition = MakeCondFn(code);
+    }
+    if (!code->post.empty()) {
+      tr.apply = MakeActionFn(code, /*post=*/true);
+    }
+    volcano_rules->trans_rules.push_back(std::move(tr));
+  }
+
+  // -- impl_rules.
+  for (const AnalyzedImplRule& a : analysis.irules) {
+    const IRule& r = *a.src;
+    volcano::ImplRule ir;
+    ir.name = r.name;
+    ir.op = a.op;
+    ir.alg = r.alg;
+    ir.arity = r.arity;
+    ir.rhs_input_slots = r.rhs_input_slots;
+    ir.alg_slot = r.alg_slot;
+    ir.num_slots = r.num_slots;
+    auto code = std::make_shared<InterpCode>();
+    code->test = r.test;
+    code->pre = r.pre_opt;
+    code->post = r.post_opt;
+    code->helpers = prairie.helpers;
+    if (code->test != nullptr) {
+      ir.condition = MakeCondFn(std::make_shared<InterpCode>(
+          InterpCode{{}, code->test, {}, code->helpers}));
+    }
+    if (!code->pre.empty()) ir.pre_opt = MakeActionFn(code, /*post=*/false);
+    if (!code->post.empty()) ir.post_opt = MakeActionFn(code, /*post=*/true);
+    volcano_rules->impl_rules.push_back(std::move(ir));
+  }
+
+  // -- enforcers (remapped to the fixed 3-slot layout).
+  for (const AnalyzedEnforcer& a : analysis.enforcers) {
+    const IRule& r = *a.src;
+    volcano::Enforcer enf;
+    enf.name = r.name;
+    enf.alg = r.alg;
+    enf.prop = a.prop;
+    auto code = std::make_shared<InterpCode>();
+    PRAIRIE_ASSIGN_OR_RETURN(ActionExprPtr test, RemapExpr(r.test, a.slot_map));
+    code->test = std::move(test);
+    PRAIRIE_ASSIGN_OR_RETURN(code->pre, RemapBlock(r.pre_opt, a.slot_map));
+    PRAIRIE_ASSIGN_OR_RETURN(code->post, RemapBlock(r.post_opt, a.slot_map));
+    code->helpers = prairie.helpers;
+    if (code->test != nullptr) {
+      enf.condition = MakeCondFn(std::make_shared<InterpCode>(
+          InterpCode{{}, code->test, {}, code->helpers}));
+    }
+    enf.pre_opt = MakeActionFn(code, /*post=*/false);
+    enf.post_opt = MakeActionFn(code, /*post=*/true);
+    volcano_rules->enforcers.push_back(std::move(enf));
+    rep.enforcer_algorithms.push_back(algebra.name(r.alg));
+  }
+
+  PRAIRIE_RETURN_NOT_OK(
+      volcano_rules->Finalize().WithContext("P2V output rule set"));
+  rep.output_trans_rules = static_cast<int>(volcano_rules->trans_rules.size());
+  rep.output_impl_rules = static_cast<int>(volcano_rules->impl_rules.size());
+  rep.output_enforcers = static_cast<int>(volcano_rules->enforcers.size());
+  return volcano_rules;
+}
+
+std::string TranslationReport::ToString() const {
+  std::string out;
+  out += common::StringPrintf(
+      "P2V translation: %d T-rules + %d I-rules -> %d trans_rules + %d "
+      "impl_rules + %d enforcer(s)\n",
+      input_trules, input_irules, output_trans_rules, output_impl_rules,
+      output_enforcers);
+  out += "  enforcer-operators: " +
+         common::Join(enforcer_operators, ", ") + "\n";
+  out += "  enforcer-algorithms: " +
+         common::Join(enforcer_algorithms, ", ") + "\n";
+  for (const auto& [alias, canon] : aliases) {
+    out += "  alias merged: " + alias + " == " + canon + "\n";
+  }
+  out += "  T-rules merged away: " + common::Join(dropped_trules, ", ") +
+         "\n";
+  out += "  cost properties: " + common::Join(cost_properties, ", ") + "\n";
+  out += "  physical properties: " +
+         common::Join(physical_properties, ", ") + "\n";
+  out += "  logical properties: " +
+         common::Join(logical_properties, ", ") + "\n";
+  out +=
+      "  argument properties: " + common::Join(argument_properties, ", ") +
+      "\n";
+  return out;
+}
+
+}  // namespace prairie::p2v

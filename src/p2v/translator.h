@@ -1,0 +1,69 @@
+// The P2V pre-processor (paper §3): translates a Prairie rule set into a
+// Volcano rule set that the search engine can process efficiently.
+//
+// The translation performs, exactly as the paper describes:
+//  1. Enforcer detection (§2.5, §3.1): a unary operator with a Null
+//     I-rule is an *enforcer-operator*; its non-Null algorithms are
+//     *enforcer-algorithms* and become Volcano enforcers; Null rules
+//     disappear.
+//  2. Automatic property classification (§3.1): a property declared with
+//     the COST type is a cost property; a property assigned on a
+//     re-annotated input-stream descriptor in the pre-opt section of any
+//     I-rule is a physical property; all remaining properties are
+//     operator/algorithm arguments.
+//  3. Rule merging (§3.3): enforcer-operators are deleted from T-rule
+//     patterns; T-rules that thereby become idempotent operator aliases
+//     (JOIN => JOPR) are dropped and the alias is substituted throughout
+//     the rule set, producing the compact Volcano rule count the paper
+//     reports (22 T + 11 I -> 17 trans + 9 impl for the Open OODB set).
+//  4. Code synthesis (§3.2): Prairie pre-test/test/post-test sections
+//     become the trans_rule's cond_code/appl_code; I-rule sections become
+//     the impl_rule's condition, "get_input_pv"-style pre-opt and
+//     "derive_phy_prop"/cost post-opt callbacks, interpreted over the
+//     Prairie action ASTs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ruleset.h"
+#include "p2v/analysis.h"
+#include "volcano/rules.h"
+
+namespace prairie::p2v {
+
+/// \brief What the pre-processor did — the raw material of the paper's
+/// §4.2 productivity comparison.
+struct TranslationReport {
+  int input_trules = 0;
+  int input_irules = 0;
+  int output_trans_rules = 0;
+  int output_impl_rules = 0;
+  int output_enforcers = 0;
+
+  std::vector<std::string> enforcer_operators;
+  std::vector<std::string> enforcer_algorithms;
+  /// Operator aliases discovered by idempotent-rule merging (alias, canon).
+  std::vector<std::pair<std::string, std::string>> aliases;
+  /// Names of T-rules merged away.
+  std::vector<std::string> dropped_trules;
+
+  std::vector<std::string> cost_properties;
+  std::vector<std::string> physical_properties;
+  std::vector<std::string> logical_properties;
+  std::vector<std::string> argument_properties;
+
+  std::string ToString() const;
+};
+
+/// Translates a validated Prairie rule set into an executable Volcano rule
+/// set. The returned rule set shares the Prairie set's Algebra and keeps
+/// (owns) copies of the rule ASTs it interprets; `prairie` itself is not
+/// retained and may be destroyed afterwards.
+common::Result<std::shared_ptr<volcano::RuleSet>> Translate(
+    const core::RuleSet& prairie, TranslationReport* report = nullptr);
+
+}  // namespace prairie::p2v

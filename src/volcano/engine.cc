@@ -1,0 +1,582 @@
+#include "volcano/engine.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace prairie::volcano {
+
+using algebra::Descriptor;
+using algebra::PatNode;
+using algebra::PropertyId;
+using algebra::Value;
+using common::Result;
+using common::Status;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+size_t OptimizerStats::NumTransMatched() const {
+  size_t n = 0;
+  for (char c : trans_matched) n += (c != 0);
+  return n;
+}
+
+size_t OptimizerStats::NumImplMatched() const {
+  size_t n = 0;
+  for (char c : impl_matched) n += (c != 0);
+  return n;
+}
+
+Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
+                     OptimizerOptions options)
+    : rules_(rules),
+      catalog_(catalog),
+      options_(options),
+      memo_(rules, options.memo_limits),
+      phys_slice_(rules->PhysSlice()) {
+  stats_.trans_matched.assign(rules_->trans_rules.size(), 0);
+  stats_.impl_matched.assign(rules_->impl_rules.size(), 0);
+}
+
+Descriptor Optimizer::MakeReq() const {
+  return Descriptor(&rules_->algebra->properties());
+}
+
+uint64_t Optimizer::ReqKey(const Descriptor& req) const {
+  return phys_slice_.HashOf(req);
+}
+
+BindingView Optimizer::MakeBinding(int num_slots) const {
+  BindingView bv;
+  bv.slots.assign(static_cast<size_t>(num_slots),
+                  Descriptor(&rules_->algebra->properties()));
+  bv.algebra = rules_->algebra.get();
+  bv.catalog = catalog_;
+  return bv;
+}
+
+Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
+                                 const Descriptor& required) {
+  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
+  Descriptor req = MakeReq();
+  if (required.valid()) {
+    for (PropertyId id : rules_->phys_props) {
+      req.SetUnchecked(id, required.Get(id));
+    }
+  }
+  PRAIRIE_ASSIGN_OR_RETURN(
+      Winner w, OptimizeGroup(root, req, options_.initial_cost_limit));
+  stats_.groups = memo_.NumGroups();
+  stats_.mexprs = memo_.NumExprs();
+  if (!w.has_plan) {
+    return Status::OptimizeError(
+        "no access plan found for '" + tree.ToString(*rules_->algebra) +
+        "' under the given requirements");
+  }
+  return Plan{w.plan, w.cost};
+}
+
+Result<Plan> Optimizer::Optimize(const algebra::Expr& tree) {
+  return Optimize(tree, MakeReq());
+}
+
+Result<size_t> Optimizer::ExpandOnly(const algebra::Expr& tree) {
+  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
+  PRAIRIE_RETURN_NOT_OK(ExpandGroup(root));
+  // Expand every group that became reachable so the count reflects the
+  // full logical search space.
+  for (size_t changed = 1; changed != 0;) {
+    changed = 0;
+    for (size_t g = 0; g < memo_.allocated_groups(); ++g) {
+      GroupId rep = memo_.Find(static_cast<GroupId>(g));
+      if (rep != static_cast<GroupId>(g)) continue;
+      if (!memo_.group(rep).expanded && !memo_.group(rep).expanding) {
+        PRAIRIE_RETURN_NOT_OK(ExpandGroup(rep));
+        ++changed;
+      }
+    }
+  }
+  stats_.groups = memo_.NumGroups();
+  stats_.mexprs = memo_.NumExprs();
+  return stats_.groups;
+}
+
+// ---------------------------------------------------------------------------
+// Transformation phase
+// ---------------------------------------------------------------------------
+
+Status Optimizer::ExpandGroup(GroupId gid) {
+  gid = memo_.Find(gid);
+  {
+    Group& grp = memo_.group(gid);
+    if (grp.expanded || grp.expanding) return Status::OK();
+    grp.expanding = true;
+  }
+  Status st = Status::OK();
+  bool restart = true;
+  while (restart && st.ok()) {
+    restart = false;
+    for (size_t ei = 0; st.ok(); ++ei) {
+      gid = memo_.Find(gid);
+      Group* grp = &memo_.group(gid);
+      if (ei >= grp->exprs.size()) break;
+      if (grp->exprs[ei].is_file) continue;
+      for (size_t ri = 0; ri < rules_->trans_rules.size() && st.ok(); ++ri) {
+        uint64_t bit = 1ull << (ri & 63);
+        gid = memo_.Find(gid);
+        grp = &memo_.group(gid);
+        if (ei >= grp->exprs.size()) break;
+        if (grp->exprs[ei].applied_mask & bit) continue;
+        bool epoch_changed = false;
+        st = ApplyTransRule(gid, ei, ri, &epoch_changed);
+        if (!st.ok()) break;
+        if (epoch_changed) {
+          // Groups merged under us: expression indices moved. Restart the
+          // pass; applied_mask keeps finished work cheap to skip.
+          restart = true;
+          break;
+        }
+        gid = memo_.Find(gid);
+        grp = &memo_.group(gid);
+        if (ei < grp->exprs.size()) grp->exprs[ei].applied_mask |= bit;
+      }
+      if (restart) break;
+    }
+  }
+  gid = memo_.Find(gid);
+  Group& grp = memo_.group(gid);
+  grp.expanding = false;
+  if (st.ok()) grp.expanded = true;
+  return st;
+}
+
+Status Optimizer::ApplyTransRule(GroupId gid, size_t expr_idx,
+                                 size_t rule_idx, bool* epoch_changed) {
+  const TransRule& rule = rules_->trans_rules[rule_idx];
+  uint64_t epoch = memo_.merge_epoch();
+  const MExpr& m = memo_.group(gid).exprs[expr_idx];
+  if (m.is_file || rule.lhs->op != m.op) return Status::OK();
+
+  MatchBinding binding;
+  binding.streams.assign(
+      static_cast<size_t>(std::max(rule.lhs->MaxStreamVar(), 1)),
+      std::make_pair(-1, -1));
+  bool aborted = false;
+  auto emit = [&]() -> Status {
+    return FireBinding(gid, rule, rule_idx, binding);
+  };
+  PRAIRIE_RETURN_NOT_OK(EnumerateBindings(*rule.lhs, gid,
+                                          static_cast<int>(expr_idx),
+                                          &binding, emit, &aborted, epoch));
+  *epoch_changed = aborted || memo_.merge_epoch() != epoch;
+  return Status::OK();
+}
+
+Status Optimizer::EnumerateBindings(
+    const PatNode& pat, GroupId gid, int expr_idx, MatchBinding* binding,
+    const std::function<Status()>& emit, bool* aborted, uint64_t epoch) {
+  // Binds pattern node `pat` (known to be kOp) to expression `expr_idx` of
+  // group `gid`, then matches its children.
+  gid = memo_.Find(gid);
+  const Group& grp = memo_.group(gid);
+  if (expr_idx >= static_cast<int>(grp.exprs.size())) return Status::OK();
+  const MExpr& m = grp.exprs[static_cast<size_t>(expr_idx)];
+  if (m.is_file || m.op != pat.op) return Status::OK();
+  binding->op_nodes.emplace_back(pat.desc_slot, std::make_pair(gid, expr_idx));
+  std::vector<GroupId> child_groups = m.children;  // Copy: vector may move.
+  Status st =
+      MatchChildren(pat, child_groups, 0, binding, emit, aborted, epoch);
+  binding->op_nodes.pop_back();
+  return st;
+}
+
+Status Optimizer::MatchChildren(const PatNode& pat,
+                                const std::vector<GroupId>& child_groups,
+                                size_t k, MatchBinding* binding,
+                                const std::function<Status()>& emit,
+                                bool* aborted, uint64_t epoch) {
+  if (*aborted) return Status::OK();
+  if (memo_.merge_epoch() != epoch) {
+    *aborted = true;
+    return Status::OK();
+  }
+  if (k == pat.children.size()) return emit();
+  const PatNode& cp = *pat.children[k];
+  GroupId cg = memo_.Find(child_groups[k]);
+  if (cp.is_stream()) {
+    binding->streams[static_cast<size_t>(cp.stream_var - 1)] =
+        std::make_pair(cg, cp.desc_slot);
+    return MatchChildren(pat, child_groups, k + 1, binding, emit, aborted,
+                         epoch);
+  }
+  // Descend into the child group: it must be expanded for completeness.
+  PRAIRIE_RETURN_NOT_OK(ExpandGroup(cg));
+  if (memo_.merge_epoch() != epoch) {
+    *aborted = true;
+    return Status::OK();
+  }
+  cg = memo_.Find(cg);
+  for (int ci = 0;; ++ci) {
+    if (*aborted) return Status::OK();
+    GroupId rep = memo_.Find(cg);
+    const Group& cgrp = memo_.group(rep);
+    if (ci >= static_cast<int>(cgrp.exprs.size())) break;
+    auto next = [&]() -> Status {
+      return MatchChildren(pat, child_groups, k + 1, binding, emit, aborted,
+                           epoch);
+    };
+    PRAIRIE_RETURN_NOT_OK(
+        EnumerateBindings(cp, rep, ci, binding, next, aborted, epoch));
+  }
+  return Status::OK();
+}
+
+Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
+                              size_t rule_idx, const MatchBinding& binding) {
+  ++stats_.trans_attempts;
+  BindingView bv = MakeBinding(rule.num_slots);
+  bv.streams.assign(binding.streams.size(), -1);
+  for (size_t v = 0; v < binding.streams.size(); ++v) {
+    auto [g, slot] = binding.streams[v];
+    if (g < 0) continue;
+    bv.streams[v] = g;
+    if (slot >= 0) bv.slots[static_cast<size_t>(slot)] =
+        memo_.group(g).stream_desc;
+  }
+  for (const auto& [slot, loc] : binding.op_nodes) {
+    const Group& grp = memo_.group(loc.first);
+    if (loc.second >= static_cast<int>(grp.exprs.size())) {
+      return Status::OK();  // Expression moved by a merge; binding is stale.
+    }
+    bv.slots[static_cast<size_t>(slot)] =
+        grp.exprs[static_cast<size_t>(loc.second)].args;
+  }
+  if (rule.condition != nullptr) {
+    PRAIRIE_ASSIGN_OR_RETURN(bool ok, rule.condition(bv));
+    if (!ok) return Status::OK();
+  }
+  stats_.trans_matched[rule_idx] = 1;
+  if (rule.apply != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(rule.apply(bv));
+  }
+  // Build the RHS children first, then insert the new root into `gid`.
+  const PatNode& root = *rule.rhs;
+  if (root.is_stream()) {
+    return Status::RuleError("trans_rule '" + rule.name +
+                             "' rewrites to a bare stream");
+  }
+  MExpr m;
+  m.op = root.op;
+  m.args = bv.slots[static_cast<size_t>(root.desc_slot)];
+  m.children.reserve(root.children.size());
+  for (const algebra::PatNodePtr& c : root.children) {
+    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, &bv));
+    m.children.push_back(cg);
+  }
+  PRAIRIE_ASSIGN_OR_RETURN(bool added, memo_.InsertInto(gid, std::move(m)));
+  if (added) ++stats_.trans_fired;
+  return Status::OK();
+}
+
+Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv) {
+  if (node.is_stream()) {
+    GroupId g = bv->streams[static_cast<size_t>(node.stream_var - 1)];
+    if (g < 0) {
+      return Status::RuleError("RHS stream variable ?" +
+                               std::to_string(node.stream_var) +
+                               " was not bound by the LHS");
+    }
+    return memo_.Find(g);
+  }
+  MExpr m;
+  m.op = node.op;
+  m.args = bv->slots[static_cast<size_t>(node.desc_slot)];
+  m.children.reserve(node.children.size());
+  for (const algebra::PatNodePtr& c : node.children) {
+    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, bv));
+    m.children.push_back(cg);
+  }
+  const Descriptor desc = m.args;
+  return memo_.GetOrCreateGroup(std::move(m), desc);
+}
+
+// ---------------------------------------------------------------------------
+// Implementation phase
+// ---------------------------------------------------------------------------
+
+Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
+                                        double limit) {
+  gid = memo_.Find(gid);
+  const uint64_t key = ReqKey(req);
+  {
+    Group& grp = memo_.group(gid);
+    auto it = grp.winners.find(key);
+    if (it != grp.winners.end() && phys_slice_.EqualOn(it->second.req, req)) {
+      const Winner& w = it->second;
+      if (w.has_plan) return w;
+      if (w.failed_limit >= 0 && limit <= w.failed_limit) return w;
+    }
+  }
+  const uint64_t progress_key =
+      common::HashMix(key, static_cast<int64_t>(gid));
+  if (in_progress_.count(progress_key) > 0) {
+    // Cyclic requirement path: infeasible along this branch; do not cache.
+    return Winner{};
+  }
+  in_progress_.insert(progress_key);
+
+  Status st = ExpandGroup(gid);
+  if (!st.ok()) {
+    in_progress_.erase(progress_key);
+    return st;
+  }
+  gid = memo_.Find(gid);
+
+  Winner best;
+  best.req = req;
+  double budget = options_.prune ? limit : kInf;
+  bool limit_failure = false;
+
+  for (size_t ei = 0;; ++ei) {
+    GroupId rep = memo_.Find(gid);
+    Group& grp = memo_.group(rep);
+    if (ei >= grp.exprs.size()) break;
+    if (grp.exprs[ei].is_file) {
+      // A stored file is a zero-cost source; RET-class algorithms read it
+      // directly, so any requirement is trivially satisfied here.
+      if (!best.has_plan || best.cost > 0) {
+        best.has_plan = true;
+        best.cost = 0;
+        best.plan = PhysNode::File(grp.exprs[ei].file, grp.stream_desc);
+        budget = std::min(budget, 0.0);
+      }
+      continue;
+    }
+    // Copy: recursive OptimizeGroup calls may grow or merge groups and
+    // invalidate references into exprs.
+    const MExpr m = grp.exprs[ei];
+    for (size_t ri = 0; ri < rules_->impl_rules.size(); ++ri) {
+      const ImplRule& rule = rules_->impl_rules[ri];
+      if (rule.op != m.op) continue;
+      st = TryImplRule(m, rule, ri, req, &budget, &best, &limit_failure);
+      if (!st.ok()) {
+        in_progress_.erase(progress_key);
+        return st;
+      }
+    }
+  }
+
+  for (const Enforcer& enf : rules_->enforcers) {
+    const Value& want = req.Get(enf.prop);
+    if (want.is_null()) continue;
+    if (want.type() == algebra::ValueType::kSort &&
+        want.AsSort().is_dont_care()) {
+      continue;
+    }
+    if (enf.applicable != nullptr && !enf.applicable(want)) continue;
+    st = TryEnforcer(gid, enf, req, &budget, &best, &limit_failure);
+    if (!st.ok()) {
+      in_progress_.erase(progress_key);
+      return st;
+    }
+  }
+
+  in_progress_.erase(progress_key);
+  gid = memo_.Find(gid);
+  Group& grp = memo_.group(gid);
+  Winner& slot = grp.winners[key];
+  if (best.has_plan) {
+    slot = best;
+  } else {
+    slot.req = req;
+    slot.has_plan = false;
+    // Only a limit-induced failure is worth retrying with a larger budget.
+    slot.failed_limit =
+        limit_failure ? limit : std::numeric_limits<double>::max();
+  }
+  return slot;
+}
+
+Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
+                              size_t rule_idx, const Descriptor& req,
+                              double* budget, Winner* best,
+                              bool* limit_failure) {
+  ++stats_.impl_attempts;
+  const algebra::PropertySchema& schema = rules_->algebra->properties();
+  BindingView bv = MakeBinding(rule.num_slots);
+  // Bind LHS input descriptors to the child groups' stream descriptors.
+  for (int i = 0; i < rule.arity; ++i) {
+    bv.slots[static_cast<size_t>(i)] =
+        memo_.group(m.children[static_cast<size_t>(i)]).stream_desc;
+  }
+  // The operator descriptor carries the requirement (top-down propagation).
+  Descriptor op_desc = m.args;
+  if (!op_desc.valid()) op_desc = Descriptor(&schema);
+  for (PropertyId id : rules_->phys_props) {
+    const Value& v = req.Get(id);
+    if (!v.is_null()) op_desc.SetUnchecked(id, v);
+  }
+  bv.slots[static_cast<size_t>(rule.op_slot())] = op_desc;
+
+  if (rule.condition != nullptr) {
+    PRAIRIE_ASSIGN_OR_RETURN(bool ok, rule.condition(bv));
+    if (!ok) return Status::OK();
+  }
+  stats_.impl_matched[rule_idx] = 1;
+  if (rule.pre_opt != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(rule.pre_opt(bv).WithContext(
+        "impl_rule '" + rule.name + "' pre-opt"));
+  }
+
+  // Optimize the inputs under the requirements the pre-opt section pushed
+  // onto the RHS input descriptors.
+  std::vector<PhysNodeRef> kids;
+  kids.reserve(static_cast<size_t>(rule.arity));
+  double child_sum = 0;
+  for (int i = 0; i < rule.arity; ++i) {
+    int rslot = rule.rhs_input_slots[static_cast<size_t>(i)];
+    Descriptor child_req(&schema);
+    for (PropertyId id : rules_->phys_props) {
+      child_req.SetUnchecked(id, bv.slots[static_cast<size_t>(rslot)].Get(id));
+    }
+    double child_limit =
+        options_.prune ? (*budget - child_sum) : kInf;
+    if (options_.prune && child_limit < 0) {
+      *limit_failure = true;
+      return Status::OK();
+    }
+    PRAIRIE_ASSIGN_OR_RETURN(
+        Winner w, OptimizeGroup(m.children[static_cast<size_t>(i)], child_req,
+                                child_limit));
+    if (!w.has_plan) {
+      if (w.failed_limit >= 0 &&
+          w.failed_limit < std::numeric_limits<double>::max()) {
+        *limit_failure = true;
+      }
+      return Status::OK();
+    }
+    child_sum += w.cost;
+    if (options_.prune && child_sum > *budget) {
+      *limit_failure = true;
+      return Status::OK();
+    }
+    // Report the input's optimized cost and delivered physical properties
+    // back into its RHS descriptor for the post-opt section.
+    Descriptor& rd = bv.slots[static_cast<size_t>(rslot)];
+    rd.SetUnchecked(rules_->cost_prop, Value::Real(w.cost));
+    for (PropertyId id : rules_->phys_props) {
+      const Value& delivered = w.plan->desc.Get(id);
+      if (!delivered.is_null()) rd.SetUnchecked(id, delivered);
+    }
+    kids.push_back(w.plan);
+  }
+
+  if (rule.post_opt != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(rule.post_opt(bv).WithContext(
+        "impl_rule '" + rule.name + "' post-opt"));
+  }
+  ++stats_.plans_costed;
+
+  Descriptor& alg_desc = bv.slots[static_cast<size_t>(rule.alg_slot)];
+  const Value& cost_value = alg_desc.Get(rules_->cost_prop);
+  if (cost_value.is_null()) {
+    return Status::RuleError("impl_rule '" + rule.name +
+                             "' did not assign a cost");
+  }
+  PRAIRIE_ASSIGN_OR_RETURN(double total, cost_value.ToReal());
+
+  // The produced plan must deliver the required physical properties.
+  for (PropertyId id : rules_->phys_props) {
+    if (!PropSatisfies(alg_desc.Get(id), req.Get(id))) return Status::OK();
+  }
+  if (options_.prune && total > *budget) {
+    *limit_failure = true;
+    return Status::OK();
+  }
+  if (!best->has_plan || total < best->cost) {
+    best->has_plan = true;
+    best->cost = total;
+    best->plan = PhysNode::Alg(rule.alg, alg_desc, total, std::move(kids));
+    best->failed_limit = -1;
+    *budget = std::min(*budget, total);
+  }
+  return Status::OK();
+}
+
+Status Optimizer::TryEnforcer(GroupId gid, const Enforcer& enf,
+                              const Descriptor& req, double* budget,
+                              Winner* best, bool* limit_failure) {
+  ++stats_.enforcer_attempts;
+  const algebra::PropertySchema& schema = rules_->algebra->properties();
+  Descriptor relaxed = req;
+  relaxed.SetUnchecked(enf.prop, Value::Null());
+  double child_limit = options_.prune ? *budget : kInf;
+  PRAIRIE_ASSIGN_OR_RETURN(Winner w,
+                           OptimizeGroup(gid, relaxed, child_limit));
+  if (!w.has_plan) {
+    if (w.failed_limit >= 0 &&
+        w.failed_limit < std::numeric_limits<double>::max()) {
+      *limit_failure = true;
+    }
+    return Status::OK();
+  }
+
+  BindingView bv = MakeBinding(Enforcer::kNumSlots);
+  gid = memo_.Find(gid);
+  const Descriptor& stream_desc = memo_.group(gid).stream_desc;
+  Descriptor input = stream_desc;
+  if (!input.valid()) input = Descriptor(&schema);
+  input.SetUnchecked(rules_->cost_prop, Value::Real(w.cost));
+  for (PropertyId id : rules_->phys_props) {
+    const Value& delivered = w.plan->desc.Get(id);
+    if (!delivered.is_null()) input.SetUnchecked(id, delivered);
+  }
+  bv.slots[Enforcer::kInputSlot] = input;
+  Descriptor op_desc = stream_desc;
+  if (!op_desc.valid()) op_desc = Descriptor(&schema);
+  for (PropertyId id : rules_->phys_props) {
+    const Value& v = req.Get(id);
+    if (!v.is_null()) op_desc.SetUnchecked(id, v);
+  }
+  bv.slots[Enforcer::kOpSlot] = op_desc;
+
+  if (enf.condition != nullptr) {
+    PRAIRIE_ASSIGN_OR_RETURN(bool ok, enf.condition(bv));
+    if (!ok) return Status::OK();
+  }
+  if (enf.pre_opt != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(
+        enf.pre_opt(bv).WithContext("enforcer '" + enf.name + "' pre-opt"));
+  }
+  if (enf.post_opt != nullptr) {
+    PRAIRIE_RETURN_NOT_OK(
+        enf.post_opt(bv).WithContext("enforcer '" + enf.name + "' post-opt"));
+  }
+  Descriptor& alg_desc = bv.slots[Enforcer::kAlgSlot];
+  const Value& cost_value = alg_desc.Get(rules_->cost_prop);
+  if (cost_value.is_null()) {
+    return Status::RuleError("enforcer '" + enf.name +
+                             "' did not assign a cost");
+  }
+  PRAIRIE_ASSIGN_OR_RETURN(double total, cost_value.ToReal());
+  for (PropertyId id : rules_->phys_props) {
+    if (!PropSatisfies(alg_desc.Get(id), req.Get(id))) return Status::OK();
+  }
+  if (options_.prune && total > *budget) {
+    *limit_failure = true;
+    return Status::OK();
+  }
+  if (!best->has_plan || total < best->cost) {
+    best->has_plan = true;
+    best->cost = total;
+    best->plan = PhysNode::Alg(enf.alg, alg_desc, total, {w.plan});
+    best->failed_limit = -1;
+    *budget = std::min(*budget, total);
+  }
+  return Status::OK();
+}
+
+}  // namespace prairie::volcano

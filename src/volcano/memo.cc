@@ -1,0 +1,212 @@
+#include "volcano/memo.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace prairie::volcano {
+
+using common::Result;
+using common::Status;
+
+Memo::Memo(const RuleSet* rules, MemoLimits limits)
+    : rules_(rules), limits_(limits), arg_slice_(rules->ArgSlice()) {}
+
+GroupId Memo::Find(GroupId g) const {
+  GroupId root = g;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  // Path compression.
+  while (parent_[static_cast<size_t>(g)] != root) {
+    GroupId next = parent_[static_cast<size_t>(g)];
+    parent_[static_cast<size_t>(g)] = root;
+    g = next;
+  }
+  return root;
+}
+
+uint64_t Memo::KeyOf(const MExpr& m) const {
+  uint64_t h = m.is_file ? common::HashMix(0x417e, m.file)
+                         : common::HashMix(0x09a1, m.op);
+  h = common::HashCombine(h, arg_slice_.HashOf(m.args));
+  for (GroupId c : m.children) {
+    h = common::HashMix(h, static_cast<int64_t>(Find(c)));
+  }
+  return h;
+}
+
+bool Memo::SameExpr(const MExpr& a, const MExpr& b) const {
+  if (a.is_file != b.is_file || a.op != b.op || a.file != b.file ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (Find(a.children[i]) != Find(b.children[i])) return false;
+  }
+  return arg_slice_.EqualOn(a.args, b.args);
+}
+
+Result<GroupId> Memo::NewGroup(MExpr m, const algebra::Descriptor& desc) {
+  if (groups_.size() >= limits_.max_groups) {
+    return Status::ResourceExhausted(
+        "memo group limit reached (" + std::to_string(limits_.max_groups) +
+        " groups); the search space exploded");
+  }
+  GroupId id = static_cast<GroupId>(groups_.size());
+  groups_.emplace_back();
+  parent_.push_back(id);
+  Group& g = groups_.back();
+  g.stream_desc = desc;
+  uint64_t key = KeyOf(m);
+  g.exprs.push_back(std::move(m));
+  ++num_exprs_;
+  index_.emplace(key, std::make_pair(id, 0));
+  return id;
+}
+
+Result<GroupId> Memo::GetOrCreateGroup(MExpr m,
+                                       const algebra::Descriptor& desc) {
+  uint64_t key = KeyOf(m);
+  auto [begin, end] = index_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    GroupId g = Find(it->second.first);
+    const Group& grp = groups_[static_cast<size_t>(g)];
+    int idx = it->second.second;
+    if (idx < static_cast<int>(grp.exprs.size()) &&
+        SameExpr(grp.exprs[static_cast<size_t>(idx)], m)) {
+      return g;
+    }
+  }
+  return NewGroup(std::move(m), desc);
+}
+
+Result<bool> Memo::InsertInto(GroupId g, MExpr m) {
+  g = Find(g);
+  uint64_t key = KeyOf(m);
+  auto [begin, end] = index_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    GroupId h = Find(it->second.first);
+    const Group& grp = groups_[static_cast<size_t>(h)];
+    int idx = it->second.second;
+    if (idx >= static_cast<int>(grp.exprs.size()) ||
+        !SameExpr(grp.exprs[static_cast<size_t>(idx)], m)) {
+      continue;
+    }
+    if (h == g) return false;  // Already present in this group.
+    // The expression proves g and h equivalent: merge.
+    PRAIRIE_RETURN_NOT_OK(Merge(g, h));
+    return false;
+  }
+  if (num_exprs_ >= limits_.max_exprs) {
+    return Status::ResourceExhausted(
+        "memo expression limit reached (" + std::to_string(limits_.max_exprs) +
+        " expressions); the search space exploded");
+  }
+  Group& grp = groups_[static_cast<size_t>(g)];
+  int idx = static_cast<int>(grp.exprs.size());
+  grp.exprs.push_back(std::move(m));
+  ++num_exprs_;
+  index_.emplace(key, std::make_pair(g, idx));
+  return true;
+}
+
+Status Memo::Merge(GroupId keep, GroupId lose) {
+  keep = Find(keep);
+  lose = Find(lose);
+  if (keep == lose) return Status::OK();
+  // Keep the smaller id as representative for stable statistics.
+  if (lose < keep) std::swap(keep, lose);
+  Group& kg = groups_[static_cast<size_t>(keep)];
+  Group& lg = groups_[static_cast<size_t>(lose)];
+  parent_[static_cast<size_t>(lose)] = keep;
+  // Move the loser's expressions in, re-deduplicating against the keeper.
+  for (MExpr& m : lg.exprs) {
+    uint64_t key = KeyOf(m);
+    bool dup = false;
+    auto [begin, end] = index_.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (Find(it->second.first) != keep) continue;
+      const Group& grp = groups_[static_cast<size_t>(keep)];
+      int idx = it->second.second;
+      if (idx < static_cast<int>(grp.exprs.size()) &&
+          SameExpr(grp.exprs[static_cast<size_t>(idx)], m)) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      --num_exprs_;
+      continue;
+    }
+    int idx = static_cast<int>(kg.exprs.size());
+    kg.exprs.push_back(std::move(m));
+    index_.emplace(key, std::make_pair(keep, idx));
+  }
+  lg.exprs.clear();
+  lg.merged_away = true;
+  // Winners may no longer be best (new expressions arrived): recompute.
+  kg.winners.clear();
+  lg.winners.clear();
+  kg.expanded = false;
+  ++merge_epoch_;
+  return Status::OK();
+}
+
+Result<GroupId> Memo::CopyIn(const algebra::Expr& tree) {
+  MExpr m;
+  if (tree.is_file()) {
+    m.is_file = true;
+    m.file = tree.file_name();
+    m.args = tree.descriptor();
+    return GetOrCreateGroup(std::move(m), tree.descriptor());
+  }
+  if (rules_->algebra->is_algorithm(tree.op())) {
+    return Status::InvalidArgument(
+        "input operator trees must be logical; found algorithm '" +
+        rules_->algebra->name(tree.op()) + "'");
+  }
+  m.op = tree.op();
+  m.args = tree.descriptor();
+  m.children.reserve(tree.num_children());
+  for (const algebra::ExprPtr& c : tree.children()) {
+    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, CopyIn(*c));
+    m.children.push_back(cg);
+  }
+  return GetOrCreateGroup(std::move(m), tree.descriptor());
+}
+
+size_t Memo::NumGroups() const {
+  size_t n = 0;
+  for (const Group& g : groups_) {
+    if (!g.merged_away) ++n;
+  }
+  return n;
+}
+
+size_t Memo::NumExprs() const { return num_exprs_; }
+
+std::string Memo::ToString(const algebra::Algebra& algebra) const {
+  std::string out;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    const Group& g = groups_[i];
+    if (g.merged_away) continue;
+    out += common::StringPrintf("group %d:\n", static_cast<int>(i));
+    for (const MExpr& m : g.exprs) {
+      out += "  ";
+      if (m.is_file) {
+        out += m.file;
+      } else {
+        out += algebra.name(m.op) + "(";
+        std::vector<std::string> parts;
+        for (GroupId c : m.children) {
+          parts.push_back("g" + std::to_string(Find(c)));
+        }
+        out += common::Join(parts, ", ") + ")";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace prairie::volcano

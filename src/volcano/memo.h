@@ -1,0 +1,125 @@
+// The memo: equivalence classes of logical multi-expressions (the paper's
+// Figure 14 counts these classes).
+//
+// Groups are identified by GroupId with union-find indirection: when a
+// transformation produces, as the root of some group g, an expression that
+// already exists in another group h, the two groups are provably
+// equivalent and are merged. Expression identity is (operation,
+// argument-property slice of the descriptor, child groups); physical and
+// cost properties are excluded, as in Volcano.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "volcano/plan.h"
+#include "volcano/rules.h"
+
+namespace prairie::volcano {
+
+/// \brief A logical multi-expression stored in a group.
+struct MExpr {
+  bool is_file = false;
+  algebra::OpId op = -1;
+  std::string file;
+  algebra::Descriptor args;        ///< Full descriptor of this node.
+  std::vector<GroupId> children;   ///< Child groups (canonicalized on use).
+  uint64_t applied_mask = 0;       ///< TransRules already applied here.
+};
+
+/// \brief Memoized result of optimizing a group under one requirement.
+struct Winner {
+  bool has_plan = false;
+  double cost = 0;
+  PhysNodeRef plan;
+  /// The requirement this winner answers (guards against hash collisions).
+  algebra::Descriptor req;
+  /// When >= 0: the search failed under this cost limit; a retry is only
+  /// worthwhile with a larger limit.
+  double failed_limit = -1;
+};
+
+/// \brief One equivalence class.
+struct Group {
+  std::vector<MExpr> exprs;
+  /// Logical annotations of the stream this class produces (used to bind
+  /// rule input descriptors D1..Dk).
+  algebra::Descriptor stream_desc;
+  bool expanded = false;
+  bool expanding = false;
+  bool merged_away = false;
+  std::unordered_map<uint64_t, Winner> winners;  ///< Key: requirement hash.
+};
+
+/// \brief Limits protecting against search-space explosion (the paper hit
+/// virtual-memory exhaustion at 8-way joins in 1994; we fail cleanly).
+struct MemoLimits {
+  size_t max_groups = 2'000'000;
+  size_t max_exprs = 8'000'000;
+};
+
+/// \brief The memo structure.
+class Memo {
+ public:
+  Memo(const RuleSet* rules, MemoLimits limits);
+
+  /// Canonical (union-find) representative of `g`.
+  GroupId Find(GroupId g) const;
+
+  Group& group(GroupId g) { return groups_[static_cast<size_t>(Find(g))]; }
+  const Group& group(GroupId g) const {
+    return groups_[static_cast<size_t>(Find(g))];
+  }
+
+  /// Copies a logical operator tree into the memo; returns the root group.
+  /// Interior nodes must be abstract operators of the rule set's algebra.
+  common::Result<GroupId> CopyIn(const algebra::Expr& tree);
+
+  /// Finds the group already containing an expression identical to `m`, or
+  /// creates a new group for it. `stream_desc` seeds a new group's stream
+  /// descriptor.
+  common::Result<GroupId> GetOrCreateGroup(MExpr m,
+                                           const algebra::Descriptor& desc);
+
+  /// Inserts `m` as a new expression of group `g`. If an identical
+  /// expression lives in another group, the groups are merged. Returns
+  /// true if a new expression was actually added somewhere.
+  common::Result<bool> InsertInto(GroupId g, MExpr m);
+
+  /// Number of live (representative) groups — the paper's "equivalence
+  /// classes".
+  size_t NumGroups() const;
+
+  /// Total logical multi-expressions across live groups.
+  size_t NumExprs() const;
+
+  /// Bumps on every merge; long-running loops over a group's expressions
+  /// restart when they observe a change.
+  uint64_t merge_epoch() const { return merge_epoch_; }
+
+  size_t allocated_groups() const { return groups_.size(); }
+
+  std::string ToString(const algebra::Algebra& algebra) const;
+
+ private:
+  uint64_t KeyOf(const MExpr& m) const;
+  bool SameExpr(const MExpr& a, const MExpr& b) const;
+  common::Status Merge(GroupId keep, GroupId lose);
+  common::Result<GroupId> NewGroup(MExpr m, const algebra::Descriptor& desc);
+
+  const RuleSet* rules_;
+  MemoLimits limits_;
+  algebra::PropertySlice arg_slice_;
+  std::vector<Group> groups_;
+  mutable std::vector<GroupId> parent_;
+  /// Expression index for duplicate detection: key -> (group, expr index).
+  std::unordered_multimap<uint64_t, std::pair<GroupId, int>> index_;
+  size_t num_exprs_ = 0;
+  uint64_t merge_epoch_ = 0;
+};
+
+}  // namespace prairie::volcano

@@ -1,0 +1,70 @@
+#include "volcano/plan.h"
+
+#include "common/strings.h"
+
+namespace prairie::volcano {
+
+PhysNodeRef PhysNode::File(std::string name, algebra::Descriptor desc) {
+  auto n = std::make_shared<PhysNode>();
+  n->is_file = true;
+  n->file = std::move(name);
+  n->desc = std::move(desc);
+  return n;
+}
+
+PhysNodeRef PhysNode::Alg(algebra::OpId alg, algebra::Descriptor desc,
+                          double cost, std::vector<PhysNodeRef> children) {
+  auto n = std::make_shared<PhysNode>();
+  n->alg = alg;
+  n->desc = std::move(desc);
+  n->cost = cost;
+  n->children = std::move(children);
+  return n;
+}
+
+algebra::ExprPtr PhysNode::ToExpr(const algebra::Algebra& algebra) const {
+  if (is_file) return algebra::Expr::MakeFile(file, desc);
+  std::vector<algebra::ExprPtr> kids;
+  kids.reserve(children.size());
+  for (const PhysNodeRef& c : children) kids.push_back(c->ToExpr(algebra));
+  return algebra::Expr::MakeOp(alg, std::move(kids), desc);
+}
+
+std::string PhysNode::ToString(const algebra::Algebra& algebra) const {
+  if (is_file) return file;
+  std::vector<std::string> parts;
+  parts.reserve(children.size());
+  for (const PhysNodeRef& c : children) parts.push_back(c->ToString(algebra));
+  return algebra.name(alg) + "(" + common::Join(parts, ", ") + ")";
+}
+
+namespace {
+void TreeRec(const PhysNode& n, const algebra::Algebra& algebra, int depth,
+             std::string* out) {
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  if (n.is_file) {
+    *out += n.file + "\n";
+  } else {
+    *out += algebra.name(n.alg) +
+            common::StringPrintf("  [cost=%.6g]\n", n.cost);
+  }
+  for (const PhysNodeRef& c : n.children) {
+    TreeRec(*c, algebra, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string PhysNode::TreeString(const algebra::Algebra& algebra) const {
+  std::string out;
+  TreeRec(*this, algebra, 0, &out);
+  return out;
+}
+
+int PhysNode::AlgCount() const {
+  if (is_file) return 0;
+  int n = 1;
+  for (const PhysNodeRef& c : children) n += c->AlgCount();
+  return n;
+}
+
+}  // namespace prairie::volcano

@@ -1,0 +1,50 @@
+// Physical plans produced by the search engine (Volcano physical
+// expressions / Prairie access plans).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace prairie::volcano {
+
+struct PhysNode;
+using PhysNodeRef = std::shared_ptr<const PhysNode>;
+
+/// \brief One node of a costed access plan. Interior nodes are algorithms;
+/// leaves are stored files.
+struct PhysNode {
+  bool is_file = false;
+  algebra::OpId alg = -1;
+  std::string file;
+  algebra::Descriptor desc;  ///< The algorithm's full descriptor.
+  double cost = 0;           ///< Total cost of the subtree.
+  std::vector<PhysNodeRef> children;
+
+  static PhysNodeRef File(std::string name, algebra::Descriptor desc);
+  static PhysNodeRef Alg(algebra::OpId alg, algebra::Descriptor desc,
+                         double cost, std::vector<PhysNodeRef> children);
+
+  /// Converts to a plain operator tree (access plan).
+  algebra::ExprPtr ToExpr(const algebra::Algebra& algebra) const;
+
+  /// One-line rendering, e.g. "Merge_sort(Nested_loops(File_scan(R1), ...))".
+  std::string ToString(const algebra::Algebra& algebra) const;
+
+  /// Multi-line rendering with per-node cost.
+  std::string TreeString(const algebra::Algebra& algebra) const;
+
+  /// Number of algorithm nodes in the plan.
+  int AlgCount() const;
+};
+
+/// \brief The optimizer's answer: the cheapest access plan and its cost.
+struct Plan {
+  PhysNodeRef root;
+  double cost = 0;
+};
+
+}  // namespace prairie::volcano

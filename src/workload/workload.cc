@@ -1,0 +1,216 @@
+#include "workload/workload.h"
+
+#include "common/strings.h"
+#include "optimizers/props.h"
+
+namespace prairie::workload {
+
+using algebra::Attr;
+using algebra::ExprPtr;
+using algebra::Predicate;
+using algebra::PredicateRef;
+using algebra::Scalar;
+using catalog::AttributeDef;
+using catalog::Catalog;
+using catalog::IndexDef;
+using catalog::StoredFile;
+using common::Result;
+using common::Rng;
+using common::Status;
+
+QuerySpec PaperQuery(int number, int num_joins, uint64_t seed) {
+  QuerySpec spec;
+  spec.num_joins = num_joins;
+  spec.seed = seed;
+  switch (number) {
+    case 1:
+    case 2:
+      spec.expr = ExprKind::kE1;
+      break;
+    case 3:
+    case 4:
+      spec.expr = ExprKind::kE2;
+      break;
+    case 5:
+    case 6:
+      spec.expr = ExprKind::kE3;
+      break;
+    case 7:
+    case 8:
+      spec.expr = ExprKind::kE4;
+      break;
+    default:
+      spec.expr = ExprKind::kE1;
+      break;
+  }
+  spec.with_indexes = (number % 2) == 0;
+  return spec;
+}
+
+namespace {
+
+bool NeedsMat(ExprKind k) {
+  return k == ExprKind::kE2 || k == ExprKind::kE4;
+}
+bool NeedsSelect(ExprKind k) {
+  return k == ExprKind::kE3 || k == ExprKind::kE4;
+}
+
+std::string ClassName(int i) { return "C" + std::to_string(i + 1); }
+std::string TargetName(int i) { return "T" + std::to_string(i + 1); }
+
+StoredFile MakeClass(const QuerySpec& spec, int i, Rng* rng) {
+  int64_t card = rng->Uniform(spec.min_card, spec.max_card);
+  std::vector<AttributeDef> attrs;
+  attrs.push_back(AttributeDef{"oid", algebra::ValueType::kInt, card, "",
+                               false, 1.0});
+  // Join attributes "a" and "b": moderate distinct counts so N-way joins
+  // stay selective but non-empty.
+  attrs.push_back(AttributeDef{"a", algebra::ValueType::kInt,
+                               std::max<int64_t>(2, card / 10), "", false,
+                               1.0});
+  attrs.push_back(AttributeDef{"b", algebra::ValueType::kInt,
+                               std::max<int64_t>(2, card / 20), "", false,
+                               1.0});
+  // Selection attribute "bc" (the paper's bc_i).
+  attrs.push_back(AttributeDef{"bc", algebra::ValueType::kInt,
+                               std::max<int64_t>(2, card / 50), "", false,
+                               1.0});
+  if (NeedsMat(spec.expr)) {
+    attrs.push_back(AttributeDef{"ref", algebra::ValueType::kInt, card,
+                                 TargetName(i), false, 1.0});
+  }
+  StoredFile file(ClassName(i), std::move(attrs), card, 64);
+  if (spec.with_indexes) {
+    file.AddIndex(IndexDef{"bc", IndexDef::Kind::kBtree});
+  }
+  return file;
+}
+
+StoredFile MakeTarget(const QuerySpec& spec, int i, Rng* rng) {
+  int64_t card = rng->Uniform(spec.min_card, spec.max_card);
+  std::vector<AttributeDef> attrs;
+  attrs.push_back(AttributeDef{"oid", algebra::ValueType::kInt, card, "",
+                               false, 1.0});
+  attrs.push_back(AttributeDef{"x", algebra::ValueType::kInt,
+                               std::max<int64_t>(2, card / 10), "", false,
+                               1.0});
+  attrs.push_back(AttributeDef{"y", algebra::ValueType::kInt,
+                               std::max<int64_t>(2, card / 20), "", false,
+                               1.0});
+  return StoredFile(TargetName(i), std::move(attrs), card, 48);
+}
+
+}  // namespace
+
+Result<Workload> MakeWorkload(const algebra::Algebra& algebra,
+                              const QuerySpec& spec) {
+  if (spec.num_joins < 1) {
+    return Status::InvalidArgument("a query needs at least one join");
+  }
+  Workload w;
+  Rng rng(spec.seed * 0x9e37 + 17);
+  const int num_classes = spec.num_joins + 1;
+  for (int i = 0; i < num_classes; ++i) {
+    PRAIRIE_RETURN_NOT_OK(w.catalog.AddFile(MakeClass(spec, i, &rng)));
+  }
+  if (NeedsMat(spec.expr)) {
+    for (int i = 0; i < num_classes; ++i) {
+      PRAIRIE_RETURN_NOT_OK(w.catalog.AddFile(MakeTarget(spec, i, &rng)));
+    }
+  }
+
+  opt::TreeBuilder builder(&algebra, &w.catalog);
+  // Per-class access path: RET (E1/E3) or MAT over RET (E2/E4).
+  std::vector<ExprPtr> streams;
+  for (int i = 0; i < num_classes; ++i) {
+    PRAIRIE_ASSIGN_OR_RETURN(ExprPtr ret,
+                             builder.Ret(ClassName(i), Predicate::True()));
+    if (NeedsMat(spec.expr)) {
+      PRAIRIE_ASSIGN_OR_RETURN(
+          ret, builder.Mat(std::move(ret), Attr{ClassName(i), "ref"}));
+    }
+    streams.push_back(std::move(ret));
+  }
+  // Linear join graph with random equality join attributes.
+  ExprPtr tree = std::move(streams[0]);
+  for (int i = 1; i < num_classes; ++i) {
+    const char* left_attr = rng.Bernoulli(0.5) ? "a" : "b";
+    const char* right_attr = rng.Bernoulli(0.5) ? "a" : "b";
+    PredicateRef pred = Predicate::EqAttrs(
+        Attr{ClassName(i - 1), left_attr}, Attr{ClassName(i), right_attr});
+    PRAIRIE_ASSIGN_OR_RETURN(
+        tree, builder.Join(std::move(tree), std::move(streams[i]),
+                           std::move(pred)));
+  }
+  if (NeedsSelect(spec.expr)) {
+    // Conjunction of equality predicates bc_i = const_i (paper §4.3; the
+    // paper picks const_i = i arbitrarily — we reduce it into the
+    // attribute's domain so executed results are non-trivially empty).
+    std::vector<PredicateRef> conj;
+    for (int i = 0; i < num_classes; ++i) {
+      Attr attr{ClassName(i), "bc"};
+      int64_t domain = w.catalog.DistinctValues(attr);
+      conj.push_back(Predicate::EqConst(
+          std::move(attr), Scalar::Int((i + 1) % std::max<int64_t>(1, domain))));
+    }
+    PRAIRIE_ASSIGN_OR_RETURN(
+        tree, builder.Select(std::move(tree), Predicate::And(std::move(conj))));
+  }
+  w.query = std::move(tree);
+  return w;
+}
+
+Result<exec::Database> MakeDatabase(const Catalog& catalog, uint64_t seed) {
+  exec::Database db;
+  Rng rng(seed ^ 0xdb0315u);
+  for (const std::string& name : catalog.FileNames()) {
+    PRAIRIE_ASSIGN_OR_RETURN(const StoredFile* file, catalog.Require(name));
+    exec::RowSchema schema;
+    schema.attrs = file->QualifiedAttrs();
+    exec::Table table(name, schema);
+    // Defer rows so reference OIDs can point at any class; generate rows
+    // first, indexes after.
+    for (int64_t row = 0; row < file->cardinality(); ++row) {
+      exec::Row r;
+      r.reserve(file->attrs().size());
+      for (const AttributeDef& a : file->attrs()) {
+        if (a.name == "oid") {
+          r.push_back(exec::Datum::Int(row));
+        } else if (a.is_reference()) {
+          const StoredFile* target = catalog.Find(a.ref_class);
+          int64_t tcard = target == nullptr ? 1 : target->cardinality();
+          r.push_back(exec::Datum::Int(rng.Uniform(0, tcard - 1)));
+        } else if (a.type == algebra::ValueType::kString) {
+          r.push_back(exec::Datum::Str(
+              "s" + std::to_string(rng.Uniform(0, a.distinct_values - 1))));
+        } else {
+          r.push_back(exec::Datum::Int(
+              rng.Uniform(0, std::max<int64_t>(1, a.distinct_values) - 1)));
+        }
+      }
+      PRAIRIE_RETURN_NOT_OK(table.Append(std::move(r)));
+    }
+    // Set-valued attribute contents.
+    for (const AttributeDef& a : file->attrs()) {
+      if (!a.set_valued) continue;
+      for (size_t row = 0; row < table.NumRows(); ++row) {
+        int64_t n = rng.Uniform(0, static_cast<int64_t>(2 * a.avg_set_size));
+        std::vector<exec::Datum> values;
+        for (int64_t k = 0; k < n; ++k) {
+          values.push_back(exec::Datum::Int(
+              rng.Uniform(0, std::max<int64_t>(1, a.distinct_values) - 1)));
+        }
+        PRAIRIE_RETURN_NOT_OK(table.SetSetValues(a.name, row,
+                                                 std::move(values)));
+      }
+    }
+    for (const IndexDef& idx : file->indices()) {
+      PRAIRIE_RETURN_NOT_OK(table.BuildIndex(idx.attr));
+    }
+    PRAIRIE_RETURN_NOT_OK(db.AddTable(std::move(table)));
+  }
+  return db;
+}
+
+}  // namespace prairie::workload

@@ -1,0 +1,62 @@
+// Workload generation for the paper's experiments (§4.3).
+//
+// Queries Q1..Q8 are derived from four expression templates over N-way
+// linear join graphs:
+//   E1: RET(C1) JOIN ... JOIN RET(C_{N+1})
+//   E2: like E1, but each retrieval is followed by a MAT (attribute
+//       materialization via a reference attribute)
+//   E3: SELECT over E1 (conjunctive equality selection bc_i = i)
+//   E4: SELECT over E2
+// Odd queries run without indices; even queries give every base class a
+// single index on the attribute its selection predicate references.
+// Cardinalities vary with the seed; the paper averages 5 seeds per point.
+
+#pragma once
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "exec/table.h"
+
+namespace prairie::workload {
+
+/// Which expression template to instantiate.
+enum class ExprKind { kE1 = 1, kE2 = 2, kE3 = 3, kE4 = 4 };
+
+/// \brief Parameters of one generated query instance.
+struct QuerySpec {
+  ExprKind expr = ExprKind::kE1;
+  int num_joins = 2;          ///< N: the query joins N+1 classes.
+  bool with_indexes = false;  ///< One index per base class (on "bc").
+  uint64_t seed = 1;          ///< Drives cardinalities and join attrs.
+  /// Cardinality range for base classes (the bench uses large values; the
+  /// execution tests use small ones so results stay enumerable).
+  int64_t min_card = 100;
+  int64_t max_card = 10000;
+};
+
+/// The paper's query naming: Q1..Q8 -> (expression, index flag).
+QuerySpec PaperQuery(int number, int num_joins, uint64_t seed);
+
+/// \brief One generated problem instance.
+struct Workload {
+  catalog::Catalog catalog;
+  algebra::ExprPtr query;
+};
+
+/// Generates the catalog (classes C1..C_{N+1}, plus referenced target
+/// classes T_i for E2/E4) and the initialized operator tree for `spec`,
+/// against the given optimizer algebra. E3/E4 require an algebra with a
+/// SELECT operator (the OODB algebra); E1 works with both shipped
+/// algebras.
+common::Result<Workload> MakeWorkload(const algebra::Algebra& algebra,
+                                      const QuerySpec& spec);
+
+/// Populates an executable in-memory database consistent with `catalog`:
+/// every class gets `oid` = row position, random attribute values bounded
+/// by the attribute's distinct-value count, valid reference OIDs, and
+/// indexes where the catalog declares them.
+common::Result<exec::Database> MakeDatabase(const catalog::Catalog& catalog,
+                                            uint64_t seed);
+
+}  // namespace prairie::workload

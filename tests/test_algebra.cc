@@ -1,0 +1,382 @@
+// Unit tests for the algebra module: values, sort specs, predicates,
+// property schemas, descriptors, the operation registry and expression
+// trees.
+
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "algebra/expr.h"
+#include "algebra/pattern.h"
+#include "algebra/predicate.h"
+#include "algebra/property.h"
+#include "algebra/value.h"
+
+namespace prairie::algebra {
+namespace {
+
+Attr A(const std::string& cls, const std::string& name) {
+  return Attr{cls, name};
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(3).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_EQ(Value::Attrs({A("C", "a")}).AsAttrs().size(), 1u);
+}
+
+TEST(Value, ToRealCoercion) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).ToReal(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Real(4.5).ToReal(), 4.5);
+  EXPECT_FALSE(Value::Str("x").ToReal().ok());
+  EXPECT_FALSE(Value::Null().ToReal().ok());
+}
+
+TEST(Value, ToBoolSemantics) {
+  EXPECT_FALSE(*Value::Null().ToBool());
+  EXPECT_TRUE(*Value::Bool(true).ToBool());
+  EXPECT_TRUE(*Value::Int(1).ToBool());
+  EXPECT_FALSE(*Value::Int(0).ToBool());
+  EXPECT_FALSE(Value::Attrs({}).ToBool().ok());
+}
+
+TEST(Value, EqualityAndHash) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));  // Different types.
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Int(1).Hash());
+  Value p1 = Value::Pred(Predicate::EqAttrs(A("C", "a"), A("D", "b")));
+  Value p2 = Value::Pred(Predicate::EqAttrs(A("C", "a"), A("D", "b")));
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1.Hash(), p2.Hash());
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Sort(SortSpec::DontCare()).ToString(), "DONT_CARE");
+}
+
+// ---------------------------------------------------------------------------
+// Attribute lists
+// ---------------------------------------------------------------------------
+
+TEST(AttrList, UnionDedupsAndSorts) {
+  AttrList u = UnionAttrs({A("C2", "x"), A("C1", "a")},
+                          {A("C1", "a"), A("C1", "b")});
+  ASSERT_EQ(u.size(), 3u);
+  // Canonical (sorted) order regardless of input order.
+  EXPECT_EQ(u[0], A("C1", "a"));
+  EXPECT_EQ(u[1], A("C1", "b"));
+  EXPECT_EQ(u[2], A("C2", "x"));
+  AttrList v = UnionAttrs({A("C1", "b"), A("C1", "a")}, {A("C2", "x")});
+  EXPECT_EQ(u, v);
+}
+
+TEST(AttrList, SubsetAndContains) {
+  AttrList big{A("C", "a"), A("C", "b")};
+  EXPECT_TRUE(IsSubset({A("C", "a")}, big));
+  EXPECT_TRUE(IsSubset({}, big));
+  EXPECT_FALSE(IsSubset({A("C", "z")}, big));
+  EXPECT_TRUE(Contains(big, A("C", "b")));
+}
+
+// ---------------------------------------------------------------------------
+// Sort specs
+// ---------------------------------------------------------------------------
+
+TEST(SortSpec, DontCareSatisfiedByAnything) {
+  SortSpec any = SortSpec::DontCare();
+  EXPECT_TRUE(SortSpec::On(A("C", "a")).Satisfies(any));
+  EXPECT_TRUE(any.Satisfies(any));
+}
+
+TEST(SortSpec, PrefixSatisfaction) {
+  SortSpec ab;
+  ab.keys = {{A("C", "a"), true}, {A("C", "b"), true}};
+  SortSpec a = SortSpec::On(A("C", "a"));
+  EXPECT_TRUE(ab.Satisfies(a));     // (a,b)-sorted satisfies a-sorted.
+  EXPECT_FALSE(a.Satisfies(ab));    // a-sorted does not satisfy (a,b).
+  SortSpec a_desc = SortSpec::On(A("C", "a"), /*ascending=*/false);
+  EXPECT_FALSE(a.Satisfies(a_desc));  // Direction matters.
+}
+
+TEST(SortSpec, DontCareIsNotSatisfiedByNothing) {
+  SortSpec a = SortSpec::On(A("C", "a"));
+  EXPECT_FALSE(SortSpec::DontCare().Satisfies(a));
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+TEST(Predicate, TrueFalseSingletons) {
+  EXPECT_TRUE(Predicate::True()->is_true());
+  EXPECT_TRUE(Predicate::False()->is_false());
+  EXPECT_TRUE(Predicate::And({})->is_true());
+}
+
+TEST(Predicate, AndFlattensAndDropsTrue) {
+  PredicateRef p1 = Predicate::EqConst(A("C", "a"), Scalar::Int(1));
+  PredicateRef p2 = Predicate::EqConst(A("C", "b"), Scalar::Int(2));
+  PredicateRef nested =
+      Predicate::And({Predicate::And({p1, Predicate::True()}), p2});
+  EXPECT_EQ(nested->Conjuncts().size(), 2u);
+}
+
+TEST(Predicate, AndIsOrderCanonical) {
+  PredicateRef p1 = Predicate::EqConst(A("C", "a"), Scalar::Int(1));
+  PredicateRef p2 = Predicate::EqAttrs(A("C", "b"), A("D", "c"));
+  PredicateRef ab = Predicate::And({p1, p2});
+  PredicateRef ba = Predicate::And({p2, p1});
+  EXPECT_TRUE(ab->Equals(*ba));
+  EXPECT_EQ(ab->Hash(), ba->Hash());
+}
+
+TEST(Predicate, ReferencedAttrsAndClasses) {
+  PredicateRef p = Predicate::And(
+      {Predicate::EqAttrs(A("C1", "a"), A("C2", "b")),
+       Predicate::EqConst(A("C1", "c"), Scalar::Int(5))});
+  AttrList attrs = p->ReferencedAttrs();
+  EXPECT_EQ(attrs.size(), 3u);
+  auto classes = p->ReferencedClasses();
+  EXPECT_EQ(classes.size(), 2u);
+}
+
+TEST(Predicate, IsEquiJoin) {
+  EXPECT_TRUE(Predicate::EqAttrs(A("C", "a"), A("D", "b"))->IsEquiJoin());
+  EXPECT_FALSE(
+      Predicate::EqConst(A("C", "a"), Scalar::Int(1))->IsEquiJoin());
+  EXPECT_FALSE(Predicate::Cmp(CmpOp::kLt, Term::MakeAttr(A("C", "a")),
+                              Term::MakeAttr(A("D", "b")))
+                   ->IsEquiJoin());
+}
+
+TEST(Predicate, RefersOnlyTo) {
+  PredicateRef p = Predicate::EqAttrs(A("C1", "a"), A("C2", "b"));
+  EXPECT_TRUE(p->RefersOnlyTo({"C1", "C2"}));
+  EXPECT_FALSE(p->RefersOnlyTo({"C1"}));
+}
+
+TEST(Predicate, NotAndOrStructure) {
+  PredicateRef p = Predicate::Not(
+      Predicate::Or({Predicate::True(), Predicate::False()}));
+  EXPECT_EQ(p->kind(), Predicate::Kind::kNot);
+  EXPECT_EQ(p->ToString(), "NOT ((TRUE) OR (FALSE))");
+}
+
+TEST(Predicate, NullRefsTreatedAsTrue) {
+  EXPECT_TRUE(PredEquals(nullptr, Predicate::True()));
+  EXPECT_TRUE(PredAnd(nullptr, nullptr)->is_true());
+  PredicateRef p = Predicate::EqConst(A("C", "a"), Scalar::Int(1));
+  EXPECT_TRUE(PredAnd(p, nullptr)->Equals(*p));
+}
+
+// ---------------------------------------------------------------------------
+// Property schema / descriptors
+// ---------------------------------------------------------------------------
+
+TEST(PropertySchema, AddAndLookup) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("cost", ValueType::kReal, /*is_cost=*/true).ok());
+  ASSERT_TRUE(s.Add("order", ValueType::kSort).ok());
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(*s.Find("cost"), 0);
+  EXPECT_EQ(*s.Find("order"), 1);
+  EXPECT_FALSE(s.Find("nope").has_value());
+  EXPECT_FALSE(s.Require("nope").ok());
+  EXPECT_TRUE(s.decl(0).is_cost);
+}
+
+TEST(PropertySchema, RejectsDuplicates) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("x", ValueType::kInt).ok());
+  EXPECT_EQ(s.Add("x", ValueType::kReal).code(),
+            common::StatusCode::kAlreadyExists);
+}
+
+TEST(Descriptor, SetGetTyped) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("n", ValueType::kReal).ok());
+  ASSERT_TRUE(s.Add("name", ValueType::kString).ok());
+  Descriptor d(&s);
+  ASSERT_TRUE(d.Set("n", Value::Real(4.0)).ok());
+  EXPECT_DOUBLE_EQ(d.Get("n")->AsReal(), 4.0);
+  // Type mismatch rejected.
+  EXPECT_FALSE(d.Set("name", Value::Int(1)).ok());
+  // Int widens into a real-typed property.
+  ASSERT_TRUE(d.Set("n", Value::Int(7)).ok());
+  EXPECT_DOUBLE_EQ(d.Get("n")->AsReal(), 7.0);
+  // Null always accepted (unsets).
+  ASSERT_TRUE(d.Set("name", Value::Null()).ok());
+}
+
+TEST(Descriptor, EqualityAndHash) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("n", ValueType::kInt).ok());
+  Descriptor a(&s), b(&s);
+  EXPECT_EQ(a, b);
+  ASSERT_TRUE(a.Set("n", Value::Int(1)).ok());
+  EXPECT_NE(a, b);
+  ASSERT_TRUE(b.Set("n", Value::Int(1)).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(Descriptor, ToStringSkipsUnset) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("b", ValueType::kInt).ok());
+  Descriptor d(&s);
+  ASSERT_TRUE(d.Set("b", Value::Int(2)).ok());
+  EXPECT_EQ(d.ToString(), "{b: 2}");
+}
+
+TEST(PropertySlice, ProjectAndEquality) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("b", ValueType::kInt).ok());
+  Descriptor d1(&s), d2(&s);
+  ASSERT_TRUE(d1.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d1.Set("b", Value::Int(2)).ok());
+  ASSERT_TRUE(d2.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d2.Set("b", Value::Int(99)).ok());
+  PropertySlice only_a{{0}};
+  EXPECT_TRUE(only_a.EqualOn(d1, d2));
+  EXPECT_EQ(only_a.HashOf(d1), only_a.HashOf(d2));
+  Descriptor proj = only_a.Project(d1);
+  EXPECT_EQ(proj.Get(0).AsInt(), 1);
+  EXPECT_TRUE(proj.Get(1).is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Algebra registry
+// ---------------------------------------------------------------------------
+
+TEST(AlgebraRegistry, NullPreRegistered) {
+  Algebra a;
+  EXPECT_EQ(a.name(a.null_alg()), "Null");
+  EXPECT_TRUE(a.is_algorithm(a.null_alg()));
+  EXPECT_EQ(a.arity(a.null_alg()), 1);
+}
+
+TEST(AlgebraRegistry, RegisterAndLookup) {
+  Algebra a;
+  auto join = a.RegisterOperator("JOIN", 2);
+  ASSERT_TRUE(join.ok());
+  auto nl = a.RegisterAlgorithm("Nested_loops", 2);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_FALSE(a.is_algorithm(*join));
+  EXPECT_TRUE(a.is_algorithm(*nl));
+  EXPECT_EQ(*a.Find("JOIN"), *join);
+  EXPECT_FALSE(a.Require("MISSING").ok());
+  EXPECT_EQ(a.Operators().size(), 1u);
+  EXPECT_EQ(a.Algorithms().size(), 2u);  // Null + Nested_loops.
+}
+
+TEST(AlgebraRegistry, RejectsDuplicatesAndBadArity) {
+  Algebra a;
+  ASSERT_TRUE(a.RegisterOperator("X", 1).ok());
+  EXPECT_FALSE(a.RegisterAlgorithm("X", 1).ok());
+  EXPECT_FALSE(a.RegisterOperator("Y", -1).ok());
+  EXPECT_FALSE(a.RegisterOperator("Z", 9).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Expression trees
+// ---------------------------------------------------------------------------
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.Add("n", ValueType::kInt).ok());
+    join_ = *algebra_.RegisterOperator("JOIN", 2);
+    ret_ = *algebra_.RegisterOperator("RET", 1);
+    nl_ = *algebra_.RegisterAlgorithm("Nested_loops", 2);
+    fs_ = *algebra_.RegisterAlgorithm("File_scan", 1);
+  }
+
+  ExprPtr File(const std::string& name) {
+    return Expr::MakeFile(name, Descriptor(&schema_));
+  }
+  ExprPtr Node(OpId op, std::vector<ExprPtr> kids) {
+    return Expr::MakeOp(op, std::move(kids), Descriptor(&schema_));
+  }
+
+  Algebra algebra_;
+  PropertySchema schema_;
+  OpId join_, ret_, nl_, fs_;
+};
+
+TEST_F(ExprTest, BuildAndPrint) {
+  std::vector<ExprPtr> l1, l2, kids;
+  l1.push_back(File("R1"));
+  l2.push_back(File("R2"));
+  kids.push_back(Node(ret_, std::move(l1)));
+  kids.push_back(Node(ret_, std::move(l2)));
+  ExprPtr tree = Node(join_, std::move(kids));
+  EXPECT_EQ(tree->ToString(algebra_), "JOIN(RET(R1), RET(R2))");
+  EXPECT_EQ(tree->NodeCount(), 5);
+  EXPECT_TRUE(tree->IsLogical(algebra_));
+  EXPECT_FALSE(tree->IsAccessPlan(algebra_));
+}
+
+TEST_F(ExprTest, AccessPlanDetection) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(File("R1"));
+  kids.push_back(File("R2"));
+  ExprPtr plan = Node(nl_, std::move(kids));
+  EXPECT_TRUE(plan->IsAccessPlan(algebra_));
+  EXPECT_FALSE(plan->IsLogical(algebra_));
+}
+
+TEST_F(ExprTest, CloneEqualsAndHash) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(File("R1"));
+  ExprPtr a = Node(ret_, std::move(kids));
+  ExprPtr b = a->Clone();
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  b->mutable_descriptor()->SetUnchecked(0, Value::Int(9));
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+// ---------------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------------
+
+TEST_F(ExprTest, PatternProperties) {
+  PatNodePtr pat = PatNode::Op(
+      join_, 4,
+      [&] {
+        std::vector<PatNodePtr> kids;
+        kids.push_back(PatNode::Op(join_, 3, [&] {
+          std::vector<PatNodePtr> inner;
+          inner.push_back(PatNode::Stream(1, 0));
+          inner.push_back(PatNode::Stream(2, 1));
+          return inner;
+        }()));
+        kids.push_back(PatNode::Stream(3, 2));
+        return kids;
+      }());
+  EXPECT_EQ(pat->NodeCount(), 5);
+  EXPECT_EQ(pat->MaxStreamVar(), 3);
+  EXPECT_EQ(pat->MaxDescSlot(), 4);
+  EXPECT_EQ(pat->ToString(algebra_),
+            "JOIN[D5](JOIN[D4](?1:D1, ?2:D2), ?3:D3)");
+  PatNodePtr clone = pat->Clone();
+  EXPECT_TRUE(pat->Same(*clone));
+  clone->desc_slot = 6;
+  EXPECT_FALSE(pat->Same(*clone));
+}
+
+}  // namespace
+}  // namespace prairie::algebra

@@ -1,0 +1,245 @@
+// Unit tests for the P2V pre-processor: property classification, enforcer
+// detection, rule merging / alias substitution, and code synthesis.
+
+#include <gtest/gtest.h>
+
+#include "dsl/parser.h"
+#include "p2v/translator.h"
+
+namespace prairie::p2v {
+namespace {
+
+core::RuleSet MustParse(const std::string& src) {
+  auto r = ::prairie::dsl::ParseRuleSet(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueUnsafe();
+}
+
+constexpr const char* kSpecHeader = R"(
+property tuple_order : sortspec;
+property num_records : real;
+property pages : int;
+property join_predicate : predicate;
+property cost : cost;
+
+operator JOIN(2);
+operator SORT(1);
+operator JOPR(2);
+algorithm Nested_loops(2);
+algorithm Merge_sort(1);
+)";
+
+std::string Spec(const std::string& body) {
+  return std::string(kSpecHeader) + body;
+}
+
+constexpr const char* kBasicRules = R"(
+trule commute: JOIN[D3](?1, ?2) => JOIN[D4](?2, ?1) {
+  post { D4 = D3; }
+}
+
+trule sort_entry: JOIN[D3](?1, ?2) => JOPR[D4](SORT[D5](?1), ?2) {
+  post { D4 = D3; D5 = D1; }
+}
+
+irule nl: JOPR[D3](?1, ?2) => Nested_loops[D5](?1:D4, ?2) {
+  preopt { D5 = D3; D4 = D1; D4.tuple_order = D3.tuple_order; }
+  postopt { D5.cost = D4.cost + D4.num_records * D2.cost; }
+}
+
+irule ms: SORT[D2](?1) => Merge_sort[D3](?1) {
+  test D2.tuple_order != DONT_CARE;
+  preopt { D3 = D2; }
+  postopt { D3.cost = D1.cost + D3.num_records * log(D3.num_records); }
+}
+
+irule null_sort: SORT[D2](?1) => Null[D4](?1:D3) {
+  preopt { D4 = D2; D3 = D1; D3.tuple_order = D2.tuple_order; }
+  postopt { D4.cost = D3.cost; }
+}
+)";
+
+TEST(Classification, FollowsPaperRules) {
+  auto rules = dsl::ParseRuleSet(Spec(kBasicRules));
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  auto classes = ClassifyProperties(*rules);
+  const auto& schema = rules->algebra->properties();
+  auto of = [&](const char* name) {
+    return classes[static_cast<size_t>(*schema.Find(name))];
+  };
+  // tuple_order is assigned on a re-annotated input in nl's pre-opt.
+  EXPECT_EQ(of("tuple_order"), PropertyClass::kPhysical);
+  // cost carries the COST type.
+  EXPECT_EQ(of("cost"), PropertyClass::kCost);
+  // Numeric estimates become Volcano logical properties.
+  EXPECT_EQ(of("num_records"), PropertyClass::kLogical);
+  EXPECT_EQ(of("pages"), PropertyClass::kLogical);
+  // Non-numeric remainder is an operator/algorithm argument.
+  EXPECT_EQ(of("join_predicate"), PropertyClass::kArgument);
+}
+
+TEST(Translate, MergesSortEntryRuleAndAliasesJopr) {
+  auto rules = MustParse(Spec(kBasicRules));
+  TranslationReport report;
+  auto volcano_rules = Translate(rules, &report);
+  ASSERT_TRUE(volcano_rules.ok()) << volcano_rules.status().ToString();
+
+  // sort_entry: JOIN => JOPR(SORT(?1), ?2); deleting SORT leaves the
+  // idempotent alias JOIN => JOPR, so the rule vanishes and JOPR is
+  // substituted by JOIN everywhere (§3.3).
+  EXPECT_EQ(report.output_trans_rules, 1);
+  EXPECT_EQ(report.dropped_trules, std::vector<std::string>{"sort_entry"});
+  ASSERT_EQ(report.aliases.size(), 1u);
+  EXPECT_EQ(report.aliases[0].first, "JOPR");
+  EXPECT_EQ(report.aliases[0].second, "JOIN");
+
+  // The nl impl_rule now implements JOIN, not JOPR.
+  ASSERT_EQ((*volcano_rules)->impl_rules.size(), 1u);
+  EXPECT_EQ(rules.algebra->name((*volcano_rules)->impl_rules[0].op), "JOIN");
+
+  // SORT disappears; Merge_sort becomes the enforcer for tuple_order.
+  ASSERT_EQ((*volcano_rules)->enforcers.size(), 1u);
+  const volcano::Enforcer& e = (*volcano_rules)->enforcers[0];
+  EXPECT_EQ(rules.algebra->name(e.alg), "Merge_sort");
+  EXPECT_EQ(e.prop, *rules.algebra->properties().Find("tuple_order"));
+  EXPECT_EQ(report.enforcer_operators, std::vector<std::string>{"SORT"});
+  EXPECT_EQ(report.enforcer_algorithms,
+            std::vector<std::string>{"Merge_sort"});
+}
+
+TEST(Translate, ReportToStringIsInformative) {
+  auto rules = MustParse(Spec(kBasicRules));
+  TranslationReport report;
+  ASSERT_TRUE(Translate(rules, &report).ok());
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("2 T-rules"), std::string::npos);
+  EXPECT_NE(text.find("alias merged: JOPR == JOIN"), std::string::npos);
+  EXPECT_NE(text.find("physical properties: tuple_order"),
+            std::string::npos);
+}
+
+TEST(Translate, RequiresExactlyOneCostProperty) {
+  auto rules = dsl::ParseRuleSet(R"(
+property num_records : real;
+operator O(1);
+algorithm A(1);
+irule r: O[D2](?1) => A[D3](?1) {
+  postopt { D3.num_records = 1; }
+}
+)");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  auto v = Translate(*rules, nullptr);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("COST"), std::string::npos);
+}
+
+TEST(Translate, KeptRuleReferencingEnforcerOperatorIsRejected) {
+  // A T-rule that mentions SORT but is NOT an idempotent introduction rule
+  // cannot be translated (its action would reference a deleted node).
+  auto rules = dsl::ParseRuleSet(Spec(R"(
+trule bad: JOIN[D3](SORT[D4](?1), ?2) => JOIN[D5](?1, ?2) {
+  test D4.tuple_order != DONT_CARE;
+  post { D5 = D3; }
+}
+irule null_sort: SORT[D2](?1) => Null[D4](?1:D3) {
+  preopt { D4 = D2; D3 = D1; D3.tuple_order = D2.tuple_order; }
+  postopt { D4.cost = D3.cost; }
+}
+)"));
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  auto v = Translate(*rules, nullptr);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(Translate, EnforcerOperatorWithoutPropagationIsRejected) {
+  // A Null rule that does not propagate any property leaves the enforced
+  // property undeterminable.
+  auto rules = dsl::ParseRuleSet(Spec(R"(
+irule ms: SORT[D2](?1) => Merge_sort[D3](?1) {
+  preopt { D3 = D2; }
+  postopt { D3.cost = D1.cost; }
+}
+irule null_sort: SORT[D2](?1) => Null[D4](?1:D3) {
+  preopt { D4 = D2; D3 = D1; }
+  postopt { D4.cost = D3.cost; }
+}
+)"));
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  auto v = Translate(*rules, nullptr);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("propagates none"), std::string::npos);
+}
+
+TEST(Translate, PureIdempotentRuleIsDropped) {
+  // JOIN => JOIN over the same streams is dropped without an alias.
+  auto rules = dsl::ParseRuleSet(Spec(R"(
+trule noop: JOIN[D3](?1, ?2) => JOIN[D4](?1, ?2) {
+  post { D4 = D3; }
+}
+irule nl: JOIN[D3](?1, ?2) => Nested_loops[D5](?1:D4, ?2) {
+  preopt { D5 = D3; D4 = D1; D4.tuple_order = D3.tuple_order; }
+  postopt { D5.cost = D4.cost + D4.num_records * D2.cost; }
+}
+)"));
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  TranslationReport report;
+  ASSERT_TRUE(Translate(*rules, &report).ok());
+  EXPECT_EQ(report.output_trans_rules, 0);
+  EXPECT_TRUE(report.aliases.empty());
+  EXPECT_EQ(report.dropped_trules, std::vector<std::string>{"noop"});
+}
+
+TEST(Translate, RuleWithNonTrivialTestIsNotMerged) {
+  // Even a flat JOIN => JOPR rule survives when its test is non-trivial:
+  // dropping it would change semantics.
+  auto rules = dsl::ParseRuleSet(Spec(R"(
+trule guarded: JOIN[D3](?1, ?2) => JOPR[D4](?1, ?2) {
+  test D1.num_records > 10;
+  post { D4 = D3; }
+}
+irule nl: JOPR[D3](?1, ?2) => Nested_loops[D5](?1:D4, ?2) {
+  preopt { D5 = D3; D4 = D1; D4.tuple_order = D3.tuple_order; }
+  postopt { D5.cost = D4.cost + D4.num_records * D2.cost; }
+}
+)"));
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  TranslationReport report;
+  ASSERT_TRUE(Translate(*rules, &report).ok());
+  EXPECT_EQ(report.output_trans_rules, 1);
+  EXPECT_TRUE(report.aliases.empty());
+}
+
+TEST(Translate, GeneratedConditionInterpretsPreTestAndTest) {
+  // The generated trans_rule condition runs pre-test statements and then
+  // the test over a BindingView.
+  auto rules = MustParse(Spec(R"(
+trule guarded: JOIN[D3](?1, ?2) => JOIN[D4](?2, ?1) {
+  pre { D4.num_records = D3.num_records; }
+  test D4.num_records > 100;
+  post { D4 = D3; }
+}
+)"));
+  auto v = *Translate(rules, nullptr);
+  ASSERT_EQ(v->trans_rules.size(), 1u);
+  const volcano::TransRule& tr = v->trans_rules[0];
+  ASSERT_NE(tr.condition, nullptr);
+  volcano::BindingView bv;
+  bv.slots.assign(4, algebra::Descriptor(&rules.algebra->properties()));
+  bv.algebra = rules.algebra.get();
+  auto nr = *rules.algebra->properties().Find("num_records");
+  bv.slots[2].SetUnchecked(nr, algebra::Value::Real(500));
+  auto ok = tr.condition(bv);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(*ok);
+  bv.slots[2].SetUnchecked(nr, algebra::Value::Real(50));
+  EXPECT_FALSE(*tr.condition(bv));
+}
+
+TEST(Translate, InvalidInputRuleSetRejectedUpfront) {
+  core::RuleSet broken;
+  broken.algebra = nullptr;
+  EXPECT_FALSE(Translate(broken, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace prairie::p2v

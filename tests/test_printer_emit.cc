@@ -1,0 +1,187 @@
+// Tests for the DSL pretty-printer (round-trip property) and the P2V C++
+// emitter (structure of generated source; behavioural equivalence is
+// covered by test_emitted.cc against the build-time-generated code).
+
+#include <gtest/gtest.h>
+
+#include "dsl/parser.h"
+#include "dsl/printer.h"
+#include "optimizers/native_helpers.h"
+#include "optimizers/oodb.h"
+#include "optimizers/props.h"
+#include "optimizers/relational.h"
+#include "p2v/emit_cpp.h"
+
+namespace prairie {
+namespace {
+
+core::RuleSet MustParse(const std::string& src) {
+  auto r = dsl::ParseRuleSet(src, opt::StandardHelpers());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueUnsafe();
+}
+
+// ---------------------------------------------------------------------------
+// Printer round trips
+// ---------------------------------------------------------------------------
+
+void ExpectStructurallyEqual(const core::RuleSet& a, const core::RuleSet& b) {
+  ASSERT_EQ(a.trules.size(), b.trules.size());
+  ASSERT_EQ(a.irules.size(), b.irules.size());
+  ASSERT_EQ(a.algebra->size(), b.algebra->size());
+  ASSERT_EQ(a.algebra->properties().size(), b.algebra->properties().size());
+  for (size_t i = 0; i < a.trules.size(); ++i) {
+    const core::TRule& x = a.trules[i];
+    const core::TRule& y = b.trules[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_TRUE(x.lhs->Same(*y.lhs)) << x.name;
+    EXPECT_TRUE(x.rhs->Same(*y.rhs)) << x.name;
+    EXPECT_EQ(x.pre_test.size(), y.pre_test.size());
+    EXPECT_EQ(x.post_test.size(), y.post_test.size());
+    EXPECT_EQ(x.test == nullptr, y.test == nullptr);
+    if (x.test != nullptr && y.test != nullptr) {
+      EXPECT_EQ(x.test->ToString(), y.test->ToString()) << x.name;
+    }
+    for (size_t k = 0; k < x.post_test.size(); ++k) {
+      EXPECT_EQ(x.post_test[k].ToString(), y.post_test[k].ToString());
+    }
+  }
+  for (size_t i = 0; i < a.irules.size(); ++i) {
+    const core::IRule& x = a.irules[i];
+    const core::IRule& y = b.irules[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(a.algebra->name(x.op), b.algebra->name(y.op));
+    EXPECT_EQ(a.algebra->name(x.alg), b.algebra->name(y.alg));
+    EXPECT_EQ(x.rhs_input_slots, y.rhs_input_slots);
+    EXPECT_EQ(x.alg_slot, y.alg_slot);
+    for (size_t k = 0; k < x.pre_opt.size(); ++k) {
+      EXPECT_EQ(x.pre_opt[k].ToString(), y.pre_opt[k].ToString());
+    }
+    for (size_t k = 0; k < x.post_opt.size(); ++k) {
+      EXPECT_EQ(x.post_opt[k].ToString(), y.post_opt[k].ToString());
+    }
+  }
+}
+
+TEST(Printer, RelationalSpecRoundTrips) {
+  core::RuleSet original = MustParse(opt::RelationalSpecText());
+  auto printed = dsl::PrintRuleSet(original);
+  ASSERT_TRUE(printed.ok()) << printed.status().ToString();
+  core::RuleSet reparsed = MustParse(*printed);
+  ExpectStructurallyEqual(original, reparsed);
+}
+
+TEST(Printer, OodbSpecRoundTrips) {
+  core::RuleSet original = MustParse(opt::OodbSpecText());
+  auto printed = dsl::PrintRuleSet(original);
+  ASSERT_TRUE(printed.ok()) << printed.status().ToString();
+  core::RuleSet reparsed = MustParse(*printed);
+  ExpectStructurallyEqual(original, reparsed);
+}
+
+TEST(Printer, PrintIsAFixpoint) {
+  core::RuleSet original = MustParse(opt::OodbSpecText());
+  auto once = dsl::PrintRuleSet(original);
+  ASSERT_TRUE(once.ok());
+  core::RuleSet reparsed = MustParse(*once);
+  auto twice = dsl::PrintRuleSet(reparsed);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+}
+
+// ---------------------------------------------------------------------------
+// Emitter structure
+// ---------------------------------------------------------------------------
+
+TEST(EmitCpp, EmitsExpectedStructure) {
+  core::RuleSet rules = MustParse(opt::RelationalSpecText());
+  p2v::EmitOptions options;
+  options.function_name = "BuildX";
+  options.namespace_name = "gen_test";
+  auto source = p2v::EmitCpp(rules, options);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // The generated TU declares the factory in the requested namespace...
+  EXPECT_NE(source->find("namespace gen_test {"), std::string::npos);
+  EXPECT_NE(source->find("BuildX(std::shared_ptr<prairie::core::"
+                         "HelperRegistry> helpers)"),
+            std::string::npos);
+  // ... contains the kept rules but not the merged-away ones ...
+  EXPECT_NE(source->find("// trans_rule join_commute"), std::string::npos);
+  EXPECT_EQ(source->find("intro_sort_ret"), std::string::npos);
+  // ... resolves the JOPR-style aliases (RETS never appears in rules) ...
+  EXPECT_EQ(source->find("r.op = kOp_RETS"), std::string::npos);
+  // ... registers the enforcer and classifies properties.
+  EXPECT_NE(source->find("// enforcer merge_sort"), std::string::npos);
+  EXPECT_NE(source->find("rules->phys_props = {kProp_tuple_order};"),
+            std::string::npos);
+  EXPECT_NE(source->find("rules->cost_prop = 12;"), std::string::npos);
+}
+
+TEST(EmitCpp, NativeHelperBindingsAreUsedWhenGiven) {
+  core::RuleSet rules = MustParse(opt::RelationalSpecText());
+  p2v::EmitOptions with;
+  with.native_helpers = opt::native::NativeHelperMap();
+  auto direct = p2v::EmitCpp(rules, with);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NE(direct->find("prairie::opt::native::is_equijoinable(c.bv.catalog"),
+            std::string::npos);
+  EXPECT_EQ(direct->find("ES::Call(c, \"is_equijoinable\""),
+            std::string::npos);
+
+  auto registry = p2v::EmitCpp(rules, p2v::EmitOptions{});
+  ASSERT_TRUE(registry.ok());
+  EXPECT_NE(registry->find("ES::Call(c, \"is_equijoinable\""),
+            std::string::npos);
+}
+
+TEST(EmitCpp, RejectsUnemittableRuleSets) {
+  // Two cost properties fail the shared analysis.
+  auto rules = dsl::ParseRuleSet(R"(
+property c1 : cost;
+property c2 : cost;
+operator O(1);
+algorithm A(1);
+irule r: O[D2](?1) => A[D3](?1) {
+  postopt { D3.c1 = 0; D3.c2 = 0; }
+}
+)");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_FALSE(p2v::EmitCpp(*rules).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Native helpers (direct unit checks on a few interesting ones)
+// ---------------------------------------------------------------------------
+
+TEST(NativeHelpers, MapCoversTheStandardRegistry) {
+  auto reg = opt::StandardHelpers();
+  auto map = opt::native::NativeHelperMap();
+  // Every domain helper and the unary/binary numeric builtins have native
+  // bindings; only the variadic min/max fall back to the registry.
+  for (const std::string& name : reg->Names()) {
+    if (name == "min" || name == "max") continue;
+    EXPECT_TRUE(map.count(name) > 0) << "no native binding for " << name;
+  }
+}
+
+TEST(NativeHelpers, NullPredicatesActAsTrue) {
+  using algebra::Value;
+  auto sel = opt::native::selectivity(nullptr, Value::Null());
+  // TRUE predicate over no catalog still needs a catalog.
+  EXPECT_FALSE(sel.ok());
+  catalog::Catalog cat;
+  auto sel2 = opt::native::selectivity(&cat, Value::Null());
+  ASSERT_TRUE(sel2.ok());
+  EXPECT_DOUBLE_EQ(sel2->AsReal(), 1.0);
+}
+
+TEST(NativeHelpers, TypeErrorsSurface) {
+  catalog::Catalog cat;
+  using algebra::Value;
+  EXPECT_FALSE(opt::native::selectivity(&cat, Value::Int(3)).ok());
+  EXPECT_FALSE(opt::native::union_(&cat, Value::Int(1), Value::Int(2)).ok());
+  EXPECT_FALSE(opt::native::class_card(&cat, Value::Str("nope")).ok());
+}
+
+}  // namespace
+}  // namespace prairie

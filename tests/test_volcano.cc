@@ -1,0 +1,523 @@
+// Unit tests for the Volcano search engine: memo deduplication and
+// merging, transformation closure, top-down costing, physical-property
+// requirements, enforcers, and branch-and-bound pruning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "volcano/engine.h"
+
+namespace prairie::volcano {
+namespace {
+
+using algebra::Algebra;
+using algebra::Attr;
+using algebra::Descriptor;
+using algebra::Expr;
+using algebra::ExprPtr;
+using algebra::OpId;
+using algebra::PatNode;
+using algebra::SortSpec;
+using algebra::Value;
+using algebra::ValueType;
+using common::Status;
+
+// A micro-optimizer: RET/JOIN with Scan and NL algorithms, plus a Sorter
+// enforcer. Costs: Scan = card; NL = outer + card_outer * inner;
+// Sorter = input + n log n. Only "order" is physical; "card" is logical.
+class MicroOptimizer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rules_.name = "micro";
+    rules_.algebra = std::make_shared<Algebra>();
+    auto* schema = rules_.algebra->mutable_properties();
+    ASSERT_TRUE(schema->Add("order", ValueType::kSort).ok());
+    ASSERT_TRUE(schema->Add("card", ValueType::kReal).ok());
+    ASSERT_TRUE(schema->Add("tag", ValueType::kString).ok());
+    ASSERT_TRUE(schema->Add("cost", ValueType::kReal, true).ok());
+    order_ = *schema->Find("order");
+    card_ = *schema->Find("card");
+    tag_ = *schema->Find("tag");
+    cost_ = *schema->Find("cost");
+    ret_ = *rules_.algebra->RegisterOperator("RET", 1);
+    join_ = *rules_.algebra->RegisterOperator("JOIN", 2);
+    scan_ = *rules_.algebra->RegisterAlgorithm("Scan", 1);
+    nl_ = *rules_.algebra->RegisterAlgorithm("NL", 2);
+    sorter_ = *rules_.algebra->RegisterAlgorithm("Sorter", 1);
+
+    rules_.cost_prop = cost_;
+    rules_.phys_props = {order_};
+    rules_.logical_props = {card_};
+
+    // trans: JOIN(a, b) -> JOIN(b, a)
+    TransRule commute;
+    commute.name = "commute";
+    commute.lhs = PatNode::Op(join_, 2, MakeStreams());
+    commute.rhs = PatNode::Op(join_, 3, MakeStreamsSwapped());
+    commute.num_slots = 4;
+    commute.apply = [](BindingView& bv) -> Status {
+      bv.slot(3) = bv.slot(2);
+      return Status::OK();
+    };
+    rules_.trans_rules.push_back(std::move(commute));
+
+    // impl: RET -> Scan. Cost = card of the file; no order produced.
+    {
+      ImplRule r;
+      r.name = "scan";
+      r.op = ret_;
+      r.alg = scan_;
+      r.arity = 1;
+      r.rhs_input_slots = {0};
+      r.alg_slot = 2;
+      r.num_slots = 3;
+      auto card = card_;
+      auto cost = cost_;
+      auto order = order_;
+      r.pre_opt = [card, cost, order](BindingView& bv) -> Status {
+        bv.slot(2) = bv.slot(1);
+        bv.slot(2).SetUnchecked(order, Value::Sort(SortSpec::DontCare()));
+        return Status::OK();
+      };
+      r.post_opt = [card, cost](BindingView& bv) -> Status {
+        bv.slot(2).SetUnchecked(
+            cost, Value::Real(bv.slot(0).Get(card).ToReal().ValueOr(0)));
+        return Status::OK();
+      };
+      rules_.impl_rules.push_back(std::move(r));
+    }
+
+    // impl: JOIN -> NL. Cost = outer_cost + outer_card * inner_cost.
+    {
+      ImplRule r;
+      r.name = "nl";
+      r.op = join_;
+      r.alg = nl_;
+      r.arity = 2;
+      r.rhs_input_slots = {3, 1};  // Fresh outer descriptor D4.
+      r.alg_slot = 4;
+      r.num_slots = 5;
+      auto card = card_;
+      auto cost = cost_;
+      auto order = order_;
+      r.pre_opt = [order](BindingView& bv) -> Status {
+        bv.slot(4) = bv.slot(2);
+        bv.slot(3) = bv.slot(0);
+        bv.slot(3).SetUnchecked(order, bv.slot(2).Get(order));
+        return Status::OK();
+      };
+      r.post_opt = [card, cost](BindingView& bv) -> Status {
+        double outer_cost = bv.slot(3).Get(cost).ToReal().ValueOr(0);
+        double outer_card = bv.slot(3).Get(card).ToReal().ValueOr(0);
+        double inner_cost = bv.slot(1).Get(cost).ToReal().ValueOr(0);
+        bv.slot(4).SetUnchecked(
+            cost, Value::Real(outer_cost + outer_card * inner_cost));
+        return Status::OK();
+      };
+      rules_.impl_rules.push_back(std::move(r));
+    }
+
+    // Enforcer: Sorter for "order".
+    {
+      Enforcer e;
+      e.name = "sorter";
+      e.alg = sorter_;
+      e.prop = order_;
+      auto card = card_;
+      auto cost = cost_;
+      e.pre_opt = [](BindingView& bv) -> Status {
+        bv.slot(Enforcer::kAlgSlot) = bv.slot(Enforcer::kOpSlot);
+        return Status::OK();
+      };
+      e.post_opt = [card, cost](BindingView& bv) -> Status {
+        double n =
+            bv.slot(Enforcer::kAlgSlot).Get(card).ToReal().ValueOr(0);
+        double in =
+            bv.slot(Enforcer::kInputSlot).Get(cost).ToReal().ValueOr(0);
+        bv.slot(Enforcer::kAlgSlot)
+            .SetUnchecked(cost,
+                          Value::Real(in + (n <= 1 ? 0 : n * std::log(n))));
+        return Status::OK();
+      };
+      rules_.enforcers.push_back(std::move(e));
+    }
+
+    ASSERT_TRUE(rules_.Finalize().ok()) << rules_.Finalize().ToString();
+  }
+
+  std::vector<algebra::PatNodePtr> MakeStreams() {
+    std::vector<algebra::PatNodePtr> kids;
+    kids.push_back(PatNode::Stream(1, 0));
+    kids.push_back(PatNode::Stream(2, 1));
+    return kids;
+  }
+  std::vector<algebra::PatNodePtr> MakeStreamsSwapped() {
+    std::vector<algebra::PatNodePtr> kids;
+    kids.push_back(PatNode::Stream(2, 1));
+    kids.push_back(PatNode::Stream(1, 0));
+    return kids;
+  }
+
+  Descriptor Desc() { return Descriptor(&rules_.algebra->properties()); }
+
+  ExprPtr RetOf(const std::string& file, double card) {
+    Descriptor leaf = Desc();
+    leaf.SetUnchecked(card_, Value::Real(card));
+    ExprPtr f = Expr::MakeFile(file, leaf);
+    Descriptor d = Desc();
+    d.SetUnchecked(card_, Value::Real(card));
+    d.SetUnchecked(tag_, Value::Str(file));
+    std::vector<ExprPtr> kids;
+    kids.push_back(std::move(f));
+    return Expr::MakeOp(ret_, std::move(kids), std::move(d));
+  }
+
+  ExprPtr JoinOf(ExprPtr l, ExprPtr r, double card) {
+    Descriptor d = Desc();
+    d.SetUnchecked(card_, Value::Real(card));
+    std::vector<ExprPtr> kids;
+    kids.push_back(std::move(l));
+    kids.push_back(std::move(r));
+    return Expr::MakeOp(join_, std::move(kids), std::move(d));
+  }
+
+  RuleSet rules_;
+  catalog::Catalog catalog_;
+  algebra::PropertyId order_, card_, tag_, cost_;
+  OpId ret_, join_, scan_, nl_, sorter_;
+};
+
+TEST_F(MicroOptimizer, OptimizesSingleRet) {
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*RetOf("R", 100));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_DOUBLE_EQ(plan->cost, 100);
+  EXPECT_EQ(plan->root->alg, scan_);
+}
+
+TEST_F(MicroOptimizer, CommutePicksCheaperOuter) {
+  // NL(big, small) costs 1000 + 1000*10; NL(small, big) costs 10+10*1000.
+  // The commute rule must expose the cheaper order.
+  Optimizer o(&rules_, &catalog_);
+  auto plan =
+      o.Optimize(*JoinOf(RetOf("Big", 1000), RetOf("Small", 10), 500));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->cost, 10 + 10 * 1000);
+  // The outer child of the chosen NL is the small scan.
+  ASSERT_EQ(plan->root->children.size(), 2u);
+  EXPECT_EQ(plan->root->children[0]->desc.Get(tag_), Value::Str("Small"));
+}
+
+TEST_F(MicroOptimizer, MemoDeduplicatesCommutedExpressions) {
+  Optimizer o(&rules_, &catalog_);
+  auto plan =
+      o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  ASSERT_TRUE(plan.ok());
+  // Groups: file A, RET A, file B, RET B, JOIN -> 5. Commuting the join
+  // adds an expression to the join group, not a new group.
+  EXPECT_EQ(o.stats().groups, 5u);
+  const Group& g = o.memo().group(4);
+  (void)g;
+  EXPECT_EQ(o.stats().mexprs, 6u);  // 5 originals + 1 commuted join.
+  EXPECT_EQ(o.stats().trans_fired, 1u);
+  EXPECT_EQ(o.stats().NumTransMatched(), 1u);
+}
+
+TEST_F(MicroOptimizer, RequiredOrderTriggersEnforcer) {
+  Optimizer o(&rules_, &catalog_);
+  Descriptor req = Desc();
+  SortSpec by_a = SortSpec::On(Attr{"R", "a"});
+  req.SetUnchecked(order_, Value::Sort(by_a));
+  auto plan = o.Optimize(*RetOf("R", 100), req);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Sorter on top of Scan: 100 + 100 ln 100.
+  EXPECT_EQ(plan->root->alg, sorter_);
+  EXPECT_NEAR(plan->cost, 100 + 100 * std::log(100.0), 1e-9);
+  EXPECT_GE(o.stats().enforcer_attempts, 1u);
+  // The plan reports the enforced order.
+  EXPECT_TRUE(plan->root->desc.Get(order_).AsSort().Satisfies(by_a));
+}
+
+TEST_F(MicroOptimizer, DontCareRequirementNeedsNoEnforcer) {
+  Optimizer o(&rules_, &catalog_);
+  Descriptor req = Desc();
+  req.SetUnchecked(order_, Value::Sort(SortSpec::DontCare()));
+  auto plan = o.Optimize(*RetOf("R", 100), req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root->alg, scan_);
+  EXPECT_DOUBLE_EQ(plan->cost, 100);
+}
+
+TEST_F(MicroOptimizer, PruningDoesNotChangeTheAnswer) {
+  ExprPtr tree = JoinOf(JoinOf(RetOf("A", 50), RetOf("B", 40), 30),
+                        RetOf("C", 20), 10);
+  OptimizerOptions pruned;
+  pruned.prune = true;
+  OptimizerOptions full;
+  full.prune = false;
+  Optimizer op(&rules_, &catalog_, pruned);
+  Optimizer of(&rules_, &catalog_, full);
+  auto pp = op.Optimize(*tree);
+  auto pf = of.Optimize(*tree->Clone());
+  ASSERT_TRUE(pp.ok());
+  ASSERT_TRUE(pf.ok());
+  EXPECT_DOUBLE_EQ(pp->cost, pf->cost);
+  // Pruning must not cost more plans than the full search.
+  EXPECT_LE(op.stats().plans_costed, of.stats().plans_costed);
+}
+
+TEST_F(MicroOptimizer, InitialCostLimitCanMakeSearchInfeasible) {
+  OptimizerOptions opts;
+  opts.initial_cost_limit = 5;  // Scan of R costs 100 > 5.
+  Optimizer o(&rules_, &catalog_, opts);
+  auto plan = o.Optimize(*RetOf("R", 100));
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), common::StatusCode::kOptimizeError);
+}
+
+TEST_F(MicroOptimizer, MemoLimitSurfacesResourceExhausted) {
+  OptimizerOptions opts;
+  opts.memo_limits.max_groups = 2;
+  Optimizer o(&rules_, &catalog_, opts);
+  auto plan = o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), common::StatusCode::kResourceExhausted);
+}
+
+TEST_F(MicroOptimizer, AlgorithmInInputTreeRejected) {
+  Descriptor d = Desc();
+  std::vector<ExprPtr> kids;
+  kids.push_back(Expr::MakeFile("R", Desc()));
+  ExprPtr bad = Expr::MakeOp(scan_, std::move(kids), d);
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*bad);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(MicroOptimizer, ExpandOnlyCountsEquivalenceClasses) {
+  Optimizer o(&rules_, &catalog_);
+  auto groups =
+      o.ExpandOnly(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(*groups, 5u);
+  EXPECT_EQ(o.stats().plans_costed, 0u);
+}
+
+TEST_F(MicroOptimizer, WinnersAreMemoized) {
+  // Optimizing the same shared subtree twice must not double the costed
+  // plans: A JOIN A reuses the winner for RET(A).
+  Optimizer o(&rules_, &catalog_);
+  ExprPtr tree = JoinOf(RetOf("A", 10), RetOf("A", 10), 5);
+  auto plan = o.Optimize(*tree);
+  ASSERT_TRUE(plan.ok());
+  // Both join inputs are the SAME group (deduplicated).
+  EXPECT_EQ(o.stats().groups, 3u);  // file A, RET A, JOIN.
+}
+
+TEST_F(MicroOptimizer, ConditionFalseSkipsRule) {
+  rules_.impl_rules[1].condition = [](BindingView&) -> common::Result<bool> {
+    return false;
+  };
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  EXPECT_FALSE(plan.ok());  // No join implementation applies.
+}
+
+TEST_F(MicroOptimizer, RuleErrorsPropagate) {
+  rules_.impl_rules[0].post_opt = [](BindingView&) -> Status {
+    return Status::RuleError("intentional failure");
+  };
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*RetOf("R", 1));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("intentional failure"),
+            std::string::npos);
+}
+
+TEST_F(MicroOptimizer, MissingCostAssignmentIsARuleError) {
+  rules_.impl_rules[0].post_opt = nullptr;
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*RetOf("R", 1));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("cost"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Memo structure
+// ---------------------------------------------------------------------------
+
+TEST_F(MicroOptimizer, MemoCopyInDeduplicatesIdenticalSubtrees) {
+  Memo memo(&rules_, MemoLimits{});
+  ExprPtr tree = JoinOf(RetOf("A", 10), RetOf("A", 10), 5);
+  auto g = memo.CopyIn(*tree);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(memo.NumGroups(), 3u);
+  EXPECT_EQ(memo.NumExprs(), 3u);
+}
+
+TEST_F(MicroOptimizer, MemoInsertDuplicateIsNoOp) {
+  Memo memo(&rules_, MemoLimits{});
+  GroupId g = *memo.CopyIn(*RetOf("A", 10));
+  MExpr dup = memo.group(g).exprs[0];
+  auto added = memo.InsertInto(g, dup);
+  ASSERT_TRUE(added.ok());
+  EXPECT_FALSE(*added);
+  EXPECT_EQ(memo.NumExprs(), 2u);
+}
+
+TEST_F(MicroOptimizer, MemoMergesProvablyEqualGroups) {
+  Memo memo(&rules_, MemoLimits{});
+  GroupId g1 = *memo.CopyIn(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  // An unrelated group that we then prove equal to g1 by inserting g1's
+  // root expression into it.
+  GroupId g2 = *memo.CopyIn(*RetOf("C", 30));
+  size_t before = memo.NumGroups();
+  MExpr root = memo.group(g1).exprs[0];
+  ASSERT_TRUE(memo.InsertInto(g2, root).ok());
+  EXPECT_EQ(memo.NumGroups(), before - 1);
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2));
+  EXPECT_GT(memo.merge_epoch(), 0u);
+}
+
+TEST_F(MicroOptimizer, LogicalPropsExcludedFromIdentity) {
+  Memo memo(&rules_, MemoLimits{});
+  ExprPtr a = RetOf("A", 10);
+  GroupId g1 = *memo.CopyIn(*a);
+  // Same expression with a different card estimate dedups into the same
+  // group: card is a logical property.
+  ExprPtr b = RetOf("A", 10);
+  b->mutable_descriptor()->SetUnchecked(card_, Value::Real(999));
+  GroupId g2 = *memo.CopyIn(*b);
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2));
+  // But a different *argument* property (tag) distinguishes expressions.
+  ExprPtr c = RetOf("A", 10);
+  c->mutable_descriptor()->SetUnchecked(tag_, Value::Str("other"));
+  GroupId g3 = *memo.CopyIn(*c);
+  EXPECT_NE(memo.Find(g1), memo.Find(g3));
+}
+
+}  // namespace
+}  // namespace prairie::volcano
+
+namespace prairie::volcano {
+namespace {
+
+// Additional engine-behaviour coverage appended after the main fixture.
+
+class MicroOptimizerMore : public MicroOptimizer {};
+
+TEST_F(MicroOptimizerMore, SecondOptimizeCallReusesTheMemo) {
+  Optimizer o(&rules_, &catalog_);
+  ExprPtr tree = JoinOf(RetOf("A", 10), RetOf("B", 20), 5);
+  auto p1 = o.Optimize(*tree);
+  ASSERT_TRUE(p1.ok());
+  size_t groups_after_first = o.stats().groups;
+  size_t costed_after_first = o.stats().plans_costed;
+  // Same tree again: everything is memoized; no new groups, no new
+  // costed plans.
+  auto p2 = o.Optimize(*tree->Clone());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_DOUBLE_EQ(p1->cost, p2->cost);
+  EXPECT_EQ(o.stats().groups, groups_after_first);
+  EXPECT_EQ(o.stats().plans_costed, costed_after_first);
+}
+
+TEST_F(MicroOptimizerMore, DifferentRequirementsShareLogicalExpansion) {
+  Optimizer o(&rules_, &catalog_);
+  ExprPtr tree = RetOf("R", 64);
+  auto unordered = o.Optimize(*tree);
+  ASSERT_TRUE(unordered.ok());
+  size_t mexprs = o.stats().mexprs;
+  Descriptor req = Desc();
+  req.SetUnchecked(order_, Value::Sort(SortSpec::On(Attr{"R", "a"})));
+  auto ordered = o.Optimize(*tree->Clone(), req);
+  ASSERT_TRUE(ordered.ok());
+  // The logical space did not grow; only a new winner was computed.
+  EXPECT_EQ(o.stats().mexprs, mexprs);
+  EXPECT_GT(ordered->cost, unordered->cost);
+}
+
+TEST_F(MicroOptimizerMore, EnforcerConditionCanReject) {
+  rules_.enforcers[0].condition = [](BindingView&) -> common::Result<bool> {
+    return false;
+  };
+  Optimizer o(&rules_, &catalog_);
+  Descriptor req = Desc();
+  req.SetUnchecked(order_, Value::Sort(SortSpec::On(Attr{"R", "a"})));
+  auto plan = o.Optimize(*RetOf("R", 10), req);
+  // Scan cannot produce the order and the only enforcer refuses.
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(MicroOptimizerMore, EnforcerApplicablePredicateFilters) {
+  rules_.enforcers[0].applicable = [](const Value&) { return false; };
+  Optimizer o(&rules_, &catalog_);
+  Descriptor req = Desc();
+  req.SetUnchecked(order_, Value::Sort(SortSpec::On(Attr{"R", "a"})));
+  auto plan = o.Optimize(*RetOf("R", 10), req);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(MicroOptimizerMore, StatsTrackMatchedRuleSets) {
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*RetOf("R", 10));
+  ASSERT_TRUE(plan.ok());
+  // No join anywhere: the commute rule never matched.
+  EXPECT_EQ(o.stats().NumTransMatched(), 0u);
+  EXPECT_EQ(o.stats().NumImplMatched(), 1u);  // Only the scan rule.
+}
+
+TEST_F(MicroOptimizerMore, MemoToStringListsGroups) {
+  Memo memo(&rules_, MemoLimits{});
+  ASSERT_TRUE(memo.CopyIn(*JoinOf(RetOf("A", 1), RetOf("B", 2), 3)).ok());
+  std::string text = memo.ToString(*rules_.algebra);
+  EXPECT_NE(text.find("group 0"), std::string::npos);
+  EXPECT_NE(text.find("JOIN(g"), std::string::npos);
+  EXPECT_NE(text.find("A"), std::string::npos);
+}
+
+TEST_F(MicroOptimizerMore, RuleSetValidationCatchesMistakes) {
+  // Cost property must exist.
+  RuleSet broken;
+  broken.algebra = rules_.algebra;
+  broken.cost_prop = -1;
+  EXPECT_FALSE(broken.Finalize().ok());
+  // Physical property cannot be the cost property.
+  broken.cost_prop = cost_;
+  broken.phys_props = {cost_};
+  EXPECT_FALSE(broken.Finalize().ok());
+  // Enforcer must name an algorithm.
+  RuleSet bad_enf;
+  bad_enf.algebra = rules_.algebra;
+  bad_enf.cost_prop = cost_;
+  bad_enf.phys_props = {order_};
+  Enforcer e;
+  e.name = "bogus";
+  e.alg = ret_;  // An operator, not an algorithm.
+  e.prop = order_;
+  bad_enf.enforcers.push_back(std::move(e));
+  EXPECT_FALSE(bad_enf.Finalize().ok());
+}
+
+TEST_F(MicroOptimizerMore, PropSatisfiesSemantics) {
+  Value none;
+  Value dontcare = Value::Sort(SortSpec::DontCare());
+  Value on_a = Value::Sort(SortSpec::On(Attr{"R", "a"}));
+  SortSpec ab;
+  ab.keys = {{Attr{"R", "a"}, true}, {Attr{"R", "b"}, true}};
+  Value on_ab = Value::Sort(ab);
+  EXPECT_TRUE(PropSatisfies(none, none));
+  EXPECT_TRUE(PropSatisfies(none, dontcare));   // DONT_CARE wants nothing.
+  EXPECT_TRUE(PropSatisfies(on_ab, on_a));      // Prefix satisfaction.
+  EXPECT_FALSE(PropSatisfies(on_a, on_ab));
+  EXPECT_FALSE(PropSatisfies(none, on_a));
+  EXPECT_FALSE(PropSatisfies(dontcare, on_a));
+  EXPECT_TRUE(PropSatisfies(Value::Int(3), Value::Int(3)));
+  EXPECT_FALSE(PropSatisfies(Value::Int(3), Value::Int(4)));
+}
+
+}  // namespace
+}  // namespace prairie::volcano

@@ -1,0 +1,199 @@
+// Unit tests for the workload generators: the paper's query naming,
+// expression shapes, catalog structure, determinism, and database
+// population consistency.
+
+#include <gtest/gtest.h>
+
+#include "optimizers/props.h"
+#include "optimizers/volcano_hand.h"
+#include "workload/workload.h"
+
+namespace prairie::workload {
+namespace {
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)             \
+  auto PRAIRIE_CONCAT(_res_, __LINE__) = (rexpr);    \
+  ASSERT_TRUE(PRAIRIE_CONCAT(_res_, __LINE__).ok())  \
+      << PRAIRIE_CONCAT(_res_, __LINE__).status().ToString(); \
+  lhs = std::move(PRAIRIE_CONCAT(_res_, __LINE__)).ValueUnsafe();
+
+const std::shared_ptr<volcano::RuleSet>& Rules() {
+  static auto rules = [] {
+    auto v = opt::BuildOodbVolcano();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  }();
+  return rules;
+}
+
+TEST(PaperQueryNaming, MatchesTable5) {
+  struct Expect {
+    ExprKind expr;
+    bool idx;
+  };
+  const Expect expected[9] = {{},
+                              {ExprKind::kE1, false},
+                              {ExprKind::kE1, true},
+                              {ExprKind::kE2, false},
+                              {ExprKind::kE2, true},
+                              {ExprKind::kE3, false},
+                              {ExprKind::kE3, true},
+                              {ExprKind::kE4, false},
+                              {ExprKind::kE4, true}};
+  for (int q = 1; q <= 8; ++q) {
+    QuerySpec spec = PaperQuery(q, 3, 42);
+    EXPECT_EQ(spec.expr, expected[q].expr) << "Q" << q;
+    EXPECT_EQ(spec.with_indexes, expected[q].idx) << "Q" << q;
+    EXPECT_EQ(spec.num_joins, 3);
+    EXPECT_EQ(spec.seed, 42u);
+  }
+}
+
+TEST(MakeWorkload, ExpressionShapes) {
+  const auto& algebra = *Rules()->algebra;
+  for (int e = 1; e <= 4; ++e) {
+    QuerySpec spec;
+    spec.expr = static_cast<ExprKind>(e);
+    spec.num_joins = 2;
+    spec.seed = 9;
+    ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(algebra, spec));
+    std::string text = w.query->ToString(algebra);
+    bool has_mat = text.find("MAT(") != std::string::npos;
+    bool has_select = text.find("SELECT(") != std::string::npos;
+    EXPECT_EQ(has_mat, e == 2 || e == 4) << text;
+    EXPECT_EQ(has_select, e == 3 || e == 4) << text;
+    // N joins over N+1 classes.
+    int joins = 0;
+    for (size_t p = text.find("JOIN("); p != std::string::npos;
+         p = text.find("JOIN(", p + 1)) {
+      ++joins;
+    }
+    EXPECT_EQ(joins, 2) << text;
+    EXPECT_TRUE(w.query->IsLogical(algebra));
+  }
+}
+
+TEST(MakeWorkload, CatalogStructure) {
+  QuerySpec spec = PaperQuery(4, /*num_joins=*/3, /*seed=*/5);  // E2 + idx.
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  // 4 classes + 4 MAT target classes.
+  EXPECT_EQ(w.catalog.size(), 8u);
+  for (int i = 1; i <= 4; ++i) {
+    const catalog::StoredFile* f = w.catalog.Find("C" + std::to_string(i));
+    ASSERT_NE(f, nullptr);
+    EXPECT_GE(f->cardinality(), spec.min_card);
+    EXPECT_LE(f->cardinality(), spec.max_card);
+    EXPECT_TRUE(f->HasIndexOn("bc"));
+    const catalog::AttributeDef* ref = f->FindAttr("ref");
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(ref->ref_class, "T" + std::to_string(i));
+    EXPECT_NE(w.catalog.Find(ref->ref_class), nullptr);
+  }
+  // E1 catalogs have neither targets nor refs.
+  QuerySpec e1 = PaperQuery(1, 3, 5);
+  ASSERT_OK_AND_ASSIGN(Workload w1, MakeWorkload(*Rules()->algebra, e1));
+  EXPECT_EQ(w1.catalog.size(), 4u);
+  EXPECT_EQ(w1.catalog.Find("C1")->FindAttr("ref"), nullptr);
+  EXPECT_FALSE(w1.catalog.Find("C1")->HasIndexOn("bc"));
+}
+
+TEST(MakeWorkload, DeterministicPerSeed) {
+  QuerySpec spec = PaperQuery(7, 3, 1234);
+  ASSERT_OK_AND_ASSIGN(Workload a, MakeWorkload(*Rules()->algebra, spec));
+  ASSERT_OK_AND_ASSIGN(Workload b, MakeWorkload(*Rules()->algebra, spec));
+  EXPECT_EQ(a.query->ToString(*Rules()->algebra),
+            b.query->ToString(*Rules()->algebra));
+  EXPECT_TRUE(a.query->Equals(*b.query));
+  EXPECT_EQ(a.catalog.Find("C1")->cardinality(),
+            b.catalog.Find("C1")->cardinality());
+  // Different seeds give different cardinalities (with high probability
+  // across three classes).
+  spec.seed = 99;
+  ASSERT_OK_AND_ASSIGN(Workload c, MakeWorkload(*Rules()->algebra, spec));
+  bool any_diff = false;
+  for (int i = 1; i <= 4; ++i) {
+    any_diff |= a.catalog.Find("C" + std::to_string(i))->cardinality() !=
+                c.catalog.Find("C" + std::to_string(i))->cardinality();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MakeWorkload, SelectionConstantsAreInDomain) {
+  QuerySpec spec = PaperQuery(5, 3, 77);
+  spec.min_card = 5;
+  spec.max_card = 20;
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  auto sel = w.query->descriptor().Get(opt::kSelectionPredicate);
+  ASSERT_TRUE(sel.ok());
+  for (const algebra::PredicateRef& c : sel->AsPred()->Conjuncts()) {
+    ASSERT_TRUE(c->kind() == algebra::Predicate::Kind::kCmp);
+    const algebra::Attr& attr =
+        c->left().is_attr() ? c->left().attr : c->right().attr;
+    const algebra::Scalar& k =
+        c->left().is_attr() ? c->right().scalar : c->left().scalar;
+    int64_t domain = w.catalog.DistinctValues(attr);
+    ASSERT_TRUE(std::holds_alternative<int64_t>(k.v));
+    EXPECT_LT(std::get<int64_t>(k.v), domain) << attr.ToString();
+    EXPECT_GE(std::get<int64_t>(k.v), 0);
+  }
+}
+
+TEST(MakeWorkload, RejectsZeroJoins) {
+  QuerySpec spec;
+  spec.num_joins = 0;
+  EXPECT_FALSE(MakeWorkload(*Rules()->algebra, spec).ok());
+}
+
+TEST(MakeDatabase, ConsistentWithCatalog) {
+  QuerySpec spec = PaperQuery(8, 2, 31);  // E4 with indices.
+  spec.min_card = 5;
+  spec.max_card = 20;
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  ASSERT_OK_AND_ASSIGN(exec::Database db, MakeDatabase(w.catalog, 4));
+  for (const std::string& name : w.catalog.FileNames()) {
+    const catalog::StoredFile* meta = w.catalog.Find(name);
+    const exec::Table* table = db.Find(name);
+    ASSERT_NE(table, nullptr) << name;
+    EXPECT_EQ(static_cast<int64_t>(table->NumRows()), meta->cardinality());
+    // oid column equals the row position.
+    int oid_pos = table->schema().Find(algebra::Attr{name, "oid"});
+    ASSERT_GE(oid_pos, 0);
+    for (size_t r = 0; r < table->NumRows(); ++r) {
+      EXPECT_EQ(table->row(r)[static_cast<size_t>(oid_pos)],
+                exec::Datum::Int(static_cast<int64_t>(r)));
+    }
+    // Reference OIDs land inside the target extent.
+    for (const catalog::AttributeDef& a : meta->attrs()) {
+      if (!a.is_reference()) continue;
+      int pos = table->schema().Find(algebra::Attr{name, a.name});
+      ASSERT_GE(pos, 0);
+      const exec::Table* target = db.Find(a.ref_class);
+      ASSERT_NE(target, nullptr);
+      for (size_t r = 0; r < table->NumRows(); ++r) {
+        int64_t oid =
+            std::get<int64_t>(table->row(r)[static_cast<size_t>(pos)].v);
+        EXPECT_GE(oid, 0);
+        EXPECT_LT(oid, static_cast<int64_t>(target->NumRows()));
+      }
+    }
+    // Declared indexes exist.
+    for (const catalog::IndexDef& idx : meta->indices()) {
+      EXPECT_TRUE(table->HasIndex(idx.attr)) << name << "." << idx.attr;
+    }
+  }
+}
+
+TEST(MakeDatabase, DeterministicPerSeed) {
+  QuerySpec spec = PaperQuery(1, 2, 8);
+  spec.min_card = 5;
+  spec.max_card = 15;
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  ASSERT_OK_AND_ASSIGN(exec::Database a, MakeDatabase(w.catalog, 3));
+  ASSERT_OK_AND_ASSIGN(exec::Database b, MakeDatabase(w.catalog, 3));
+  EXPECT_EQ(a.Find("C1")->rows(), b.Find("C1")->rows());
+  ASSERT_OK_AND_ASSIGN(exec::Database c, MakeDatabase(w.catalog, 4));
+  EXPECT_NE(a.Find("C1")->rows(), c.Find("C1")->rows());
+}
+
+}  // namespace
+}  // namespace prairie::workload

@@ -1,0 +1,156 @@
+// The P2V pre-processor as a command-line tool (the original toolchain's
+// `p2v` executable). Reads a Prairie specification, runs the analysis,
+// and emits one of:
+//   --mode report   the translation report (default)
+//   --mode volcano  a summary of the generated Volcano rule set
+//   --mode dsl      the specification pretty-printed back as Prairie DSL
+//   --mode cpp      a compilable C++ translation unit (the generated
+//                   optimizer, as the original emitted C)
+//
+// Input: --input FILE, or --builtin relational|oodb for the shipped rule
+// sets. Helper functions are the standard registry; specifications using
+// other helpers can still be analyzed (--mode report/cpp) but will fail
+// validation unless the helpers exist.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dsl/parser.h"
+#include "dsl/printer.h"
+#include "optimizers/oodb.h"
+#include "optimizers/native_helpers.h"
+#include "optimizers/props.h"
+#include "optimizers/relational.h"
+#include "p2v/emit_cpp.h"
+#include "p2v/translator.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: p2v_emit (--input FILE | --builtin relational|oodb)\n"
+      "                [--mode report|volcano|dsl|cpp]\n"
+      "                [--function NAME] [--namespace NS] [--output FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, builtin, output, mode = "report";
+  prairie::p2v::EmitOptions emit_options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--input") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      input = v;
+    } else if (arg == "--builtin") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      builtin = v;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      mode = v;
+    } else if (arg == "--function") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      emit_options.function_name = v;
+    } else if (arg == "--namespace") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      emit_options.namespace_name = v;
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      output = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::string text;
+  if (builtin == "relational") {
+    text = prairie::opt::RelationalSpecText();
+  } else if (builtin == "oodb") {
+    text = prairie::opt::OodbSpecText();
+  } else if (!input.empty()) {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "p2v_emit: cannot read '%s'\n", input.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    return Usage();
+  }
+
+  auto rules = prairie::dsl::ParseRuleSet(text, prairie::opt::StandardHelpers());
+  if (!rules.ok()) {
+    std::fprintf(stderr, "p2v_emit: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  auto write_out = [&output](const std::string& contents) -> int {
+    if (output.empty()) {
+      std::fputs(contents.c_str(), stdout);
+      return 0;
+    }
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "p2v_emit: cannot write '%s'\n", output.c_str());
+      return 1;
+    }
+    out << contents;
+    return 0;
+  };
+
+  if (mode == "report") {
+    prairie::p2v::TranslationReport report;
+    auto v = prairie::p2v::Translate(*rules, &report);
+    if (!v.ok()) {
+      std::fprintf(stderr, "p2v_emit: %s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    return write_out(report.ToString());
+  }
+  if (mode == "volcano") {
+    auto v = prairie::p2v::Translate(*rules, nullptr);
+    if (!v.ok()) {
+      std::fprintf(stderr, "p2v_emit: %s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    return write_out((*v)->ToString());
+  }
+  if (mode == "dsl") {
+    auto text_out = prairie::dsl::PrintRuleSet(*rules);
+    if (!text_out.ok()) {
+      std::fprintf(stderr, "p2v_emit: %s\n",
+                   text_out.status().ToString().c_str());
+      return 1;
+    }
+    return write_out(*text_out);
+  }
+  if (mode == "cpp") {
+    emit_options.native_helpers = prairie::opt::native::NativeHelperMap();
+    emit_options.extra_includes.push_back("optimizers/native_helpers.h");
+    auto source = prairie::p2v::EmitCpp(*rules, emit_options);
+    if (!source.ok()) {
+      std::fprintf(stderr, "p2v_emit: %s\n",
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    return write_out(*source);
+  }
+  return Usage();
+}

@@ -1,0 +1,151 @@
+// Command-line optimizer driver: generates one of the paper's workloads
+// (or loads a custom Prairie specification), optimizes it, and prints the
+// query, the chosen access plan, its cost, and search statistics.
+//
+//   prairie_opt [--spec relational|oodb|FILE] [--query 1..8]
+//               [--joins N] [--seed S] [--expand-only] [--no-prune]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dsl/parser.h"
+#include "optimizers/oodb.h"
+#include "optimizers/props.h"
+#include "optimizers/relational.h"
+#include "p2v/translator.h"
+#include "volcano/engine.h"
+#include "workload/workload.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prairie_opt [--spec relational|oodb|FILE]\n"
+               "                   [--query 1..8] [--joins N] [--seed S]\n"
+               "                   [--expand-only] [--no-prune]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec = "oodb";
+  int query = 1;
+  int joins = 2;
+  uint64_t seed = 1;
+  bool expand_only = false;
+  prairie::volcano::OptimizerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      spec = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      query = std::atoi(v);
+    } else if (arg == "--joins") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      joins = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--expand-only") {
+      expand_only = true;
+    } else if (arg == "--no-prune") {
+      options.prune = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (query < 1 || query > 8 || joins < 1) return Usage();
+
+  std::string text;
+  if (spec == "relational") {
+    text = prairie::opt::RelationalSpecText();
+    if (query > 2) {
+      std::fprintf(stderr,
+                   "prairie_opt: the relational algebra supports only "
+                   "Q1/Q2 (E1)\n");
+      return 1;
+    }
+  } else if (spec == "oodb") {
+    text = prairie::opt::OodbSpecText();
+  } else {
+    std::ifstream in(spec);
+    if (!in) {
+      std::fprintf(stderr, "prairie_opt: cannot read '%s'\n", spec.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  auto rules = prairie::dsl::ParseRuleSet(text, prairie::opt::StandardHelpers());
+  if (!rules.ok()) {
+    std::fprintf(stderr, "prairie_opt: %s\n",
+                 rules.status().ToString().c_str());
+    return 1;
+  }
+  auto volcano_rules = prairie::p2v::Translate(*rules, nullptr);
+  if (!volcano_rules.ok()) {
+    std::fprintf(stderr, "prairie_opt: %s\n",
+                 volcano_rules.status().ToString().c_str());
+    return 1;
+  }
+
+  prairie::workload::QuerySpec qspec =
+      prairie::workload::PaperQuery(query, joins, seed);
+  auto w = prairie::workload::MakeWorkload(*(*volcano_rules)->algebra, qspec);
+  if (!w.ok()) {
+    std::fprintf(stderr, "prairie_opt: %s\n", w.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto& algebra = *(*volcano_rules)->algebra;
+  std::printf("catalog:\n%s\n\n", w->catalog.ToString().c_str());
+  std::printf("query Q%d (%d joins, seed %llu):\n  %s\n\n", query, joins,
+              static_cast<unsigned long long>(seed),
+              w->query->ToString(algebra).c_str());
+
+  prairie::volcano::Optimizer optimizer(volcano_rules->get(), &w->catalog,
+                                        options);
+  if (expand_only) {
+    auto groups = optimizer.ExpandOnly(*w->query);
+    if (!groups.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n",
+                   groups.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("logical search space: %zu equivalence classes, %zu "
+                "expressions\n",
+                *groups, optimizer.stats().mexprs);
+    return 0;
+  }
+  auto plan = optimizer.Optimize(*w->query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "prairie_opt: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan (cost %.2f):\n%s\n", plan->cost,
+              plan->root->TreeString(algebra).c_str());
+  const auto& stats = optimizer.stats();
+  std::printf(
+      "stats: %zu equivalence classes, %zu logical expressions,\n"
+      "       %zu trans-rule firings, %zu plans costed, %zu enforcer "
+      "attempts\n",
+      stats.groups, stats.mexprs, stats.trans_fired, stats.plans_costed,
+      stats.enforcer_attempts);
+  return 0;
+}
