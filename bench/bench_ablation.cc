@@ -113,4 +113,25 @@ BENCHMARK(BM_DescriptorHash);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run,
+// emit the machine-readable BENCH_ablation.json summary (the cross-PR
+// tracking line every bench produces).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  prairie::bench::JsonWriter json("ablation");
+  for (const auto& [family, rules] :
+       {std::pair<const char*, const prairie::volcano::RuleSet*>{
+            "Q1/n3/hand", Pair().hand.get()},
+        {"Q1/n3/interp", Pair().generated.get()},
+        {"Q1/n3/emitted", Pair().emitted.get()}}) {
+    prairie::bench::Measurement m =
+        prairie::bench::MeasureQuery(*rules, 1, 3, /*num_seeds=*/1,
+                                     /*repeats=*/3);
+    if (m.ok()) json.Record(family, m);
+  }
+  return 0;
+}

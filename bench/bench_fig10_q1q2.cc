@@ -14,9 +14,10 @@ int main() {
     return 1;
   }
   int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 8);
+  prairie::bench::JsonWriter json("fig10_q1q2");
   prairie::bench::RunFigure(
       "Figure 10: optimization time for Q1 / Q2 (E1, N-way join)", *pair,
-      /*qa=*/1, /*qb=*/2, max_joins, /*per_point_budget_s=*/20.0);
+      /*qa=*/1, /*qb=*/2, max_joins, /*per_point_budget_s=*/20.0, &json);
   std::printf(
       "Paper shape check: Q1 and Q2 curves should coincide (the two join\n"
       "algorithms ignore indices), and Prairie ~= Volcano at every point.\n");

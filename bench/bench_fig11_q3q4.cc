@@ -16,9 +16,10 @@ int main() {
     return 1;
   }
   int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 6);
+  prairie::bench::JsonWriter json("fig11_q3q4");
   prairie::bench::RunFigure(
       "Figure 11: optimization time for Q3 / Q4 (E2, MAT after each RET)",
-      *pair, /*qa=*/3, /*qb=*/4, max_joins, /*per_point_budget_s=*/15.0);
+      *pair, /*qa=*/3, /*qb=*/4, max_joins, /*per_point_budget_s=*/15.0, &json);
   std::printf(
       "Paper shape check: identical Q3/Q4 curves (indices unused), steeper\n"
       "growth than Figure 10, Prairie ~= Volcano.\n");

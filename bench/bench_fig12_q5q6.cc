@@ -15,9 +15,10 @@ int main() {
     return 1;
   }
   int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 4);
+  prairie::bench::JsonWriter json("fig12_q5q6");
   prairie::bench::RunFigure(
       "Figure 12: optimization time for Q5 / Q6 (E3, SELECT over E1)",
-      *pair, /*qa=*/5, /*qb=*/6, max_joins, /*per_point_budget_s=*/15.0);
+      *pair, /*qa=*/5, /*qb=*/6, max_joins, /*per_point_budget_s=*/15.0, &json);
   std::printf(
       "Paper shape check: SELECT interactions blow up the search space\n"
       "(compare Figure 10); the index matters only for Q6 plan costs;\n"

@@ -14,9 +14,10 @@ int main() {
     return 1;
   }
   int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 3);
+  prairie::bench::JsonWriter json("fig13_q7q8");
   prairie::bench::RunFigure(
       "Figure 13: optimization time for Q7 / Q8 (E4, SELECT over E2)",
-      *pair, /*qa=*/7, /*qb=*/8, max_joins, /*per_point_budget_s=*/20.0);
+      *pair, /*qa=*/7, /*qb=*/8, max_joins, /*per_point_budget_s=*/20.0, &json);
   std::printf(
       "Paper shape check: the steepest growth of all four figures;\n"
       "Prairie ~= Volcano.\n");

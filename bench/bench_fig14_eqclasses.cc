@@ -7,6 +7,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 
 using prairie::bench::BuildOodbPair;
 using prairie::bench::EnvInt;
@@ -31,6 +32,7 @@ int main() {
   std::printf("%s\n", std::string(55, '-').c_str());
   int max_n = 0;
   for (int e = 1; e <= 4; ++e) max_n = std::max(max_n, max_per_expr[e]);
+  prairie::bench::JsonWriter json("fig14_eqclasses");
   for (int n = 1; n <= max_n; ++n) {
     std::printf("%7d |", n);
     for (int e = 1; e <= 4; ++e) {
@@ -48,12 +50,17 @@ int main() {
         continue;
       }
       prairie::volcano::Optimizer optimizer(&rules, &w->catalog);
+      prairie::common::Stopwatch sw;
       auto groups = optimizer.ExpandOnly(*w->query);
+      double wall_us = sw.ElapsedSeconds() * 1e6;
       if (!groups.ok()) {
         std::printf(" %10s", "exhausted");
         max_per_expr[e] = 0;
         continue;
       }
+      json.Record("E" + std::to_string(e) + "/n" + std::to_string(n),
+                  wall_us, *groups, optimizer.stats().mexprs,
+                  optimizer.stats().InternHitRate());
       std::printf(" %10zu", *groups);
     }
     std::printf("\n");

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "optimizers/oodb.h"
 #include "optimizers/relational.h"
 #include "p2v/emit_cpp.h"
@@ -31,6 +32,7 @@ int CountLines(const std::string& text) {
 int main() {
   using prairie::p2v::TranslationReport;
 
+  prairie::bench::JsonWriter json("productivity");
   for (bool oodb : {false, true}) {
     auto prairie_rules = oodb ? prairie::opt::BuildOodbPrairie()
                               : prairie::opt::BuildRelationalPrairie();
@@ -40,12 +42,17 @@ int main() {
       return 1;
     }
     TranslationReport report;
+    prairie::common::Stopwatch sw;
     auto generated = prairie::p2v::Translate(*prairie_rules, &report);
+    double translate_us = sw.ElapsedSeconds() * 1e6;
     if (!generated.ok()) {
       std::fprintf(stderr, "P2V failed: %s\n",
                    generated.status().ToString().c_str());
       return 1;
     }
+    json.Record(std::string(oodb ? "oodb" : "relational") + "/translate",
+                translate_us, /*groups=*/0, /*mexprs=*/0,
+                /*intern_hit_rate=*/0.0);
     const char* name = oodb ? "Open-OODB-scale rule set (paper §4.2)"
                             : "relational rule set (paper §4 recap of [5])";
     std::printf("=== %s ===\n\n", name);

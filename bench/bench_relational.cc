@@ -15,8 +15,9 @@ int main() {
     return 1;
   }
   int max_joins = prairie::bench::EnvInt("PRAIRIE_MAX_JOINS", 8);
+  prairie::bench::JsonWriter json("relational");
   prairie::bench::RunFigure(
       "Relational optimizer (Prairie vs. hand-coded Volcano), E1 queries",
-      *pair, /*qa=*/1, /*qb=*/2, max_joins, /*per_point_budget_s=*/20.0);
+      *pair, /*qa=*/1, /*qb=*/2, max_joins, /*per_point_budget_s=*/20.0, &json);
   return 0;
 }

@@ -30,6 +30,7 @@ int main() {
   std::printf("%5s %8s %5s | %11s %10s | %11s %10s\n", "query", "indices?",
               "expr", "trans match", "(paper)", "impl match", "(paper)");
   std::printf("%s\n", std::string(72, '-').c_str());
+  prairie::bench::JsonWriter json("table5");
   for (int q = 1; q <= 8; ++q) {
     prairie::bench::Measurement m =
         prairie::bench::MeasureQuery(*pair->hand, q, /*num_joins=*/2,
@@ -38,6 +39,7 @@ int main() {
       std::printf("Q%-4d failed: %s\n", q, m.status.ToString().c_str());
       continue;
     }
+    json.Record("Q" + std::to_string(q) + "/n2/hand", m);
     std::printf("%5s %8s %5s | %11zu %10d | %11zu %10d\n",
                 ("Q" + std::to_string(q)).c_str(),
                 (q % 2 == 0) ? "yes" : "no", paper[q].expr, m.trans_matched,

@@ -49,6 +49,31 @@ Result<OptimizerPair> BuildRelationalPair() {
   return pair;
 }
 
+JsonWriter::JsonWriter(const std::string& bench_name) : bench_(bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                 path.c_str());
+  }
+}
+
+JsonWriter::~JsonWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void JsonWriter::Record(const std::string& family, double wall_us,
+                        size_t groups, size_t mexprs,
+                        double intern_hit_rate) {
+  if (f_ == nullptr) return;
+  std::fprintf(f_,
+               "{\"bench\":\"%s\",\"family\":\"%s\",\"wall_us\":%.3f,"
+               "\"groups\":%zu,\"mexprs\":%zu,\"intern_hit_rate\":%.4f}\n",
+               bench_.c_str(), family.c_str(), wall_us, groups, mexprs,
+               intern_hit_rate);
+  std::fflush(f_);
+}
+
 Measurement MeasureQuery(const volcano::RuleSet& rules, int qnum,
                          int num_joins, int num_seeds, int repeats) {
   Measurement m;
@@ -77,6 +102,8 @@ Measurement MeasureQuery(const volcano::RuleSet& rules, int qnum,
       }
       m.cost = plan->cost;
       m.groups = optimizer.stats().groups;
+      m.mexprs = optimizer.stats().mexprs;
+      m.intern_hit_rate = optimizer.stats().InternHitRate();
       m.trans_matched = optimizer.stats().NumTransMatched();
       m.impl_matched = optimizer.stats().NumImplMatched();
     }
@@ -88,7 +115,8 @@ Measurement MeasureQuery(const volcano::RuleSet& rules, int qnum,
 }
 
 void RunFigure(const std::string& title, const OptimizerPair& pair, int qa,
-               int qb, int max_joins, double per_point_budget_s) {
+               int qb, int max_joins, double per_point_budget_s,
+               JsonWriter* json) {
   std::printf("%s\n", title.c_str());
   std::printf(
       "(mean per-query optimization time over 5 cardinality seeds;\n"
@@ -125,6 +153,13 @@ void RunFigure(const std::string& title, const OptimizerPair& pair, int qa,
         std::printf(" %11s %11s %11s %7s |", "exhausted", "-", "-", "-");
         alive = false;
         continue;
+      }
+      if (json != nullptr) {
+        const std::string base = "Q" + std::to_string(q) + "/n" +
+                                 std::to_string(n) + "/";
+        json->Record(base + "interp", mi);
+        json->Record(base + "emitted", me);
+        json->Record(base + "hand", mh);
       }
       std::printf(" %9.3fms %9.3fms %9.3fms %6.2fx |", mi.seconds * 1e3,
                   me.seconds * 1e3, mh.seconds * 1e3,

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -37,11 +38,38 @@ struct Measurement {
   double seconds = 0;      ///< Mean per-query optimization time.
   double cost = 0;         ///< Plan cost of the last instance.
   size_t groups = 0;       ///< Equivalence classes (last instance).
+  size_t mexprs = 0;       ///< Logical multi-expressions (last instance).
+  double intern_hit_rate = 0;  ///< Descriptor-interning hit rate.
   size_t trans_matched = 0;
   size_t impl_matched = 0;
   common::Status status;   ///< Non-OK if any instance failed.
 
   bool ok() const { return status.ok(); }
+};
+
+/// \brief Machine-readable result log: one JSON object per line, written
+/// to BENCH_<name>.json in the working directory, so the perf trajectory
+/// of every bench is tracked across PRs.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& bench_name);
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// Appends one record. `family` identifies the measured configuration
+  /// (query, join count, deployment), e.g. "Q3/n2/emitted".
+  void Record(const std::string& family, double wall_us, size_t groups,
+              size_t mexprs, double intern_hit_rate);
+
+  /// Convenience: records a Measurement.
+  void Record(const std::string& family, const Measurement& m) {
+    Record(family, m.seconds * 1e6, m.groups, m.mexprs, m.intern_hit_rate);
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string bench_;
 };
 
 /// Optimizes query `qnum` (paper numbering Q1..Q8) at `num_joins`,
@@ -54,9 +82,11 @@ Measurement MeasureQuery(const volcano::RuleSet& rules, int qnum,
 /// Prints one figure: per-N mean optimization times for two queries under
 /// both optimizers, in a paper-style table. Points whose previous N
 /// exceeded `per_point_budget_s` are skipped (mirrors the paper stopping
-/// when virtual memory was exhausted).
+/// when virtual memory was exhausted). When `json` is non-null, every
+/// measured point is also recorded there.
 void RunFigure(const std::string& title, const OptimizerPair& pair, int qa,
-               int qb, int max_joins, double per_point_budget_s);
+               int qb, int max_joins, double per_point_budget_s,
+               JsonWriter* json = nullptr);
 
 /// Reads a positive integer override from the environment (for extending
 /// sweeps), else returns `def`.

@@ -1,0 +1,97 @@
+#include "algebra/descriptor_store.h"
+
+namespace prairie::algebra {
+
+DescriptorId DescriptorStore::FindEqual(const Descriptor& d,
+                                        uint64_t h) const {
+  auto [lo, hi] = by_hash_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (entries_[static_cast<size_t>(it->second)].desc == d) {
+      return it->second;
+    }
+  }
+  return kInvalidDescriptorId;
+}
+
+DescriptorId DescriptorStore::Append(Descriptor&& d, uint64_t h) {
+  const DescriptorId id = static_cast<DescriptorId>(entries_.size());
+  entries_.push_back(Entry{std::move(d), h});
+  by_hash_.emplace(h, id);
+  return id;
+}
+
+DescriptorId DescriptorStore::Intern(const Descriptor& d) {
+  ++lookups_;
+  const uint64_t h = d.Hash();
+  DescriptorId id = FindEqual(d, h);
+  if (id != kInvalidDescriptorId) {
+    ++hits_;
+    return id;
+  }
+  return Append(Descriptor(d), h);
+}
+
+DescriptorId DescriptorStore::Intern(Descriptor&& d) {
+  ++lookups_;
+  const uint64_t h = d.Hash();
+  DescriptorId id = FindEqual(d, h);
+  if (id != kInvalidDescriptorId) {
+    ++hits_;
+    return id;
+  }
+  return Append(std::move(d), h);
+}
+
+SliceId DescriptorStore::RegisterSlice(PropertySlice slice) {
+  const SliceId s = static_cast<SliceId>(slices_.size());
+  slices_.push_back(SliceState{std::move(slice), {}, {}});
+  return s;
+}
+
+DescriptorId DescriptorStore::InternProjected(SliceId s,
+                                              const Descriptor& full) {
+  SliceState& st = slices_[static_cast<size_t>(s)];
+  ++lookups_;
+  const uint64_t h = st.slice.HashOf(full);
+  auto [lo, hi] = st.by_hash.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    // Candidates are interned projections, so comparing on the slice alone
+    // is exact: off-slice annotations of a projection are Null.
+    if (st.slice.EqualOn(entries_[static_cast<size_t>(it->second)].desc,
+                         full)) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Miss on the slice index. Materialize the projection and dedupe through
+  // the global table so the same value interned via Intern() and via
+  // InternProjected() resolves to one id (the id <=> value invariant is
+  // store-global, not per-slice).
+  Descriptor proj = st.slice.Project(full);
+  const uint64_t fh = proj.Hash();
+  DescriptorId id = FindEqual(proj, fh);
+  if (id == kInvalidDescriptorId) {
+    id = Append(std::move(proj), fh);
+  }
+  st.by_hash.emplace(h, id);
+  return id;
+}
+
+DescriptorId DescriptorStore::Project(SliceId s, DescriptorId id) {
+  SliceState& st = slices_[static_cast<size_t>(s)];
+  const size_t idx = static_cast<size_t>(id);
+  if (idx < st.projected.size() &&
+      st.projected[idx] != kInvalidDescriptorId) {
+    ++lookups_;
+    ++hits_;
+    return st.projected[idx];
+  }
+  const DescriptorId pid = InternProjected(s, Get(id));
+  if (idx >= st.projected.size()) {
+    st.projected.resize(idx + 1, kInvalidDescriptorId);
+  }
+  st.projected[idx] = pid;
+  return pid;
+}
+
+}  // namespace prairie::algebra

@@ -1,0 +1,161 @@
+// Hash-consed descriptor interning (the memo's identity backbone).
+//
+// The Volcano memo, the winner tables and the rule engine all need to ask
+// "is this descriptor the same as that one?" on every expression insert and
+// every winner lookup. Deep value comparison makes that O(#properties) with
+// a cache-hostile walk over variant values; interning makes it a single
+// integer compare. A DescriptorStore owns every distinct descriptor value
+// once and hands out dense DescriptorIds with the invariant
+//
+//     id(a) == id(b)  <=>  a == b   (value equality)
+//
+// so ids can key hash maps directly (no stored-descriptor collision guard
+// needed). Per-descriptor hashes are computed once at interning time and
+// cached. PropertySlice-projected interning resolves P2V's argument /
+// physical / cost splits of a full descriptor to ids without materializing
+// the projection when an equal one already exists.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/property.h"
+
+namespace prairie::algebra {
+
+/// Dense handle into a DescriptorStore. Valid ids are >= 0.
+using DescriptorId = int32_t;
+inline constexpr DescriptorId kInvalidDescriptorId = -1;
+
+/// Handle for a PropertySlice registered with a store.
+using SliceId = int;
+
+/// \brief Hash-consing store for descriptors of one schema.
+///
+/// References returned by Get() are stable for the lifetime of the store
+/// (entries live in a deque, so interning never relocates them).
+class DescriptorStore {
+ public:
+  explicit DescriptorStore(const PropertySchema* schema) : schema_(schema) {}
+
+  DescriptorStore(const DescriptorStore&) = delete;
+  DescriptorStore& operator=(const DescriptorStore&) = delete;
+
+  const PropertySchema* schema() const { return schema_; }
+
+  /// Interns `d`, copying it only when no equal descriptor exists yet.
+  DescriptorId Intern(const Descriptor& d);
+
+  /// Interns `d`, moving it into the store on a miss.
+  DescriptorId Intern(Descriptor&& d);
+
+  /// The canonical descriptor for `id`. Stable reference.
+  const Descriptor& Get(DescriptorId id) const {
+    return entries_[static_cast<size_t>(id)].desc;
+  }
+
+  /// The cached value hash of `id` (equal to Get(id).Hash()).
+  uint64_t HashOf(DescriptorId id) const {
+    return entries_[static_cast<size_t>(id)].hash;
+  }
+
+  /// Registers a projection slice; the returned SliceId is dense.
+  SliceId RegisterSlice(PropertySlice slice);
+
+  const PropertySlice& slice(SliceId s) const {
+    return slices_[static_cast<size_t>(s)].slice;
+  }
+
+  /// Interns the projection of `full` (any descriptor, interned or not)
+  /// onto slice `s`. Allocation-free when an equal projection was interned
+  /// before: the probe hashes only the sliced annotations of `full` and
+  /// compares with PropertySlice::EqualOn, materializing the projected
+  /// descriptor only on a miss.
+  DescriptorId InternProjected(SliceId s, const Descriptor& full);
+
+  /// Projection of an already-interned descriptor, memoized per (s, id).
+  DescriptorId Project(SliceId s, DescriptorId id);
+
+  /// Number of distinct descriptors interned.
+  size_t size() const { return entries_.size(); }
+
+  /// Interning traffic counters: every Intern/InternProjected call is a
+  /// lookup; a hit found an existing equal descriptor.
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+  double HitRate() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+  }
+
+ private:
+  struct Entry {
+    Descriptor desc;
+    uint64_t hash = 0;
+  };
+  struct SliceState {
+    PropertySlice slice;
+    /// slice-hash -> id of an interned *projected* descriptor.
+    std::unordered_multimap<uint64_t, DescriptorId> by_hash;
+    /// Memoized Project() results, indexed by full-descriptor id.
+    std::vector<DescriptorId> projected;
+  };
+
+  /// Finds an existing entry equal to `d` with full hash `h`, or
+  /// kInvalidDescriptorId. Counts neither lookups nor hits.
+  DescriptorId FindEqual(const Descriptor& d, uint64_t h) const;
+
+  /// Appends `d` as a new entry with hash `h` and indexes it.
+  DescriptorId Append(Descriptor&& d, uint64_t h);
+
+  const PropertySchema* schema_;
+  std::deque<Entry> entries_;  // deque: Get() references stay valid
+  std::unordered_multimap<uint64_t, DescriptorId> by_hash_;
+  std::vector<SliceState> slices_;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+};
+
+/// \brief Mutable construction ergonomics in an interned world.
+///
+/// Rule actions and tree builders assemble descriptors property by
+/// property; DescriptorBuilder keeps that shape and freezes the result into
+/// a DescriptorId at the end (paper §2.3's D-slot assignments map onto
+/// Set calls followed by one Freeze).
+class DescriptorBuilder {
+ public:
+  explicit DescriptorBuilder(const PropertySchema* schema) : desc_(schema) {}
+  /// Starts from an existing descriptor value (e.g. a copied input slot).
+  explicit DescriptorBuilder(Descriptor base) : desc_(std::move(base)) {}
+
+  /// Unchecked set by id (hot path); chainable.
+  DescriptorBuilder& Set(PropertyId id, Value v) {
+    desc_.SetUnchecked(id, std::move(v));
+    return *this;
+  }
+
+  /// Type-checked set by name.
+  common::Status SetNamed(const std::string& name, Value v) {
+    return desc_.Set(name, std::move(v));
+  }
+
+  const Descriptor& descriptor() const { return desc_; }
+
+  /// Consumes the builder without interning (for callers that still need a
+  /// loose descriptor value).
+  Descriptor Build() && { return std::move(desc_); }
+
+  /// Interns the built descriptor and returns its id.
+  DescriptorId Freeze(DescriptorStore* store) && {
+    return store->Intern(std::move(desc_));
+  }
+
+ private:
+  Descriptor desc_;
+};
+
+}  // namespace prairie::algebra

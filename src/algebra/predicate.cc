@@ -243,6 +243,7 @@ bool Predicate::Equals(const Predicate& o) const {
 }
 
 uint64_t Predicate::Hash() const {
+  if (hash_ != 0) return hash_;
   uint64_t h = static_cast<uint64_t>(kind_) * 0xff51afd7ed558ccdULL;
   switch (kind_) {
     case Kind::kCmp:
@@ -260,7 +261,8 @@ uint64_t Predicate::Hash() const {
     default:
       break;
   }
-  return h;
+  hash_ = (h == 0) ? 0x9e3779b9ULL : h;  // 0 means "not yet computed".
+  return hash_;
 }
 
 std::string Predicate::ToString() const {
@@ -288,6 +290,7 @@ std::string Predicate::ToString() const {
 }
 
 bool PredEquals(const PredicateRef& a, const PredicateRef& b) {
+  if (a.get() == b.get()) return true;  // Shared trees: one pointer compare.
   const Predicate& pa = a ? *a : *Predicate::True();
   const Predicate& pb = b ? *b : *Predicate::True();
   return pa.Equals(pb);

@@ -118,6 +118,7 @@ class Predicate {
   CmpOp cmp_op_ = CmpOp::kEq;
   Term left_, right_;
   std::vector<PredicateRef> children_;
+  mutable uint64_t hash_ = 0;  // Lazily cached Hash(); trees are immutable.
 };
 
 /// Structural equality that treats null refs as TRUE.

@@ -1,6 +1,8 @@
 #include "algebra/value.h"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
 
 #include "algebra/predicate.h"
 #include "common/strings.h"
@@ -9,6 +11,28 @@ namespace prairie::algebra {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+/// Process-wide string pool behind Value::Str. Keys view into the pooled
+/// strings themselves (shared_ptr<const string> payloads never move), so
+/// the pool costs one allocation per distinct string.
+InternedString PoolString(std::string s) {
+  static std::mutex mu;
+  static std::unordered_map<std::string_view, InternedString> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = pool.find(std::string_view(s));
+  if (it != pool.end()) return it->second;
+  auto sp = std::make_shared<const std::string>(std::move(s));
+  pool.emplace(std::string_view(*sp), sp);
+  return sp;
+}
+
+}  // namespace
+
+Value Value::Str(std::string s) {
+  return Value(Repr(PoolString(std::move(s))));
+}
 
 bool Contains(const AttrList& list, const Attr& attr) {
   return std::find(list.begin(), list.end(), attr) != list.end();
@@ -125,11 +149,21 @@ bool Value::operator==(const Value& o) const {
     case ValueType::kReal:
       return AsReal() == o.AsReal();
     case ValueType::kString:
-      return AsString() == o.AsString();
-    case ValueType::kSort:
-      return AsSort() == o.AsSort();
-    case ValueType::kAttrs:
-      return AsAttrs() == o.AsAttrs();
+      // Strings come from one process-wide pool (Value::Str), so equal
+      // contents share one pointer. Must stay in lockstep with Hash(),
+      // which also identifies strings by pointer.
+      return std::get<InternedString>(repr_) ==
+             std::get<InternedString>(o.repr_);
+    case ValueType::kSort: {
+      const SharedSort& a = std::get<SharedSort>(repr_);
+      const SharedSort& b = std::get<SharedSort>(o.repr_);
+      return a == b || *a == *b;
+    }
+    case ValueType::kAttrs: {
+      const SharedAttrs& a = std::get<SharedAttrs>(repr_);
+      const SharedAttrs& b = std::get<SharedAttrs>(o.repr_);
+      return a == b || *a == *b;
+    }
     case ValueType::kPred: {
       return PredEquals(AsPred(), o.AsPred());
     }
@@ -149,7 +183,10 @@ uint64_t Value::Hash() const {
     case ValueType::kReal:
       return common::HashMix(h, AsReal());
     case ValueType::kString:
-      return common::HashMix(h, AsString());
+      // Strings are pooled (Value::Str), so equal values share one
+      // representation and the pointer identifies the content.
+      return common::HashMix(h, reinterpret_cast<uint64_t>(
+                                    std::get<InternedString>(repr_).get()));
     case ValueType::kSort:
       return common::HashCombine(h, AsSort().Hash());
     case ValueType::kAttrs: {

@@ -97,6 +97,17 @@ enum class ValueType {
 
 std::string_view ValueTypeName(ValueType t);
 
+/// Interned (hash-consed) string payload. Value::Str pools string contents
+/// process-wide, so equal strings share one allocation and string equality
+/// inside descriptors is usually a pointer compare.
+using InternedString = std::shared_ptr<const std::string>;
+
+/// Sort specs and attribute lists are immutable once wrapped in a Value, so
+/// copies (descriptor copies are the engine's hottest operation) share the
+/// payload instead of deep-copying vectors of attribute strings.
+using SharedSort = std::shared_ptr<const SortSpec>;
+using SharedAttrs = std::shared_ptr<const AttrList>;
+
 /// \brief A dynamically typed value held by a descriptor annotation.
 class Value {
  public:
@@ -106,9 +117,13 @@ class Value {
   static Value Bool(bool b) { return Value(Repr(b)); }
   static Value Int(int64_t i) { return Value(Repr(i)); }
   static Value Real(double d) { return Value(Repr(d)); }
-  static Value Str(std::string s) { return Value(Repr(std::move(s))); }
-  static Value Sort(SortSpec s) { return Value(Repr(std::move(s))); }
-  static Value Attrs(AttrList a) { return Value(Repr(std::move(a))); }
+  static Value Str(std::string s);  ///< Interns `s` in the global pool.
+  static Value Sort(SortSpec s) {
+    return Value(Repr(std::make_shared<const SortSpec>(std::move(s))));
+  }
+  static Value Attrs(AttrList a) {
+    return Value(Repr(std::make_shared<const AttrList>(std::move(a))));
+  }
   static Value Pred(PredicateRef p) { return Value(Repr(std::move(p))); }
 
   ValueType type() const { return static_cast<ValueType>(repr_.index()); }
@@ -117,9 +132,11 @@ class Value {
   bool AsBool() const { return std::get<bool>(repr_); }
   int64_t AsInt() const { return std::get<int64_t>(repr_); }
   double AsReal() const { return std::get<double>(repr_); }
-  const std::string& AsString() const { return std::get<std::string>(repr_); }
-  const SortSpec& AsSort() const { return std::get<SortSpec>(repr_); }
-  const AttrList& AsAttrs() const { return std::get<AttrList>(repr_); }
+  const std::string& AsString() const {
+    return *std::get<InternedString>(repr_);
+  }
+  const SortSpec& AsSort() const { return *std::get<SharedSort>(repr_); }
+  const AttrList& AsAttrs() const { return *std::get<SharedAttrs>(repr_); }
   const PredicateRef& AsPred() const { return std::get<PredicateRef>(repr_); }
 
   /// Numeric coercion: Int and Real convert to double; anything else fails.
@@ -136,8 +153,11 @@ class Value {
   std::string ToString() const;
 
  private:
+  // The alternative order must track ValueType (type() is repr_.index());
+  // index 4 (kString) holds the interned pointer, not a loose std::string.
   using Repr = std::variant<std::monostate, bool, int64_t, double,
-                            std::string, SortSpec, AttrList, PredicateRef>;
+                            InternedString, SharedSort, SharedAttrs,
+                            PredicateRef>;
   explicit Value(Repr r) : repr_(std::move(r)) {}
   Repr repr_;
 };

@@ -23,6 +23,10 @@ namespace prairie::catalog {
 class Catalog;
 }
 
+namespace prairie::algebra {
+class DescriptorStore;
+}
+
 namespace prairie::core {
 
 class ActionExpr;
@@ -134,6 +138,10 @@ struct EvalContext {
   int contiguous_count = 0;
   const HelperRegistry* helpers = nullptr;
   const catalog::Catalog* catalog = nullptr;
+  /// Descriptor store of the active optimization, when one exists: action
+  /// evaluation freezes finished output descriptors into interned ids
+  /// through it (see p2v::emitted_support Freeze).
+  algebra::DescriptorStore* store = nullptr;
 
   algebra::Descriptor* slot(int i) const {
     if (contiguous != nullptr) {

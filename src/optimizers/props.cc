@@ -1,5 +1,6 @@
 #include "optimizers/props.h"
 
+#include "algebra/descriptor_store.h"
 #include "optimizers/native_helpers.h"
 
 #include <algorithm>
@@ -179,30 +180,30 @@ Result<ExprPtr> TreeBuilder::Ret(const std::string& file,
   PRAIRIE_ASSIGN_OR_RETURN(algebra::OpId ret, algebra_->Require("RET"));
   const PropertySchema& schema = algebra_->properties();
 
-  Descriptor leaf(&schema);
+  algebra::DescriptorBuilder leaf(&schema);
   AttrList attrs = f->QualifiedAttrs();
-  PRAIRIE_RETURN_NOT_OK(leaf.Set(
+  PRAIRIE_RETURN_NOT_OK(leaf.SetNamed(
       kNumRecords, Value::Real(static_cast<double>(f->cardinality()))));
-  PRAIRIE_RETURN_NOT_OK(leaf.Set(
+  PRAIRIE_RETURN_NOT_OK(leaf.SetNamed(
       kTupleSize, Value::Real(static_cast<double>(f->tuple_size()))));
-  PRAIRIE_RETURN_NOT_OK(leaf.Set(kAttributes, Value::Attrs(attrs)));
-  ExprPtr leaf_node = Expr::MakeFile(file, std::move(leaf));
+  PRAIRIE_RETURN_NOT_OK(leaf.SetNamed(kAttributes, Value::Attrs(attrs)));
+  ExprPtr leaf_node = Expr::MakeFile(file, std::move(leaf).Build());
 
   double sel = catalog::EstimateSelectivity(selection, *catalog_);
-  Descriptor d(&schema);
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  algebra::DescriptorBuilder d(&schema);
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kNumRecords, Value::Real(static_cast<double>(f->cardinality()) * sel)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kTupleSize, Value::Real(static_cast<double>(f->tuple_size()))));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kAttributes, Value::Attrs(attrs)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kAttributes, Value::Attrs(attrs)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kSelectionPredicate,
       Value::Pred(selection == nullptr ? Predicate::True() : selection)));
   PRAIRIE_RETURN_NOT_OK(
-      d.Set(kProjectedAttributes, Value::Attrs(std::move(attrs))));
+      d.SetNamed(kProjectedAttributes, Value::Attrs(std::move(attrs))));
   std::vector<ExprPtr> kids;
   kids.push_back(std::move(leaf_node));
-  return Expr::MakeOp(ret, std::move(kids), std::move(d));
+  return Expr::MakeOp(ret, std::move(kids), std::move(d).Build());
 }
 
 Result<ExprPtr> TreeBuilder::Join(ExprPtr left, ExprPtr right,
@@ -216,22 +217,22 @@ Result<ExprPtr> TreeBuilder::Join(ExprPtr left, ExprPtr right,
   PRAIRIE_ASSIGN_OR_RETURN(Value ls, left->descriptor().Get(kTupleSize));
   PRAIRIE_ASSIGN_OR_RETURN(Value rs, right->descriptor().Get(kTupleSize));
 
-  Descriptor d(&schema);
+  algebra::DescriptorBuilder d(&schema);
   double sel = catalog::EstimateSelectivity(pred, *catalog_);
-  PRAIRIE_RETURN_NOT_OK(d.Set(kNumRecords, Value::Real(nl * nr * sel)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kNumRecords, Value::Real(nl * nr * sel)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kTupleSize,
       Value::Real(ls.ToReal().ValueOr(0) + rs.ToReal().ValueOr(0))));
   PRAIRIE_RETURN_NOT_OK(
-      d.Set(kAttributes,
+      d.SetNamed(kAttributes,
             Value::Attrs(algebra::UnionAttrs(la.AsAttrs(), ra.AsAttrs()))));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kJoinPredicate,
       Value::Pred(pred == nullptr ? Predicate::True() : pred)));
   std::vector<ExprPtr> kids;
   kids.push_back(std::move(left));
   kids.push_back(std::move(right));
-  return Expr::MakeOp(join, std::move(kids), std::move(d));
+  return Expr::MakeOp(join, std::move(kids), std::move(d).Build());
 }
 
 Result<ExprPtr> TreeBuilder::Select(ExprPtr input, PredicateRef pred) {
@@ -242,32 +243,32 @@ Result<ExprPtr> TreeBuilder::Select(ExprPtr input, PredicateRef pred) {
   PRAIRIE_ASSIGN_OR_RETURN(Value size, input->descriptor().Get(kTupleSize));
   double sel = catalog::EstimateSelectivity(pred, *catalog_);
 
-  Descriptor d(&schema);
-  PRAIRIE_RETURN_NOT_OK(d.Set(kNumRecords, Value::Real(n * sel)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kTupleSize, size));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kAttributes, attrs));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  algebra::DescriptorBuilder d(&schema);
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kNumRecords, Value::Real(n * sel)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kTupleSize, size));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kAttributes, attrs));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kSelectionPredicate,
       Value::Pred(pred == nullptr ? Predicate::True() : pred)));
   std::vector<ExprPtr> kids;
   kids.push_back(std::move(input));
-  return Expr::MakeOp(sel_op, std::move(kids), std::move(d));
+  return Expr::MakeOp(sel_op, std::move(kids), std::move(d).Build());
 }
 
 Result<ExprPtr> TreeBuilder::Project(ExprPtr input, AttrList attrs) {
   PRAIRIE_ASSIGN_OR_RETURN(algebra::OpId proj, algebra_->Require("PROJECT"));
   const PropertySchema& schema = algebra_->properties();
   PRAIRIE_ASSIGN_OR_RETURN(double n, NumRecordsOf(*input));
-  Descriptor d(&schema);
-  PRAIRIE_RETURN_NOT_OK(d.Set(kNumRecords, Value::Real(n)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  algebra::DescriptorBuilder d(&schema);
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kNumRecords, Value::Real(n)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kTupleSize, Value::Real(16.0 * static_cast<double>(attrs.size()))));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kAttributes, Value::Attrs(attrs)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kAttributes, Value::Attrs(attrs)));
   PRAIRIE_RETURN_NOT_OK(
-      d.Set(kProjectedAttributes, Value::Attrs(std::move(attrs))));
+      d.SetNamed(kProjectedAttributes, Value::Attrs(std::move(attrs))));
   std::vector<ExprPtr> kids;
   kids.push_back(std::move(input));
-  return Expr::MakeOp(proj, std::move(kids), std::move(d));
+  return Expr::MakeOp(proj, std::move(kids), std::move(d).Build());
 }
 
 Result<ExprPtr> TreeBuilder::Mat(ExprPtr input, Attr ref_attr) {
@@ -287,21 +288,21 @@ Result<ExprPtr> TreeBuilder::Mat(ExprPtr input, Attr ref_attr) {
   PRAIRIE_ASSIGN_OR_RETURN(Value attrs, input->descriptor().Get(kAttributes));
   PRAIRIE_ASSIGN_OR_RETURN(Value size, input->descriptor().Get(kTupleSize));
 
-  Descriptor d(&schema);
-  PRAIRIE_RETURN_NOT_OK(d.Set(kNumRecords, Value::Real(n)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  algebra::DescriptorBuilder d(&schema);
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kNumRecords, Value::Real(n)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kTupleSize,
       Value::Real(size.ToReal().ValueOr(0) +
                   static_cast<double>(target->tuple_size()))));
-  PRAIRIE_RETURN_NOT_OK(d.Set(
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(
       kAttributes, Value::Attrs(algebra::UnionAttrs(
                        attrs.AsAttrs(), target->QualifiedAttrs()))));
   PRAIRIE_RETURN_NOT_OK(
-      d.Set(kMatAttr, Value::Attrs(AttrList{std::move(ref_attr)})));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kMatClass, Value::Str(ad.ref_class)));
+      d.SetNamed(kMatAttr, Value::Attrs(AttrList{std::move(ref_attr)})));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kMatClass, Value::Str(ad.ref_class)));
   std::vector<ExprPtr> kids;
   kids.push_back(std::move(input));
-  return Expr::MakeOp(mat, std::move(kids), std::move(d));
+  return Expr::MakeOp(mat, std::move(kids), std::move(d).Build());
 }
 
 Result<ExprPtr> TreeBuilder::Unnest(ExprPtr input, Attr set_attr) {
@@ -319,17 +320,17 @@ Result<ExprPtr> TreeBuilder::Unnest(ExprPtr input, Attr set_attr) {
   PRAIRIE_ASSIGN_OR_RETURN(Value attrs, input->descriptor().Get(kAttributes));
   PRAIRIE_ASSIGN_OR_RETURN(Value size, input->descriptor().Get(kTupleSize));
 
-  Descriptor d(&schema);
+  algebra::DescriptorBuilder d(&schema);
   PRAIRIE_RETURN_NOT_OK(
-      d.Set(kNumRecords, Value::Real(n * ad.avg_set_size)));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kTupleSize, size));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kAttributes, attrs));
+      d.SetNamed(kNumRecords, Value::Real(n * ad.avg_set_size)));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kTupleSize, size));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kAttributes, attrs));
   PRAIRIE_RETURN_NOT_OK(
-      d.Set(kUnnestAttr, Value::Attrs(AttrList{std::move(set_attr)})));
-  PRAIRIE_RETURN_NOT_OK(d.Set(kUnnestMult, Value::Real(ad.avg_set_size)));
+      d.SetNamed(kUnnestAttr, Value::Attrs(AttrList{std::move(set_attr)})));
+  PRAIRIE_RETURN_NOT_OK(d.SetNamed(kUnnestMult, Value::Real(ad.avg_set_size)));
   std::vector<ExprPtr> kids;
   kids.push_back(std::move(input));
-  return Expr::MakeOp(unnest, std::move(kids), std::move(d));
+  return Expr::MakeOp(unnest, std::move(kids), std::move(d).Build());
 }
 
 }  // namespace prairie::opt

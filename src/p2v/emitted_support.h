@@ -50,6 +50,16 @@ inline void Copy(EmitCtx& c, int to, int from) {
   c.bv.slot(to) = c.bv.slot(from);
 }
 
+/// Freezes the finished descriptor in `slot` into the active optimization's
+/// store and returns its interned id (kInvalidDescriptorId when the binding
+/// carries no store, e.g. in isolated unit tests).
+inline algebra::DescriptorId Freeze(EmitCtx& c, int slot) {
+  if (c.failed() || c.bv.store == nullptr) {
+    return algebra::kInvalidDescriptorId;
+  }
+  return c.bv.store->Intern(c.bv.slot(slot));
+}
+
 inline double AsReal(EmitCtx& c, const Value& v) {
   auto r = v.ToReal();
   if (!r.ok()) {
@@ -187,6 +197,7 @@ inline Value Call(EmitCtx& c, const char* name,
   ctx.contiguous_count = static_cast<int>(c.bv.slots.size());
   ctx.helpers = c.helpers;
   ctx.catalog = c.bv.catalog;
+  ctx.store = c.bv.store;
   std::vector<core::EvalResult> argv(args);
   auto r = c.helpers->Invoke(name, argv, ctx);
   if (!r.ok()) {

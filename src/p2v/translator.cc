@@ -110,6 +110,7 @@ core::EvalContext ContextFor(const std::shared_ptr<InterpCode>& code,
   ctx.contiguous_count = static_cast<int>(bv.slots.size());
   ctx.helpers = code->helpers.get();
   ctx.catalog = bv.catalog;
+  ctx.store = bv.store;
   return ctx;
 }
 

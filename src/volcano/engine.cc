@@ -30,13 +30,19 @@ size_t OptimizerStats::NumImplMatched() const {
   return n;
 }
 
+double OptimizerStats::InternHitRate() const {
+  return desc_lookups == 0 ? 0.0
+                           : static_cast<double>(desc_hits) /
+                                 static_cast<double>(desc_lookups);
+}
+
 Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
                      OptimizerOptions options)
     : rules_(rules),
       catalog_(catalog),
       options_(options),
       memo_(rules, options.memo_limits),
-      phys_slice_(rules->PhysSlice()) {
+      phys_slice_id_(memo_.store()->RegisterSlice(rules->PhysSlice())) {
   stats_.trans_matched.assign(rules_->trans_rules.size(), 0);
   stats_.impl_matched.assign(rules_->impl_rules.size(), 0);
 }
@@ -45,17 +51,25 @@ Descriptor Optimizer::MakeReq() const {
   return Descriptor(&rules_->algebra->properties());
 }
 
-uint64_t Optimizer::ReqKey(const Descriptor& req) const {
-  return phys_slice_.HashOf(req);
+algebra::DescriptorId Optimizer::ReqId(const Descriptor& req) {
+  return memo_.store()->InternProjected(phys_slice_id_, req);
 }
 
-BindingView Optimizer::MakeBinding(int num_slots) const {
+BindingView Optimizer::MakeBinding(int num_slots) {
   BindingView bv;
   bv.slots.assign(static_cast<size_t>(num_slots),
                   Descriptor(&rules_->algebra->properties()));
   bv.algebra = rules_->algebra.get();
   bv.catalog = catalog_;
+  bv.store = memo_.store();
   return bv;
+}
+
+void Optimizer::RecordStoreStats() {
+  const algebra::DescriptorStore* store = memo_.store();
+  stats_.desc_interned = store->size();
+  stats_.desc_lookups = store->lookups();
+  stats_.desc_hits = store->hits();
 }
 
 Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
@@ -71,6 +85,7 @@ Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
       Winner w, OptimizeGroup(root, req, options_.initial_cost_limit));
   stats_.groups = memo_.NumGroups();
   stats_.mexprs = memo_.NumExprs();
+  RecordStoreStats();
   if (!w.has_plan) {
     return Status::OptimizeError(
         "no access plan found for '" + tree.ToString(*rules_->algebra) +
@@ -101,6 +116,7 @@ Result<size_t> Optimizer::ExpandOnly(const algebra::Expr& tree) {
   }
   stats_.groups = memo_.NumGroups();
   stats_.mexprs = memo_.NumExprs();
+  RecordStoreStats();
   return stats_.groups;
 }
 
@@ -125,23 +141,24 @@ Status Optimizer::ExpandGroup(GroupId gid) {
       if (ei >= grp->exprs.size()) break;
       if (grp->exprs[ei].is_file) continue;
       for (size_t ri = 0; ri < rules_->trans_rules.size() && st.ok(); ++ri) {
-        uint64_t bit = 1ull << (ri & 63);
         gid = memo_.Find(gid);
         grp = &memo_.group(gid);
         if (ei >= grp->exprs.size()) break;
-        if (grp->exprs[ei].applied_mask & bit) continue;
+        if (grp->exprs[ei].applied.Test(static_cast<int>(ri))) continue;
         bool epoch_changed = false;
         st = ApplyTransRule(gid, ei, ri, &epoch_changed);
         if (!st.ok()) break;
         if (epoch_changed) {
           // Groups merged under us: expression indices moved. Restart the
-          // pass; applied_mask keeps finished work cheap to skip.
+          // pass; the applied bitset keeps finished work cheap to skip.
           restart = true;
           break;
         }
         gid = memo_.Find(gid);
         grp = &memo_.group(gid);
-        if (ei < grp->exprs.size()) grp->exprs[ei].applied_mask |= bit;
+        if (ei < grp->exprs.size()) {
+          grp->exprs[ei].applied.Set(static_cast<int>(ri));
+        }
       }
       if (restart) break;
     }
@@ -239,12 +256,13 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
   ++stats_.trans_attempts;
   BindingView bv = MakeBinding(rule.num_slots);
   bv.streams.assign(binding.streams.size(), -1);
+  const algebra::DescriptorStore* store = memo_.store();
   for (size_t v = 0; v < binding.streams.size(); ++v) {
     auto [g, slot] = binding.streams[v];
     if (g < 0) continue;
     bv.streams[v] = g;
     if (slot >= 0) bv.slots[static_cast<size_t>(slot)] =
-        memo_.group(g).stream_desc;
+        store->Get(memo_.group(g).stream_desc);
   }
   for (const auto& [slot, loc] : binding.op_nodes) {
     const Group& grp = memo_.group(loc.first);
@@ -252,7 +270,7 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
       return Status::OK();  // Expression moved by a merge; binding is stale.
     }
     bv.slots[static_cast<size_t>(slot)] =
-        grp.exprs[static_cast<size_t>(loc.second)].args;
+        store->Get(grp.exprs[static_cast<size_t>(loc.second)].args);
   }
   if (rule.condition != nullptr) {
     PRAIRIE_ASSIGN_OR_RETURN(bool ok, rule.condition(bv));
@@ -270,7 +288,7 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
   }
   MExpr m;
   m.op = root.op;
-  m.args = bv.slots[static_cast<size_t>(root.desc_slot)];
+  m.args = memo_.store()->Intern(bv.slots[static_cast<size_t>(root.desc_slot)]);
   m.children.reserve(root.children.size());
   for (const algebra::PatNodePtr& c : root.children) {
     PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, &bv));
@@ -293,13 +311,14 @@ Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv) {
   }
   MExpr m;
   m.op = node.op;
-  m.args = bv->slots[static_cast<size_t>(node.desc_slot)];
+  m.args =
+      memo_.store()->Intern(bv->slots[static_cast<size_t>(node.desc_slot)]);
   m.children.reserve(node.children.size());
   for (const algebra::PatNodePtr& c : node.children) {
     PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, bv));
     m.children.push_back(cg);
   }
-  const Descriptor desc = m.args;
+  const algebra::DescriptorId desc = m.args;
   return memo_.GetOrCreateGroup(std::move(m), desc);
 }
 
@@ -310,18 +329,20 @@ Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv) {
 Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
                                         double limit) {
   gid = memo_.Find(gid);
-  const uint64_t key = ReqKey(req);
+  // Interned requirement id: id equality <=> requirement equality, so the
+  // winner lookup needs no collision re-check against a stored descriptor.
+  const algebra::DescriptorId rid = ReqId(req);
   {
     Group& grp = memo_.group(gid);
-    auto it = grp.winners.find(key);
-    if (it != grp.winners.end() && phys_slice_.EqualOn(it->second.req, req)) {
+    auto it = grp.winners.find(rid);
+    if (it != grp.winners.end()) {
       const Winner& w = it->second;
       if (w.has_plan) return w;
       if (w.failed_limit >= 0 && limit <= w.failed_limit) return w;
     }
   }
-  const uint64_t progress_key =
-      common::HashMix(key, static_cast<int64_t>(gid));
+  const uint64_t progress_key = common::HashMix(
+      static_cast<uint64_t>(rid), static_cast<int64_t>(gid));
   if (in_progress_.count(progress_key) > 0) {
     // Cyclic requirement path: infeasible along this branch; do not cache.
     return Winner{};
@@ -336,7 +357,6 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   gid = memo_.Find(gid);
 
   Winner best;
-  best.req = req;
   double budget = options_.prune ? limit : kInf;
   bool limit_failure = false;
 
@@ -350,7 +370,8 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
       if (!best.has_plan || best.cost > 0) {
         best.has_plan = true;
         best.cost = 0;
-        best.plan = PhysNode::File(grp.exprs[ei].file, grp.stream_desc);
+        best.plan = PhysNode::File(grp.exprs[ei].file,
+                                   memo_.store()->Get(grp.stream_desc));
         budget = std::min(budget, 0.0);
       }
       continue;
@@ -387,11 +408,10 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   in_progress_.erase(progress_key);
   gid = memo_.Find(gid);
   Group& grp = memo_.group(gid);
-  Winner& slot = grp.winners[key];
+  Winner& slot = grp.winners[rid];
   if (best.has_plan) {
     slot = best;
   } else {
-    slot.req = req;
     slot.has_plan = false;
     // Only a limit-induced failure is worth retrying with a larger budget.
     slot.failed_limit =
@@ -407,14 +427,14 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
   ++stats_.impl_attempts;
   const algebra::PropertySchema& schema = rules_->algebra->properties();
   BindingView bv = MakeBinding(rule.num_slots);
-  // Bind LHS input descriptors to the child groups' stream descriptors.
+  // Bind LHS input descriptors to the child groups' stream descriptors
+  // (copied out of the store: rule actions mutate their slots freely).
   for (int i = 0; i < rule.arity; ++i) {
-    bv.slots[static_cast<size_t>(i)] =
-        memo_.group(m.children[static_cast<size_t>(i)]).stream_desc;
+    bv.slots[static_cast<size_t>(i)] = memo_.store()->Get(
+        memo_.group(m.children[static_cast<size_t>(i)]).stream_desc);
   }
   // The operator descriptor carries the requirement (top-down propagation).
-  Descriptor op_desc = m.args;
-  if (!op_desc.valid()) op_desc = Descriptor(&schema);
+  Descriptor op_desc = memo_.store()->Get(m.args);
   for (PropertyId id : rules_->phys_props) {
     const Value& v = req.Get(id);
     if (!v.is_null()) op_desc.SetUnchecked(id, v);
@@ -510,7 +530,6 @@ Status Optimizer::TryEnforcer(GroupId gid, const Enforcer& enf,
                               const Descriptor& req, double* budget,
                               Winner* best, bool* limit_failure) {
   ++stats_.enforcer_attempts;
-  const algebra::PropertySchema& schema = rules_->algebra->properties();
   Descriptor relaxed = req;
   relaxed.SetUnchecked(enf.prop, Value::Null());
   double child_limit = options_.prune ? *budget : kInf;
@@ -526,17 +545,15 @@ Status Optimizer::TryEnforcer(GroupId gid, const Enforcer& enf,
 
   BindingView bv = MakeBinding(Enforcer::kNumSlots);
   gid = memo_.Find(gid);
-  const Descriptor& stream_desc = memo_.group(gid).stream_desc;
-  Descriptor input = stream_desc;
-  if (!input.valid()) input = Descriptor(&schema);
+  // Copy the stream descriptor out of the store (slots are mutable).
+  Descriptor input = memo_.store()->Get(memo_.group(gid).stream_desc);
   input.SetUnchecked(rules_->cost_prop, Value::Real(w.cost));
   for (PropertyId id : rules_->phys_props) {
     const Value& delivered = w.plan->desc.Get(id);
     if (!delivered.is_null()) input.SetUnchecked(id, delivered);
   }
   bv.slots[Enforcer::kInputSlot] = input;
-  Descriptor op_desc = stream_desc;
-  if (!op_desc.valid()) op_desc = Descriptor(&schema);
+  Descriptor op_desc = memo_.store()->Get(memo_.group(gid).stream_desc);
   for (PropertyId id : rules_->phys_props) {
     const Value& v = req.Get(id);
     if (!v.is_null()) op_desc.SetUnchecked(id, v);

@@ -9,7 +9,10 @@ using common::Result;
 using common::Status;
 
 Memo::Memo(const RuleSet* rules, MemoLimits limits)
-    : rules_(rules), limits_(limits), arg_slice_(rules->ArgSlice()) {}
+    : rules_(rules),
+      limits_(limits),
+      store_(&rules->algebra->properties()),
+      arg_slice_id_(store_.RegisterSlice(rules->ArgSlice())) {}
 
 GroupId Memo::Find(GroupId g) const {
   GroupId root = g;
@@ -25,10 +28,16 @@ GroupId Memo::Find(GroupId g) const {
   return root;
 }
 
+void Memo::EnsureKey(MExpr& m) {
+  if (m.arg_key == algebra::kInvalidDescriptorId) {
+    m.arg_key = store_.Project(arg_slice_id_, m.args);
+  }
+}
+
 uint64_t Memo::KeyOf(const MExpr& m) const {
   uint64_t h = m.is_file ? common::HashMix(0x417e, m.file)
                          : common::HashMix(0x09a1, m.op);
-  h = common::HashCombine(h, arg_slice_.HashOf(m.args));
+  h = common::HashCombine(h, store_.HashOf(m.arg_key));
   for (GroupId c : m.children) {
     h = common::HashMix(h, static_cast<int64_t>(Find(c)));
   }
@@ -43,10 +52,11 @@ bool Memo::SameExpr(const MExpr& a, const MExpr& b) const {
   for (size_t i = 0; i < a.children.size(); ++i) {
     if (Find(a.children[i]) != Find(b.children[i])) return false;
   }
-  return arg_slice_.EqualOn(a.args, b.args);
+  // Interned identity: one integer compare instead of a deep slice walk.
+  return a.arg_key == b.arg_key;
 }
 
-Result<GroupId> Memo::NewGroup(MExpr m, const algebra::Descriptor& desc) {
+Result<GroupId> Memo::NewGroup(MExpr m, algebra::DescriptorId desc) {
   if (groups_.size() >= limits_.max_groups) {
     return Status::ResourceExhausted(
         "memo group limit reached (" + std::to_string(limits_.max_groups) +
@@ -64,8 +74,8 @@ Result<GroupId> Memo::NewGroup(MExpr m, const algebra::Descriptor& desc) {
   return id;
 }
 
-Result<GroupId> Memo::GetOrCreateGroup(MExpr m,
-                                       const algebra::Descriptor& desc) {
+Result<GroupId> Memo::GetOrCreateGroup(MExpr m, algebra::DescriptorId desc) {
+  EnsureKey(m);
   uint64_t key = KeyOf(m);
   auto [begin, end] = index_.equal_range(key);
   for (auto it = begin; it != end; ++it) {
@@ -82,6 +92,7 @@ Result<GroupId> Memo::GetOrCreateGroup(MExpr m,
 
 Result<bool> Memo::InsertInto(GroupId g, MExpr m) {
   g = Find(g);
+  EnsureKey(m);
   uint64_t key = KeyOf(m);
   auto [begin, end] = index_.equal_range(key);
   for (auto it = begin; it != end; ++it) {
@@ -157,8 +168,9 @@ Result<GroupId> Memo::CopyIn(const algebra::Expr& tree) {
   if (tree.is_file()) {
     m.is_file = true;
     m.file = tree.file_name();
-    m.args = tree.descriptor();
-    return GetOrCreateGroup(std::move(m), tree.descriptor());
+    const algebra::DescriptorId d = store_.Intern(tree.descriptor());
+    m.args = d;
+    return GetOrCreateGroup(std::move(m), d);
   }
   if (rules_->algebra->is_algorithm(tree.op())) {
     return Status::InvalidArgument(
@@ -166,13 +178,14 @@ Result<GroupId> Memo::CopyIn(const algebra::Expr& tree) {
         rules_->algebra->name(tree.op()) + "'");
   }
   m.op = tree.op();
-  m.args = tree.descriptor();
+  const algebra::DescriptorId d = store_.Intern(tree.descriptor());
+  m.args = d;
   m.children.reserve(tree.num_children());
   for (const algebra::ExprPtr& c : tree.children()) {
     PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, CopyIn(*c));
     m.children.push_back(cg);
   }
-  return GetOrCreateGroup(std::move(m), tree.descriptor());
+  return GetOrCreateGroup(std::move(m), d);
 }
 
 size_t Memo::NumGroups() const {

@@ -7,6 +7,12 @@
 // equivalent and are merged. Expression identity is (operation,
 // argument-property slice of the descriptor, child groups); physical and
 // cost properties are excluded, as in Volcano.
+//
+// Descriptors are hash-consed: the memo owns a DescriptorStore and every
+// expression/stream/requirement descriptor is a dense DescriptorId with
+// id-equality <=> value-equality. Expression identity compares the interned
+// argument-slice id (one integer), and winner tables key on the interned
+// requirement id directly — no stored-descriptor collision guard.
 
 #pragma once
 
@@ -15,7 +21,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "algebra/descriptor_store.h"
 #include "algebra/expr.h"
+#include "common/small_bitset.h"
 #include "volcano/plan.h"
 #include "volcano/rules.h"
 
@@ -26,18 +34,22 @@ struct MExpr {
   bool is_file = false;
   algebra::OpId op = -1;
   std::string file;
-  algebra::Descriptor args;        ///< Full descriptor of this node.
+  /// Full descriptor of this node (interned).
+  algebra::DescriptorId args = algebra::kInvalidDescriptorId;
+  /// Interned argument-slice projection of `args`: the identity carrier.
+  /// Filled lazily by the memo on insert; equal ids <=> equal arg slices.
+  algebra::DescriptorId arg_key = algebra::kInvalidDescriptorId;
   std::vector<GroupId> children;   ///< Child groups (canonicalized on use).
-  uint64_t applied_mask = 0;       ///< TransRules already applied here.
+  common::SmallBitset applied;     ///< TransRules already applied here.
 };
 
 /// \brief Memoized result of optimizing a group under one requirement.
+///
+/// Keyed by the interned requirement id, so no collision guard is stored.
 struct Winner {
   bool has_plan = false;
   double cost = 0;
   PhysNodeRef plan;
-  /// The requirement this winner answers (guards against hash collisions).
-  algebra::Descriptor req;
   /// When >= 0: the search failed under this cost limit; a retry is only
   /// worthwhile with a larger limit.
   double failed_limit = -1;
@@ -47,12 +59,13 @@ struct Winner {
 struct Group {
   std::vector<MExpr> exprs;
   /// Logical annotations of the stream this class produces (used to bind
-  /// rule input descriptors D1..Dk).
-  algebra::Descriptor stream_desc;
+  /// rule input descriptors D1..Dk). Interned.
+  algebra::DescriptorId stream_desc = algebra::kInvalidDescriptorId;
   bool expanded = false;
   bool expanding = false;
   bool merged_away = false;
-  std::unordered_map<uint64_t, Winner> winners;  ///< Key: requirement hash.
+  /// Key: interned id of the physical-slice requirement descriptor.
+  std::unordered_map<algebra::DescriptorId, Winner> winners;
 };
 
 /// \brief Limits protecting against search-space explosion (the paper hit
@@ -67,6 +80,11 @@ class Memo {
  public:
   Memo(const RuleSet* rules, MemoLimits limits);
 
+  /// The descriptor store backing every id in this memo. The engine and
+  /// rule callbacks intern through this store so ids are comparable.
+  algebra::DescriptorStore* store() { return &store_; }
+  const algebra::DescriptorStore* store() const { return &store_; }
+
   /// Canonical (union-find) representative of `g`.
   GroupId Find(GroupId g) const;
 
@@ -80,10 +98,9 @@ class Memo {
   common::Result<GroupId> CopyIn(const algebra::Expr& tree);
 
   /// Finds the group already containing an expression identical to `m`, or
-  /// creates a new group for it. `stream_desc` seeds a new group's stream
-  /// descriptor.
-  common::Result<GroupId> GetOrCreateGroup(MExpr m,
-                                           const algebra::Descriptor& desc);
+  /// creates a new group for it. `desc` (interned) seeds a new group's
+  /// stream descriptor.
+  common::Result<GroupId> GetOrCreateGroup(MExpr m, algebra::DescriptorId desc);
 
   /// Inserts `m` as a new expression of group `g`. If an identical
   /// expression lives in another group, the groups are merged. Returns
@@ -106,14 +123,17 @@ class Memo {
   std::string ToString(const algebra::Algebra& algebra) const;
 
  private:
+  /// Fills m.arg_key (the interned identity projection) if unset.
+  void EnsureKey(MExpr& m);
   uint64_t KeyOf(const MExpr& m) const;
   bool SameExpr(const MExpr& a, const MExpr& b) const;
   common::Status Merge(GroupId keep, GroupId lose);
-  common::Result<GroupId> NewGroup(MExpr m, const algebra::Descriptor& desc);
+  common::Result<GroupId> NewGroup(MExpr m, algebra::DescriptorId desc);
 
   const RuleSet* rules_;
   MemoLimits limits_;
-  algebra::PropertySlice arg_slice_;
+  algebra::DescriptorStore store_;
+  algebra::SliceId arg_slice_id_;
   std::vector<Group> groups_;
   mutable std::vector<GroupId> parent_;
   /// Expression index for duplicate detection: key -> (group, expr index).

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/descriptor_store.h"
 #include "algebra/pattern.h"
 #include "algebra/property.h"
 #include "common/result.h"
@@ -36,6 +37,10 @@ struct BindingView {
   std::vector<GroupId> streams;  ///< streams[v-1] = group bound to ?v.
   const algebra::Algebra* algebra = nullptr;
   const catalog::Catalog* catalog = nullptr;
+  /// The active memo's descriptor store: rule actions may freeze finished
+  /// slot descriptors through it (DescriptorBuilder::Freeze). Null when the
+  /// binding was built outside an optimization (some unit tests).
+  algebra::DescriptorStore* store = nullptr;
 
   algebra::Descriptor& slot(int i) { return slots[static_cast<size_t>(i)]; }
   const algebra::Descriptor& slot(int i) const {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "algebra/algebra.h"
+#include "algebra/descriptor_store.h"
 #include "algebra/expr.h"
 #include "algebra/pattern.h"
 #include "algebra/predicate.h"
@@ -255,6 +256,166 @@ TEST(PropertySlice, ProjectAndEquality) {
   Descriptor proj = only_a.Project(d1);
   EXPECT_EQ(proj.Get(0).AsInt(), 1);
   EXPECT_TRUE(proj.Get(1).is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor store (hash-consing)
+// ---------------------------------------------------------------------------
+
+TEST(DescriptorStore, IdEqualityIsValueEquality) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("name", ValueType::kString).ok());
+  DescriptorStore store(&s);
+  Descriptor d1(&s), d2(&s), d3(&s);
+  ASSERT_TRUE(d1.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d2.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d3.Set("a", Value::Int(2)).ok());
+  DescriptorId i1 = store.Intern(d1);
+  DescriptorId i2 = store.Intern(d2);
+  DescriptorId i3 = store.Intern(d3);
+  EXPECT_EQ(i1, i2);
+  EXPECT_NE(i1, i3);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(i1), d1);
+  EXPECT_EQ(store.Get(i3), d3);
+}
+
+TEST(DescriptorStore, CachedHashMatchesDescriptorHash) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  DescriptorStore store(&s);
+  Descriptor d(&s);
+  ASSERT_TRUE(d.Set("a", Value::Int(7)).ok());
+  DescriptorId id = store.Intern(d);
+  EXPECT_EQ(store.HashOf(id), d.Hash());
+}
+
+TEST(DescriptorStore, HitCountersTrackLookups) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  DescriptorStore store(&s);
+  Descriptor d(&s);
+  ASSERT_TRUE(d.Set("a", Value::Int(1)).ok());
+  (void)store.Intern(d);  // Miss.
+  (void)store.Intern(d);  // Hit.
+  (void)store.Intern(d);  // Hit.
+  EXPECT_EQ(store.lookups(), 3u);
+  EXPECT_EQ(store.hits(), 2u);
+  EXPECT_NEAR(store.HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DescriptorStore, ReferencesStayStableAcrossGrowth) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  DescriptorStore store(&s);
+  Descriptor first(&s);
+  ASSERT_TRUE(first.Set("a", Value::Int(-1)).ok());
+  DescriptorId id0 = store.Intern(first);
+  const Descriptor* p0 = &store.Get(id0);
+  for (int i = 0; i < 2000; ++i) {
+    Descriptor d(&s);
+    ASSERT_TRUE(d.Set("a", Value::Int(i)).ok());
+    (void)store.Intern(std::move(d));
+  }
+  EXPECT_EQ(p0, &store.Get(id0));
+  EXPECT_EQ(store.Get(id0).Get(0).AsInt(), -1);
+}
+
+TEST(DescriptorStore, ProjectedInterningDedupesOnSlice) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("b", ValueType::kInt).ok());
+  DescriptorStore store(&s);
+  SliceId slice = store.RegisterSlice(PropertySlice{{0}});
+  Descriptor d1(&s), d2(&s);
+  ASSERT_TRUE(d1.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d1.Set("b", Value::Int(2)).ok());
+  ASSERT_TRUE(d2.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d2.Set("b", Value::Int(99)).ok());
+  // Identical on the slice: one interned projection.
+  DescriptorId p1 = store.InternProjected(slice, d1);
+  DescriptorId p2 = store.InternProjected(slice, d2);
+  EXPECT_EQ(p1, p2);
+  // The interned projection carries only the sliced annotation.
+  EXPECT_EQ(store.Get(p1).Get(0).AsInt(), 1);
+  EXPECT_TRUE(store.Get(p1).Get(1).is_null());
+  // Differing on the slice: a distinct id.
+  Descriptor d3(&s);
+  ASSERT_TRUE(d3.Set("a", Value::Int(5)).ok());
+  EXPECT_NE(store.InternProjected(slice, d3), p1);
+}
+
+TEST(DescriptorStore, ProjectedAndFullInterningShareOneIdSpace) {
+  // The id<->value invariant is store-global: interning a projection and
+  // then interning an equal descriptor through the full path (or vice
+  // versa) must yield the same id.
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("b", ValueType::kInt).ok());
+  DescriptorStore store(&s);
+  SliceId slice = store.RegisterSlice(PropertySlice{{0}});
+  Descriptor full(&s);
+  ASSERT_TRUE(full.Set("a", Value::Int(3)).ok());
+  ASSERT_TRUE(full.Set("b", Value::Int(4)).ok());
+  DescriptorId projected = store.InternProjected(slice, full);
+  Descriptor only_a(&s);
+  ASSERT_TRUE(only_a.Set("a", Value::Int(3)).ok());
+  EXPECT_EQ(store.Intern(only_a), projected);
+}
+
+TEST(DescriptorStore, ProjectMemoizesByInternedId) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("b", ValueType::kInt).ok());
+  DescriptorStore store(&s);
+  SliceId slice = store.RegisterSlice(PropertySlice{{0}});
+  Descriptor d(&s);
+  ASSERT_TRUE(d.Set("a", Value::Int(1)).ok());
+  ASSERT_TRUE(d.Set("b", Value::Int(2)).ok());
+  DescriptorId full = store.Intern(d);
+  DescriptorId p1 = store.Project(slice, full);
+  uint64_t lookups_before = store.lookups();
+  uint64_t hits_before = store.hits();
+  DescriptorId p2 = store.Project(slice, full);
+  EXPECT_EQ(p1, p2);
+  // The second Project is a memo hit, counted as such.
+  EXPECT_EQ(store.lookups(), lookups_before + 1);
+  EXPECT_EQ(store.hits(), hits_before + 1);
+}
+
+TEST(DescriptorBuilder, BuildsAndFreezes) {
+  PropertySchema s;
+  ASSERT_TRUE(s.Add("a", ValueType::kInt).ok());
+  ASSERT_TRUE(s.Add("name", ValueType::kString).ok());
+  DescriptorStore store(&s);
+  DescriptorBuilder b(&s);
+  b.Set(0, Value::Int(1));
+  ASSERT_TRUE(b.SetNamed("name", Value::Str("x")).ok());
+  EXPECT_FALSE(b.SetNamed("name", Value::Int(9)).ok());  // Type-checked.
+  Descriptor built = std::move(b).Build();
+  EXPECT_EQ(built.Get(0).AsInt(), 1);
+  EXPECT_EQ(built.Get(1).AsString(), "x");
+  // Start a builder from an existing value, tweak, freeze.
+  DescriptorBuilder b2(built);
+  DescriptorId id = std::move(b2.Set(0, Value::Int(2))).Freeze(&store);
+  EXPECT_EQ(store.Get(id).Get(0).AsInt(), 2);
+  EXPECT_EQ(store.Get(id).Get(1).AsString(), "x");
+  // Freezing an equal rebuild hits the same id.
+  DescriptorBuilder b3(&s);
+  b3.Set(0, Value::Int(2));
+  ASSERT_TRUE(b3.SetNamed("name", Value::Str("x")).ok());
+  EXPECT_EQ(std::move(b3).Freeze(&store), id);
+}
+
+TEST(Value, StringsAreInterned) {
+  // Equal string values share one pooled representation; equality is a
+  // pointer comparison fast path but still holds for distinct pools.
+  Value a = Value::Str("shared-string-payload");
+  Value b = Value::Str("shared-string-payload");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(&a.AsString(), &b.AsString());
+  EXPECT_NE(a, Value::Str("other"));
 }
 
 // ---------------------------------------------------------------------------

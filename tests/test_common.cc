@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/small_bitset.h"
 #include "common/status.h"
 #include "common/strings.h"
 
@@ -177,6 +178,53 @@ TEST(Rng, ShuffleIsAPermutation) {
   rng.Shuffle(&v);
   std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
   EXPECT_EQ(a, b);
+}
+
+TEST(SmallBitset, StartsEmpty) {
+  SmallBitset b;
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(SmallBitset, InlineBitsAreIndependent) {
+  SmallBitset b;
+  b.Set(0);
+  b.Set(5);
+  b.Set(63);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_FALSE(b.None());
+  b.Reset();
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Test(5));
+}
+
+TEST(SmallBitset, BitsBeyond64DoNotAliasInlineBits) {
+  // The regression this type exists for: bit 69 must not alias bit
+  // 69 % 64 == 5 (the old applied_mask was a single uint64_t).
+  SmallBitset b;
+  b.Set(69);
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(5));
+  EXPECT_FALSE(b.Test(69 - 64));
+  b.Set(5);
+  EXPECT_TRUE(b.Test(5));
+  b.Reset();
+  EXPECT_FALSE(b.Test(69));
+}
+
+TEST(SmallBitset, HeapWordsGrowOnDemand) {
+  SmallBitset b;
+  for (int i : {64, 127, 128, 500, 4096}) b.Set(i);
+  for (int i : {64, 127, 128, 500, 4096}) EXPECT_TRUE(b.Test(i)) << i;
+  for (int i : {0, 63, 65, 129, 499, 501, 4095, 4097}) {
+    EXPECT_FALSE(b.Test(i)) << i;
+  }
+  EXPECT_FALSE(b.None());
 }
 
 }  // namespace

@@ -382,6 +382,94 @@ TEST_F(MicroOptimizer, MemoMergesProvablyEqualGroups) {
   EXPECT_GT(memo.merge_epoch(), 0u);
 }
 
+TEST_F(MicroOptimizer, SeventyTransRulesDoNotAliasAppliedBits) {
+  // Regression for the applied-rule bookkeeping: with 70 trans_rules the
+  // live rule's index (69) used to alias index 69 % 64 == 5 in the old
+  // single-uint64_t applied mask, so after the dead clone at index 5 was
+  // attempted the real commute at index 69 was skipped and the optimizer
+  // kept the expensive join order (1000 + 1000*10 instead of 10 + 10*1000).
+  TransRule live = std::move(rules_.trans_rules[0]);
+  rules_.trans_rules.clear();
+  for (int i = 0; i < 69; ++i) {
+    TransRule dead;
+    dead.name = "dead_commute_" + std::to_string(i);
+    dead.lhs = PatNode::Op(join_, 2, MakeStreams());
+    dead.rhs = PatNode::Op(join_, 3, MakeStreamsSwapped());
+    dead.num_slots = 4;
+    dead.condition = [](BindingView&) -> common::Result<bool> {
+      return false;
+    };
+    dead.apply = [](BindingView&) -> Status {
+      return Status::RuleError("dead clone must never fire");
+    };
+    rules_.trans_rules.push_back(std::move(dead));
+  }
+  rules_.trans_rules.push_back(std::move(live));
+  ASSERT_EQ(rules_.trans_rules.size(), 70u);
+  ASSERT_TRUE(rules_.Finalize().ok());
+
+  Optimizer o(&rules_, &catalog_);
+  auto plan =
+      o.Optimize(*JoinOf(RetOf("Big", 1000), RetOf("Small", 10), 500));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_DOUBLE_EQ(plan->cost, 10 + 10 * 1000);
+  EXPECT_EQ(o.stats().trans_fired, 1u);  // Only rule 69 ever fires.
+  ASSERT_EQ(plan->root->children.size(), 2u);
+  EXPECT_EQ(plan->root->children[0]->desc.Get(tag_), Value::Str("Small"));
+}
+
+TEST_F(MicroOptimizer, MergeUnderInterningKeepsIdsConsistent) {
+  Memo memo(&rules_, MemoLimits{});
+  GroupId g1 = *memo.CopyIn(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  GroupId g2 = *memo.CopyIn(*RetOf("C", 30));
+  size_t groups_before = memo.NumGroups();
+  // Equal descriptors interned through independent CopyIn calls share ids,
+  // so re-copying the RET(A) subtree dedups into g1's subgroup: no new
+  // groups appear.
+  GroupId ga = *memo.CopyIn(*RetOf("A", 10));
+  EXPECT_EQ(memo.NumGroups(), groups_before);
+  const size_t interned_before = memo.store()->size();
+
+  MExpr root = memo.group(g1).exprs[0];
+  ASSERT_TRUE(memo.InsertInto(g2, root).ok());
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2));
+  EXPECT_EQ(memo.NumGroups(), groups_before - 1);
+  // Merging rewires groups without minting descriptor values: the store
+  // did not grow.
+  EXPECT_EQ(memo.store()->size(), interned_before);
+
+  // Every expression in the surviving groups still round-trips through the
+  // store with its cached hash, and winners were invalidated by the merge.
+  for (GroupId gid : {memo.Find(g1), memo.Find(ga)}) {
+    const Group& g = memo.group(gid);
+    EXPECT_TRUE(g.winners.empty());
+    ASSERT_NE(g.stream_desc, algebra::kInvalidDescriptorId);
+    for (const MExpr& m : g.exprs) {
+      ASSERT_NE(m.args, algebra::kInvalidDescriptorId);
+      ASSERT_NE(m.arg_key, algebra::kInvalidDescriptorId);
+      EXPECT_EQ(memo.store()->HashOf(m.args),
+                memo.store()->Get(m.args).Hash());
+    }
+  }
+  EXPECT_GT(memo.merge_epoch(), 0u);
+  // Interning saw real sharing while building the memo.
+  EXPECT_GT(memo.store()->hits(), 0u);
+  EXPECT_LE(memo.store()->size(), memo.store()->lookups());
+}
+
+TEST_F(MicroOptimizer, OptimizerReportsInterningStats) {
+  Optimizer o(&rules_, &catalog_);
+  ExprPtr tree = JoinOf(RetOf("A", 10), RetOf("A", 10), 5);
+  auto plan = o.Optimize(*tree);
+  ASSERT_TRUE(plan.ok());
+  // The duplicated RET(A) subtree guarantees interning hits.
+  EXPECT_GT(o.stats().desc_interned, 0u);
+  EXPECT_GT(o.stats().desc_lookups, o.stats().desc_hits);
+  EXPECT_GT(o.stats().desc_hits, 0u);
+  EXPECT_GT(o.stats().InternHitRate(), 0.0);
+  EXPECT_LT(o.stats().InternHitRate(), 1.0);
+}
+
 TEST_F(MicroOptimizer, LogicalPropsExcludedFromIdentity) {
   Memo memo(&rules_, MemoLimits{});
   ExprPtr a = RetOf("A", 10);

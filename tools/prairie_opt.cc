@@ -144,8 +144,10 @@ int main(int argc, char** argv) {
   std::printf(
       "stats: %zu equivalence classes, %zu logical expressions,\n"
       "       %zu trans-rule firings, %zu plans costed, %zu enforcer "
-      "attempts\n",
+      "attempts,\n"
+      "       %zu interned descriptors (%.1f%% intern hit rate)\n",
       stats.groups, stats.mexprs, stats.trans_fired, stats.plans_costed,
-      stats.enforcer_attempts);
+      stats.enforcer_attempts, stats.desc_interned,
+      100.0 * stats.InternHitRate());
   return 0;
 }
