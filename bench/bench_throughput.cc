@@ -1,0 +1,163 @@
+// Multi-query optimizer throughput (the production-traffic axis the
+// paper's single-query Figures 10-13 do not measure).
+//
+// Optimizes the Q1..Q8 OODB workload xK concurrently through
+// BatchOptimizer at jobs = 1, 2, 4, 8 — one shared concurrent
+// DescriptorStore, one immutable rule set, a private memo per query — and
+// reports queries/second per job count plus the speedup over jobs=1.
+// Every run is checked against the jobs=1 reference: per-query plans and
+// costs must be identical, or the bench exits non-zero.
+//
+// Environment knobs:
+//   PRAIRIE_THROUGHPUT_MULT    copies of the Q1..Q8 set per batch (def 4)
+//   PRAIRIE_THROUGHPUT_JOINS   join count per query            (def 3)
+//   PRAIRIE_THROUGHPUT_REPEATS timing repeats, best-of         (def 3)
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "volcano/batch.h"
+
+namespace {
+
+using prairie::bench::BuildOodbPair;
+using prairie::bench::EnvInt;
+using prairie::bench::JsonWriter;
+using prairie::volcano::BatchOptimizer;
+using prairie::volcano::BatchOptions;
+using prairie::volcano::BatchQuery;
+using prairie::volcano::BatchResult;
+using prairie::volcano::RuleSet;
+
+struct Reference {
+  double cost = 0;
+  std::string plan;
+};
+
+}  // namespace
+
+int main() {
+  const int mult = EnvInt("PRAIRIE_THROUGHPUT_MULT", 4);
+  const int joins = EnvInt("PRAIRIE_THROUGHPUT_JOINS", 3);
+  const int repeats = EnvInt("PRAIRIE_THROUGHPUT_REPEATS", 3);
+
+  auto pair = BuildOodbPair();
+  if (!pair.ok()) {
+    std::fprintf(stderr, "bench_throughput: %s\n",
+                 pair.status().ToString().c_str());
+    return 1;
+  }
+  const RuleSet& rules = *pair->emitted;
+
+  // The workload: K copies of Q1..Q8, each copy under its own cardinality
+  // seed (so copies are distinct optimization problems, like distinct
+  // sessions hitting the optimizer with similar query shapes).
+  std::vector<prairie::workload::Workload> workloads;
+  workloads.reserve(static_cast<size_t>(8 * mult));
+  for (int copy = 0; copy < mult; ++copy) {
+    for (int q = 1; q <= 8; ++q) {
+      prairie::workload::QuerySpec spec = prairie::workload::PaperQuery(
+          q, joins, static_cast<uint64_t>(copy + 1));
+      auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+      if (!w.ok()) {
+        std::fprintf(stderr, "bench_throughput: Q%d: %s\n", q,
+                     w.status().ToString().c_str());
+        return 1;
+      }
+      workloads.push_back(std::move(*w));
+    }
+  }
+  std::vector<BatchQuery> queries;
+  queries.reserve(workloads.size());
+  for (const auto& w : workloads) {
+    queries.push_back(BatchQuery{w.query.get(), &w.catalog});
+  }
+  const size_t n = queries.size();
+
+  std::printf("optimizer throughput: %zu queries (Q1..Q8 x%d, %d joins), "
+              "best of %d runs\n\n",
+              n, mult, joins, repeats);
+  std::printf("%6s %12s %12s %9s %8s  %s\n", "jobs", "wall", "queries/s",
+              "speedup", "intern%", "plans");
+
+  JsonWriter json("throughput");
+  std::vector<Reference> reference;
+  double base_qps = 0;
+  bool all_identical = true;
+
+  for (int jobs : {1, 2, 4, 8}) {
+    double best = -1;
+    std::vector<BatchResult> results;
+    double hit_rate = 0;
+    size_t groups = 0;
+    size_t mexprs = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      BatchOptions options;
+      options.jobs = jobs;
+      // Fresh batch (and store) per run: every run does identical work.
+      BatchOptimizer batch(&rules, options);
+      prairie::common::Stopwatch sw;
+      std::vector<BatchResult> r = batch.OptimizeAll(queries);
+      const double t = sw.ElapsedSeconds();
+      if (best < 0 || t < best) {
+        best = t;
+        results = std::move(r);
+        hit_rate = batch.shared_store()->HitRate();
+        groups = 0;
+        mexprs = 0;
+        for (const BatchResult& br : results) {
+          groups += br.stats.groups;
+          mexprs += br.stats.mexprs;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!results[i].plan.ok()) {
+        std::fprintf(stderr, "bench_throughput: jobs=%d query %zu: %s\n",
+                     jobs, i, results[i].plan.status().ToString().c_str());
+        return 1;
+      }
+    }
+    bool identical = true;
+    if (jobs == 1) {
+      reference.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        reference[i].cost = results[i].plan->cost;
+        reference[i].plan = results[i].plan->root->ToString(*rules.algebra);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (results[i].plan->cost != reference[i].cost ||
+            results[i].plan->root->ToString(*rules.algebra) !=
+                reference[i].plan) {
+          identical = false;
+          all_identical = false;
+        }
+      }
+    }
+    const double qps = static_cast<double>(n) / best;
+    if (jobs == 1) base_qps = qps;
+    json.Record("jobs=" + std::to_string(jobs), best * 1e6, groups, mexprs,
+                hit_rate);
+    std::printf("%6d %10.2fms %12.1f %8.2fx %7.1f%%  %s\n", jobs, best * 1e3,
+                qps, qps / base_qps, 100.0 * hit_rate,
+                jobs == 1 ? "reference" : (identical ? "identical" : "DIFFER"));
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpectation: queries/sec scales with jobs up to the core count\n"
+      "(this host reports %u hardware threads); plans and costs must be\n"
+      "byte-identical to the jobs=1 single-threaded reference.\n",
+      std::thread::hardware_concurrency());
+  if (!all_identical) {
+    std::fprintf(stderr, "bench_throughput: FAILED — parallel plans differ "
+                         "from the single-threaded reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -2,95 +2,209 @@
 
 namespace prairie::algebra {
 
-DescriptorId DescriptorStore::FindEqual(const Descriptor& d,
-                                        uint64_t h) const {
-  auto [lo, hi] = by_hash_.equal_range(h);
+DescriptorStore::DescriptorStore(const PropertySchema* schema, StoreMode mode)
+    : schema_(schema),
+      mode_(mode),
+      chunks_(new std::atomic<Entry*>[kMaxChunks]),
+      slices_(new SliceState[kMaxSlices]) {
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    chunks_[c].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+DescriptorStore::~DescriptorStore() {
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+}
+
+DescriptorId DescriptorStore::FindInShard(const Shard& sh, const Descriptor& d,
+                                          uint64_t h) const {
+  auto [lo, hi] = sh.by_hash.equal_range(h);
   for (auto it = lo; it != hi; ++it) {
-    if (entries_[static_cast<size_t>(it->second)].desc == d) {
-      return it->second;
-    }
+    if (Get(it->second) == d) return it->second;
   }
   return kInvalidDescriptorId;
 }
 
 DescriptorId DescriptorStore::Append(Descriptor&& d, uint64_t h) {
-  const DescriptorId id = static_cast<DescriptorId>(entries_.size());
-  entries_.push_back(Entry{std::move(d), h});
-  by_hash_.emplace(h, id);
+  // Appends racing from different shards serialize on arena_mu_; the
+  // caller's shard lock orders publication towards readers of that shard.
+  std::unique_lock<std::mutex> lock(arena_mu_, std::defer_lock);
+  if (concurrent()) lock.lock();
+  const size_t id = size_.load(std::memory_order_relaxed);
+  assert(id < kMaxChunks * kChunkSize && "descriptor store capacity");
+  const size_t c = id >> kChunkBits;
+  Entry* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  chunk[id & (kChunkSize - 1)] = Entry{std::move(d), h};
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<DescriptorId>(id);
+}
+
+DescriptorId DescriptorStore::InternValue(Descriptor&& d, uint64_t h,
+                                          bool* hit) {
+  if (hit != nullptr) *hit = true;
+  Shard& sh = shards_[ShardOf(h)];
+  if (concurrent()) {
+    {
+      std::shared_lock<std::shared_mutex> rlock(sh.mu);
+      const DescriptorId id = FindInShard(sh, d, h);
+      if (id != kInvalidDescriptorId) return id;
+    }
+    std::unique_lock<std::shared_mutex> wlock(sh.mu);
+    DescriptorId id = FindInShard(sh, d, h);
+    if (id != kInvalidDescriptorId) return id;
+    if (hit != nullptr) *hit = false;
+    id = Append(std::move(d), h);
+    sh.by_hash.emplace(h, id);
+    return id;
+  }
+  DescriptorId id = FindInShard(sh, d, h);
+  if (id != kInvalidDescriptorId) return id;
+  if (hit != nullptr) *hit = false;
+  id = Append(std::move(d), h);
+  sh.by_hash.emplace(h, id);
   return id;
 }
 
 DescriptorId DescriptorStore::Intern(const Descriptor& d) {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t h = d.Hash();
-  DescriptorId id = FindEqual(d, h);
-  if (id != kInvalidDescriptorId) {
-    ++hits_;
+  Shard& sh = shards_[ShardOf(h)];
+  if (concurrent()) {
+    {
+      std::shared_lock<std::shared_mutex> rlock(sh.mu);
+      const DescriptorId id = FindInShard(sh, d, h);
+      if (id != kInvalidDescriptorId) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return id;
+      }
+    }
+    std::unique_lock<std::shared_mutex> wlock(sh.mu);
+    DescriptorId id = FindInShard(sh, d, h);
+    if (id != kInvalidDescriptorId) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return id;
+    }
+    id = Append(Descriptor(d), h);
+    sh.by_hash.emplace(h, id);
     return id;
   }
-  return Append(Descriptor(d), h);
+  DescriptorId id = FindInShard(sh, d, h);
+  if (id != kInvalidDescriptorId) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  id = Append(Descriptor(d), h);
+  sh.by_hash.emplace(h, id);
+  return id;
 }
 
 DescriptorId DescriptorStore::Intern(Descriptor&& d) {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t h = d.Hash();
-  DescriptorId id = FindEqual(d, h);
-  if (id != kInvalidDescriptorId) {
-    ++hits_;
-    return id;
-  }
-  return Append(std::move(d), h);
+  bool hit = false;
+  const DescriptorId id = InternValue(std::move(d), h, &hit);
+  if (hit) hits_.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 SliceId DescriptorStore::RegisterSlice(PropertySlice slice) {
-  const SliceId s = static_cast<SliceId>(slices_.size());
-  slices_.push_back(SliceState{std::move(slice), {}, {}});
-  return s;
+  std::unique_lock<std::mutex> lock(slice_reg_mu_, std::defer_lock);
+  if (concurrent()) lock.lock();
+  const int n = num_slices_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    if (slices_[i].slice.ids == slice.ids) return i;
+  }
+  assert(n < kMaxSlices && "descriptor store slice capacity");
+  slices_[n].slice = std::move(slice);
+  num_slices_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+DescriptorId DescriptorStore::FindProjectedLocked(const SliceState& st,
+                                                  const Descriptor& full,
+                                                  uint64_t h) const {
+  auto [lo, hi] = st.by_hash.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    // Candidates are interned projections, so comparing on the slice alone
+    // is exact: off-slice annotations of a projection are Null.
+    if (st.slice.EqualOn(Get(it->second), full)) return it->second;
+  }
+  return kInvalidDescriptorId;
 }
 
 DescriptorId DescriptorStore::InternProjected(SliceId s,
                                               const Descriptor& full) {
   SliceState& st = slices_[static_cast<size_t>(s)];
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t h = st.slice.HashOf(full);
-  auto [lo, hi] = st.by_hash.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    // Candidates are interned projections, so comparing on the slice alone
-    // is exact: off-slice annotations of a projection are Null.
-    if (st.slice.EqualOn(entries_[static_cast<size_t>(it->second)].desc,
-                         full)) {
-      ++hits_;
-      return it->second;
+  if (concurrent()) {
+    {
+      std::shared_lock<std::shared_mutex> rlock(st.mu);
+      const DescriptorId id = FindProjectedLocked(st, full, h);
+      if (id != kInvalidDescriptorId) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return id;
+      }
     }
+    // Miss on the slice index. Materialize the projection and dedupe
+    // through the global table so the same value interned via Intern() and
+    // via InternProjected() resolves to one id (the id <=> value invariant
+    // is store-global, not per-slice).
+    Descriptor proj = st.slice.Project(full);
+    const uint64_t fh = proj.Hash();
+    const DescriptorId id = InternValue(std::move(proj), fh);
+    std::unique_lock<std::shared_mutex> wlock(st.mu);
+    const DescriptorId again = FindProjectedLocked(st, full, h);
+    if (again != kInvalidDescriptorId) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return again;  // Another thread indexed the same projection first.
+    }
+    st.by_hash.emplace(h, id);
+    return id;
   }
-  // Miss on the slice index. Materialize the projection and dedupe through
-  // the global table so the same value interned via Intern() and via
-  // InternProjected() resolves to one id (the id <=> value invariant is
-  // store-global, not per-slice).
+  const DescriptorId found = FindProjectedLocked(st, full, h);
+  if (found != kInvalidDescriptorId) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return found;
+  }
   Descriptor proj = st.slice.Project(full);
   const uint64_t fh = proj.Hash();
-  DescriptorId id = FindEqual(proj, fh);
-  if (id == kInvalidDescriptorId) {
-    id = Append(std::move(proj), fh);
-  }
+  const DescriptorId id = InternValue(std::move(proj), fh);
   st.by_hash.emplace(h, id);
   return id;
 }
 
 DescriptorId DescriptorStore::Project(SliceId s, DescriptorId id) {
   SliceState& st = slices_[static_cast<size_t>(s)];
-  const size_t idx = static_cast<size_t>(id);
-  if (idx < st.projected.size() &&
-      st.projected[idx] != kInvalidDescriptorId) {
-    ++lookups_;
-    ++hits_;
-    return st.projected[idx];
+  if (concurrent()) {
+    {
+      std::shared_lock<std::shared_mutex> rlock(st.mu);
+      auto it = st.projected.find(id);
+      if (it != st.projected.end()) {
+        lookups_.fetch_add(1, std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    const DescriptorId pid = InternProjected(s, Get(id));
+    std::unique_lock<std::shared_mutex> wlock(st.mu);
+    st.projected.emplace(id, pid);
+    return pid;
+  }
+  auto it = st.projected.find(id);
+  if (it != st.projected.end()) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
   }
   const DescriptorId pid = InternProjected(s, Get(id));
-  if (idx >= st.projected.size()) {
-    st.projected.resize(idx + 1, kInvalidDescriptorId);
-  }
-  st.projected[idx] = pid;
+  st.projected.emplace(id, pid);
   return pid;
 }
 

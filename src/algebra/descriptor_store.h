@@ -14,11 +14,27 @@
 // cached. PropertySlice-projected interning resolves P2V's argument /
 // physical / cost splits of a full descriptor to ids without materializing
 // the projection when an equal one already exists.
+//
+// Concurrency: a store constructed with StoreMode::kConcurrent may be
+// shared by several optimizer threads (BatchOptimizer's parallel batch
+// optimization). The intern table is sharded 16 ways by descriptor hash;
+// each shard takes a shared (reader) lock to probe for an already-interned
+// id and upgrades to an exclusive lock only to append, so the common case
+// — re-interning a descriptor some thread has seen before — runs under a
+// reader lock with no exclusive contention. Entries live in fixed-size
+// chunks published through atomic pointers, so Get()/HashOf() never lock
+// and references stay stable forever. Stats counters are relaxed atomics.
+// A store in the default StoreMode::kSerial skips all locking and is
+// exactly as cheap as the pre-concurrency implementation.
 
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,18 +49,27 @@ inline constexpr DescriptorId kInvalidDescriptorId = -1;
 /// Handle for a PropertySlice registered with a store.
 using SliceId = int;
 
+/// Whether a DescriptorStore must tolerate concurrent interning.
+enum class StoreMode {
+  kSerial,      ///< Single-threaded owner; no locking at all.
+  kConcurrent,  ///< Sharded locking; safe to share across threads.
+};
+
 /// \brief Hash-consing store for descriptors of one schema.
 ///
 /// References returned by Get() are stable for the lifetime of the store
-/// (entries live in a deque, so interning never relocates them).
+/// (entries live in fixed chunks, so interning never relocates them).
 class DescriptorStore {
  public:
-  explicit DescriptorStore(const PropertySchema* schema) : schema_(schema) {}
+  explicit DescriptorStore(const PropertySchema* schema,
+                           StoreMode mode = StoreMode::kSerial);
+  ~DescriptorStore();
 
   DescriptorStore(const DescriptorStore&) = delete;
   DescriptorStore& operator=(const DescriptorStore&) = delete;
 
   const PropertySchema* schema() const { return schema_; }
+  bool concurrent() const { return mode_ == StoreMode::kConcurrent; }
 
   /// Interns `d`, copying it only when no equal descriptor exists yet.
   DescriptorId Intern(const Descriptor& d);
@@ -52,17 +77,16 @@ class DescriptorStore {
   /// Interns `d`, moving it into the store on a miss.
   DescriptorId Intern(Descriptor&& d);
 
-  /// The canonical descriptor for `id`. Stable reference.
-  const Descriptor& Get(DescriptorId id) const {
-    return entries_[static_cast<size_t>(id)].desc;
-  }
+  /// The canonical descriptor for `id`. Stable reference; lock-free.
+  const Descriptor& Get(DescriptorId id) const { return EntryAt(id).desc; }
 
-  /// The cached value hash of `id` (equal to Get(id).Hash()).
-  uint64_t HashOf(DescriptorId id) const {
-    return entries_[static_cast<size_t>(id)].hash;
-  }
+  /// The cached value hash of `id` (equal to Get(id).Hash()). Lock-free.
+  uint64_t HashOf(DescriptorId id) const { return EntryAt(id).hash; }
 
   /// Registers a projection slice; the returned SliceId is dense.
+  /// Registering a slice with the same property-id set as an existing one
+  /// returns the existing id, so N optimizers sharing one store agree on
+  /// slice handles without coordination.
   SliceId RegisterSlice(PropertySlice slice);
 
   const PropertySlice& slice(SliceId s) const {
@@ -80,44 +104,92 @@ class DescriptorStore {
   DescriptorId Project(SliceId s, DescriptorId id);
 
   /// Number of distinct descriptors interned.
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Interning traffic counters: every Intern/InternProjected call is a
   /// lookup; a hit found an existing equal descriptor.
-  uint64_t lookups() const { return lookups_; }
-  uint64_t hits() const { return hits_; }
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   double HitRate() const {
-    return lookups_ == 0 ? 0.0
-                         : static_cast<double>(hits_) /
-                               static_cast<double>(lookups_);
+    const uint64_t l = lookups();
+    return l == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(l);
   }
 
  private:
+  // Entry arena geometry: chunks of 4096 entries, up to 16384 chunks
+  // (64M descriptors — far past memory exhaustion for real workloads).
+  // The chunk-pointer array is allocated up front so readers never see it
+  // move; chunk payloads are published with release stores.
+  static constexpr int kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 14;
+  static constexpr size_t kNumShards = 16;
+  static constexpr int kMaxSlices = 32;
+
   struct Entry {
     Descriptor desc;
     uint64_t hash = 0;
   };
-  struct SliceState {
-    PropertySlice slice;
-    /// slice-hash -> id of an interned *projected* descriptor.
+
+  /// One shard of the global intern table, selected by descriptor hash.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    /// full-value hash -> id of an interned descriptor.
     std::unordered_multimap<uint64_t, DescriptorId> by_hash;
-    /// Memoized Project() results, indexed by full-descriptor id.
-    std::vector<DescriptorId> projected;
   };
 
-  /// Finds an existing entry equal to `d` with full hash `h`, or
-  /// kInvalidDescriptorId. Counts neither lookups nor hits.
-  DescriptorId FindEqual(const Descriptor& d, uint64_t h) const;
+  struct SliceState {
+    PropertySlice slice;
+    mutable std::shared_mutex mu;
+    /// slice-hash -> id of an interned *projected* descriptor.
+    std::unordered_multimap<uint64_t, DescriptorId> by_hash;
+    /// Memoized Project() results, keyed by full-descriptor id.
+    std::unordered_map<DescriptorId, DescriptorId> projected;
+  };
 
-  /// Appends `d` as a new entry with hash `h` and indexes it.
+  const Entry& EntryAt(DescriptorId id) const {
+    const size_t i = static_cast<size_t>(id);
+    const Entry* chunk =
+        chunks_[i >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[i & (kChunkSize - 1)];
+  }
+
+  static size_t ShardOf(uint64_t h) { return (h >> 56) & (kNumShards - 1); }
+
+  /// Finds an existing entry equal to `d` with full hash `h` in `sh`, or
+  /// kInvalidDescriptorId. The caller holds the shard lock (or owns the
+  /// store exclusively in serial mode). Counts neither lookups nor hits.
+  DescriptorId FindInShard(const Shard& sh, const Descriptor& d,
+                           uint64_t h) const;
+
+  /// Appends `d` as a new entry with hash `h`. The caller holds the shard
+  /// exclusive lock; the arena itself is guarded by arena_mu_ in
+  /// concurrent mode (appends from different shards race otherwise).
   DescriptorId Append(Descriptor&& d, uint64_t h);
 
+  /// Find-or-append through the global sharded table without touching the
+  /// stats counters (the slice paths count their own traffic). When `hit`
+  /// is non-null it reports whether an equal descriptor already existed.
+  DescriptorId InternValue(Descriptor&& d, uint64_t h, bool* hit = nullptr);
+
+  DescriptorId FindProjectedLocked(const SliceState& st,
+                                   const Descriptor& full, uint64_t h) const;
+
   const PropertySchema* schema_;
-  std::deque<Entry> entries_;  // deque: Get() references stay valid
-  std::unordered_multimap<uint64_t, DescriptorId> by_hash_;
-  std::vector<SliceState> slices_;
-  uint64_t lookups_ = 0;
-  uint64_t hits_ = 0;
+  const StoreMode mode_;
+  std::unique_ptr<std::atomic<Entry*>[]> chunks_;
+  std::atomic<size_t> size_{0};
+  std::mutex arena_mu_;
+  Shard shards_[kNumShards];
+  /// Fixed-capacity slice array: readers access slices_[s] without locks
+  /// once RegisterSlice published the slot via num_slices_.
+  std::unique_ptr<SliceState[]> slices_;
+  std::atomic<int> num_slices_{0};
+  std::mutex slice_reg_mu_;
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> hits_{0};
 };
 
 /// \brief Mutable construction ergonomics in an interned world.

@@ -243,7 +243,8 @@ bool Predicate::Equals(const Predicate& o) const {
 }
 
 uint64_t Predicate::Hash() const {
-  if (hash_ != 0) return hash_;
+  const uint64_t cached = hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   uint64_t h = static_cast<uint64_t>(kind_) * 0xff51afd7ed558ccdULL;
   switch (kind_) {
     case Kind::kCmp:
@@ -261,8 +262,9 @@ uint64_t Predicate::Hash() const {
     default:
       break;
   }
-  hash_ = (h == 0) ? 0x9e3779b9ULL : h;  // 0 means "not yet computed".
-  return hash_;
+  if (h == 0) h = 0x9e3779b9ULL;  // 0 means "not yet computed".
+  hash_.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 std::string Predicate::ToString() const {

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -118,7 +119,10 @@ class Predicate {
   CmpOp cmp_op_ = CmpOp::kEq;
   Term left_, right_;
   std::vector<PredicateRef> children_;
-  mutable uint64_t hash_ = 0;  // Lazily cached Hash(); trees are immutable.
+  // Lazily cached Hash(). Atomic because immutable predicate trees are
+  // shared across batch-optimizer threads, which may race to fill the
+  // cache; both writers store the same value, so relaxed ordering is fine.
+  mutable std::atomic<uint64_t> hash_{0};
 };
 
 /// Structural equality that treats null refs as TRUE.

@@ -1,0 +1,51 @@
+// FunctionRef: a non-owning, non-allocating reference to a callable.
+//
+// The rule-binding enumerator recurses with continuation callbacks whose
+// lifetime is strictly the enclosing call (they never escape), so paying
+// std::function's type-erased allocation per recursion level is pure
+// overhead. FunctionRef erases the callable into a {context pointer,
+// trampoline} pair — two words, trivially copyable, nothing to allocate or
+// destroy (same shape as llvm::function_ref / absl::FunctionRef).
+//
+// The referent MUST outlive every call through the FunctionRef; never
+// store one beyond the call that received it.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace prairie::common {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(runtime/explicit): implicit, like absl::FunctionRef.
+  FunctionRef(F&& f)
+      // intptr_t, not void*: the referent may be a plain function, and
+      // function pointers only round-trip through an integer type.
+      : obj_(reinterpret_cast<intptr_t>(std::addressof(f))),
+        call_([](intptr_t obj, Args... args) -> R {
+          return (*reinterpret_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  intptr_t obj_;
+  R (*call_)(intptr_t, Args...);
+};
+
+}  // namespace prairie::common

@@ -1,0 +1,59 @@
+#include "volcano/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace prairie::volcano {
+
+BatchOptimizer::BatchOptimizer(const RuleSet* rules, BatchOptions options)
+    : rules_(rules), options_(options) {
+  jobs_ = options_.jobs;
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs_ <= 0) jobs_ = 1;
+  }
+  if (options_.share_store) {
+    store_ = std::make_unique<algebra::DescriptorStore>(
+        &rules_->algebra->properties(),
+        jobs_ > 1 ? algebra::StoreMode::kConcurrent
+                  : algebra::StoreMode::kSerial);
+  }
+}
+
+std::vector<BatchResult> BatchOptimizer::OptimizeAll(
+    const std::vector<BatchQuery>& queries) {
+  std::vector<BatchResult> results(queries.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) return;
+      const BatchQuery& q = queries[i];
+      BatchResult& r = results[i];
+      if (q.tree == nullptr) {
+        r.plan = common::Status::InvalidArgument("batch query has no tree");
+        continue;
+      }
+      common::Stopwatch sw;
+      Optimizer optimizer(rules_, q.catalog, options_.optimizer,
+                          store_.get());
+      r.plan = optimizer.Optimize(*q.tree);
+      r.seconds = sw.ElapsedSeconds();
+      r.stats = optimizer.stats();
+    }
+  };
+  const int pool = std::min<int>(jobs_, static_cast<int>(queries.size()));
+  if (pool <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(pool));
+  for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return results;
+}
+
+}  // namespace prairie::volcano

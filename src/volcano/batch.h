@@ -1,0 +1,83 @@
+// Parallel batch optimization: optimize many independent queries at once.
+//
+// A production optimizer's figure of merit under heavy traffic is
+// throughput — queries optimized per second across concurrent sessions —
+// not just single-query latency. Queries are independent searches, so the
+// natural unit of parallelism is the query: BatchOptimizer runs a fixed
+// pool of worker threads, each constructing a private single-threaded
+// Optimizer (its own memo, winner tables, stats) per query, while all
+// workers intern descriptors through ONE concurrent DescriptorStore so ids
+// stay globally canonical and common descriptors (empty requirements,
+// shared literals, projected slices) are stored once.
+//
+// Shared, immutable across workers: the RuleSet (including its dispatch
+// index, built by Finalize()), each query's Catalog, the Algebra, and the
+// descriptor store. Per worker, per query: the Memo, the search state and
+// the stats. Plans returned are plain value trees (PhysNode), so results
+// are usable after the batch without touching the store.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "volcano/engine.h"
+
+namespace prairie::volcano {
+
+/// \brief One query of a batch. `tree` and `catalog` must outlive the
+/// OptimizeAll call; queries may share a catalog or carry their own.
+struct BatchQuery {
+  const algebra::Expr* tree = nullptr;
+  const catalog::Catalog* catalog = nullptr;
+};
+
+/// \brief Outcome of one batch query.
+struct BatchResult {
+  common::Result<Plan> plan{
+      common::Status::OptimizeError("query was not optimized")};
+  OptimizerStats stats;
+  double seconds = 0;  ///< Wall-clock optimize time of this query.
+};
+
+/// \brief Batch-level knobs.
+struct BatchOptions {
+  /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
+  int jobs = 1;
+  /// Per-query optimizer options (pruning, limits, dispatch index).
+  OptimizerOptions optimizer;
+  /// Intern all workers' descriptors through one concurrent store.
+  /// Disabling gives every query a private serial store (no sharing).
+  bool share_store = true;
+};
+
+/// \brief Optimizes batches of queries over one rule set, in parallel.
+///
+/// The rule set must be Finalize()d and must not change while batches run.
+/// OptimizeAll may be called repeatedly; the shared store persists across
+/// calls, so descriptors learned by one batch warm the next.
+class BatchOptimizer {
+ public:
+  explicit BatchOptimizer(const RuleSet* rules,
+                          BatchOptions options = BatchOptions());
+
+  /// Optimizes every query, distributing them over the worker pool.
+  /// Results are positionally aligned with `queries`. Individual failures
+  /// (e.g. no feasible plan) land in that query's BatchResult; they do not
+  /// abort the batch.
+  std::vector<BatchResult> OptimizeAll(const std::vector<BatchQuery>& queries);
+
+  /// The store shared by all workers (null when share_store is false).
+  const algebra::DescriptorStore* shared_store() const { return store_.get(); }
+
+  int jobs() const { return jobs_; }
+
+ private:
+  const RuleSet* rules_;
+  BatchOptions options_;
+  int jobs_;
+  std::unique_ptr<algebra::DescriptorStore> store_;
+};
+
+}  // namespace prairie::volcano

@@ -37,14 +37,32 @@ double OptimizerStats::InternHitRate() const {
 }
 
 Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
-                     OptimizerOptions options)
+                     OptimizerOptions options,
+                     algebra::DescriptorStore* shared_store)
     : rules_(rules),
       catalog_(catalog),
       options_(options),
-      memo_(rules, options.memo_limits),
+      memo_(rules, options.memo_limits, shared_store),
       phys_slice_id_(memo_.store()->RegisterSlice(rules->PhysSlice())) {
   stats_.trans_matched.assign(rules_->trans_rules.size(), 0);
   stats_.impl_matched.assign(rules_->impl_rules.size(), 0);
+}
+
+const std::vector<uint32_t>* Optimizer::TransRulesFor(
+    algebra::OpId op) const {
+  if (!options_.use_dispatch_index || op < 0 ||
+      static_cast<size_t>(op) >= rules_->trans_rules_by_op.size()) {
+    return nullptr;
+  }
+  return &rules_->trans_rules_by_op[static_cast<size_t>(op)];
+}
+
+const std::vector<uint32_t>* Optimizer::ImplRulesFor(algebra::OpId op) const {
+  if (!options_.use_dispatch_index || op < 0 ||
+      static_cast<size_t>(op) >= rules_->impl_rules_by_op.size()) {
+    return nullptr;
+  }
+  return &rules_->impl_rules_by_op[static_cast<size_t>(op)];
 }
 
 Descriptor Optimizer::MakeReq() const {
@@ -140,7 +158,15 @@ Status Optimizer::ExpandGroup(GroupId gid) {
       Group* grp = &memo_.group(gid);
       if (ei >= grp->exprs.size()) break;
       if (grp->exprs[ei].is_file) continue;
-      for (size_t ri = 0; ri < rules_->trans_rules.size() && st.ok(); ++ri) {
+      // Only rules whose LHS root is this expression's operator can match;
+      // the dispatch index skips the rest of the rule vector. (An
+      // expression's operator never changes in place — merges that move
+      // expressions abort the pass through epoch_changed below.)
+      const std::vector<uint32_t>* indexed = TransRulesFor(grp->exprs[ei].op);
+      const size_t num_rules =
+          indexed != nullptr ? indexed->size() : rules_->trans_rules.size();
+      for (size_t k = 0; k < num_rules && st.ok(); ++k) {
+        const size_t ri = indexed != nullptr ? (*indexed)[k] : k;
         gid = memo_.Find(gid);
         grp = &memo_.group(gid);
         if (ei >= grp->exprs.size()) break;
@@ -192,9 +218,10 @@ Status Optimizer::ApplyTransRule(GroupId gid, size_t expr_idx,
   return Status::OK();
 }
 
-Status Optimizer::EnumerateBindings(
-    const PatNode& pat, GroupId gid, int expr_idx, MatchBinding* binding,
-    const std::function<Status()>& emit, bool* aborted, uint64_t epoch) {
+Status Optimizer::EnumerateBindings(const PatNode& pat, GroupId gid,
+                                    int expr_idx, MatchBinding* binding,
+                                    EmitFn emit, bool* aborted,
+                                    uint64_t epoch) {
   // Binds pattern node `pat` (known to be kOp) to expression `expr_idx` of
   // group `gid`, then matches its children.
   gid = memo_.Find(gid);
@@ -212,8 +239,7 @@ Status Optimizer::EnumerateBindings(
 
 Status Optimizer::MatchChildren(const PatNode& pat,
                                 const std::vector<GroupId>& child_groups,
-                                size_t k, MatchBinding* binding,
-                                const std::function<Status()>& emit,
+                                size_t k, MatchBinding* binding, EmitFn emit,
                                 bool* aborted, uint64_t epoch) {
   if (*aborted) return Status::OK();
   if (memo_.merge_epoch() != epoch) {
@@ -341,8 +367,9 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
       if (w.failed_limit >= 0 && limit <= w.failed_limit) return w;
     }
   }
-  const uint64_t progress_key = common::HashMix(
-      static_cast<uint64_t>(rid), static_cast<int64_t>(gid));
+  // Exact-pair key: a mixed 64-bit hash could collide two distinct
+  // (group, requirement) pairs and prune a feasible branch as "cyclic".
+  const std::pair<GroupId, algebra::DescriptorId> progress_key(gid, rid);
   if (in_progress_.count(progress_key) > 0) {
     // Cyclic requirement path: infeasible along this branch; do not cache.
     return Winner{};
@@ -379,7 +406,11 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
     // Copy: recursive OptimizeGroup calls may grow or merge groups and
     // invalidate references into exprs.
     const MExpr m = grp.exprs[ei];
-    for (size_t ri = 0; ri < rules_->impl_rules.size(); ++ri) {
+    const std::vector<uint32_t>* indexed = ImplRulesFor(m.op);
+    const size_t num_rules =
+        indexed != nullptr ? indexed->size() : rules_->impl_rules.size();
+    for (size_t k = 0; k < num_rules; ++k) {
+      const size_t ri = indexed != nullptr ? (*indexed)[k] : k;
       const ImplRule& rule = rules_->impl_rules[ri];
       if (rule.op != m.op) continue;
       st = TryImplRule(m, rule, ri, req, &budget, &best, &limit_failure);

@@ -1,5 +1,7 @@
 #include "volcano/memo.h"
 
+#include <cassert>
+
 #include "common/hash.h"
 #include "common/strings.h"
 
@@ -8,11 +10,19 @@ namespace prairie::volcano {
 using common::Result;
 using common::Status;
 
-Memo::Memo(const RuleSet* rules, MemoLimits limits)
+Memo::Memo(const RuleSet* rules, MemoLimits limits,
+           algebra::DescriptorStore* shared_store)
     : rules_(rules),
       limits_(limits),
-      store_(&rules->algebra->properties()),
-      arg_slice_id_(store_.RegisterSlice(rules->ArgSlice())) {}
+      owned_store_(shared_store != nullptr
+                       ? nullptr
+                       : std::make_unique<algebra::DescriptorStore>(
+                             &rules->algebra->properties())),
+      store_(shared_store != nullptr ? shared_store : owned_store_.get()),
+      arg_slice_id_(store_->RegisterSlice(rules->ArgSlice())) {
+  assert(store_->schema() == &rules->algebra->properties() &&
+         "shared store must use the rule set's property schema");
+}
 
 GroupId Memo::Find(GroupId g) const {
   GroupId root = g;
@@ -30,14 +40,14 @@ GroupId Memo::Find(GroupId g) const {
 
 void Memo::EnsureKey(MExpr& m) {
   if (m.arg_key == algebra::kInvalidDescriptorId) {
-    m.arg_key = store_.Project(arg_slice_id_, m.args);
+    m.arg_key = store_->Project(arg_slice_id_, m.args);
   }
 }
 
 uint64_t Memo::KeyOf(const MExpr& m) const {
   uint64_t h = m.is_file ? common::HashMix(0x417e, m.file)
                          : common::HashMix(0x09a1, m.op);
-  h = common::HashCombine(h, store_.HashOf(m.arg_key));
+  h = common::HashCombine(h, store_->HashOf(m.arg_key));
   for (GroupId c : m.children) {
     h = common::HashMix(h, static_cast<int64_t>(Find(c)));
   }
@@ -168,7 +178,7 @@ Result<GroupId> Memo::CopyIn(const algebra::Expr& tree) {
   if (tree.is_file()) {
     m.is_file = true;
     m.file = tree.file_name();
-    const algebra::DescriptorId d = store_.Intern(tree.descriptor());
+    const algebra::DescriptorId d = store_->Intern(tree.descriptor());
     m.args = d;
     return GetOrCreateGroup(std::move(m), d);
   }
@@ -178,7 +188,7 @@ Result<GroupId> Memo::CopyIn(const algebra::Expr& tree) {
         rules_->algebra->name(tree.op()) + "'");
   }
   m.op = tree.op();
-  const algebra::DescriptorId d = store_.Intern(tree.descriptor());
+  const algebra::DescriptorId d = store_->Intern(tree.descriptor());
   m.args = d;
   m.children.reserve(tree.num_children());
   for (const algebra::ExprPtr& c : tree.children()) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,14 +77,25 @@ struct MemoLimits {
 };
 
 /// \brief The memo structure.
+///
+/// A memo is single-threaded. By default it owns a private serial
+/// DescriptorStore; for parallel batch optimization, several memos (one
+/// per optimizer thread) may instead share one concurrent store so
+/// descriptor ids stay globally canonical across threads — the memo's own
+/// tables (groups, winners, expression index) remain per-thread.
 class Memo {
  public:
-  Memo(const RuleSet* rules, MemoLimits limits);
+  /// `shared_store` null: the memo owns a private serial store. Non-null:
+  /// the memo interns through `shared_store` (which must outlive it, use
+  /// the rule set's schema and, when other threads share it, be in
+  /// StoreMode::kConcurrent).
+  Memo(const RuleSet* rules, MemoLimits limits,
+       algebra::DescriptorStore* shared_store = nullptr);
 
   /// The descriptor store backing every id in this memo. The engine and
   /// rule callbacks intern through this store so ids are comparable.
-  algebra::DescriptorStore* store() { return &store_; }
-  const algebra::DescriptorStore* store() const { return &store_; }
+  algebra::DescriptorStore* store() { return store_; }
+  const algebra::DescriptorStore* store() const { return store_; }
 
   /// Canonical (union-find) representative of `g`.
   GroupId Find(GroupId g) const;
@@ -132,7 +144,9 @@ class Memo {
 
   const RuleSet* rules_;
   MemoLimits limits_;
-  algebra::DescriptorStore store_;
+  /// Set when the memo owns its store (no shared store was supplied).
+  std::unique_ptr<algebra::DescriptorStore> owned_store_;
+  algebra::DescriptorStore* store_;
   algebra::SliceId arg_slice_id_;
   std::vector<Group> groups_;
   mutable std::vector<GroupId> parent_;

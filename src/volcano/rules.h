@@ -147,8 +147,19 @@ struct RuleSet {
   /// memo identity. Filled by Finalize() when left empty.
   std::vector<algebra::PropertyId> arg_props;
 
-  /// Computes arg_props as schema minus phys minus cost, and checks basic
-  /// consistency (registered ops, arities, slot layouts, cost declared).
+  /// Per-operator rule dispatch index, built by Finalize(): element `op`
+  /// lists the indexes (into trans_rules / impl_rules) of the rules whose
+  /// LHS root is `op`, so the engine touches only rules that can match an
+  /// expression instead of scanning the whole rule vector. Immutable after
+  /// Finalize(), so N optimizer threads may share it freely. Rule sets
+  /// that skip Finalize() leave these empty; the engine then falls back to
+  /// the linear scan.
+  std::vector<std::vector<uint32_t>> trans_rules_by_op;
+  std::vector<std::vector<uint32_t>> impl_rules_by_op;
+
+  /// Computes arg_props as schema minus phys minus cost, checks basic
+  /// consistency (registered ops, arities, slot layouts, cost declared),
+  /// and builds the per-operator dispatch index.
   common::Status Finalize();
 
   /// The memo-identity slice (arg_props).

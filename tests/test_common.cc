@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/function_ref.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -215,6 +216,48 @@ TEST(SmallBitset, BitsBeyond64DoNotAliasInlineBits) {
   EXPECT_TRUE(b.Test(5));
   b.Reset();
   EXPECT_FALSE(b.Test(69));
+}
+
+namespace {
+int FreeAdd(int a, int b) { return a + b; }
+
+int InvokeThrough(FunctionRef<int(int)> f, int v) { return f(v); }
+}  // namespace
+
+TEST(FunctionRef, CallsLambdasWithCapturedState) {
+  int calls = 0;
+  auto counter = [&calls](int v) {
+    ++calls;
+    return v * 2;
+  };
+  EXPECT_EQ(InvokeThrough(counter, 21), 42);
+  EXPECT_EQ(InvokeThrough(counter, 5), 10);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FunctionRef, CallsFreeFunctions) {
+  FunctionRef<int(int, int)> f = FreeAdd;
+  EXPECT_EQ(f(2, 3), 5);
+}
+
+TEST(FunctionRef, MutationsThroughTheRefAreVisibleToTheCaller) {
+  // FunctionRef is non-owning: it refers to the caller's callable rather
+  // than copying it, so state mutated through the ref persists.
+  int sum = 0;
+  auto accumulate = [&sum](int v) {
+    sum += v;
+    return Status();
+  };
+  FunctionRef<Status(int)> f = accumulate;
+  EXPECT_TRUE(f(3).ok());
+  EXPECT_TRUE(f(4).ok());
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(FunctionRef, PropagatesNonOkStatus) {
+  auto fail = []() { return Status::OptimizeError("stop"); };
+  FunctionRef<Status()> f = fail;
+  EXPECT_EQ(f().code(), StatusCode::kOptimizeError);
 }
 
 TEST(SmallBitset, HeapWordsGrowOnDemand) {

@@ -1,0 +1,340 @@
+// Tests for the parallel batch-optimization layer: concurrent descriptor
+// interning (canonical ids under racing threads), slice registration
+// dedup, the per-operator rule dispatch index (must be search-equivalent
+// to the linear scan), and BatchOptimizer plan identity against the
+// single-threaded optimizer.
+//
+// Suite names (ConcurrentStoreTest / DispatchIndexTest /
+// BatchOptimizerTest) are what CI's ThreadSanitizer job selects with
+// `ctest -R`.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/descriptor_store.h"
+#include "optimizers/oodb.h"
+#include "optimizers/props.h"
+#include "p2v/translator.h"
+#include "volcano/batch.h"
+#include "volcano/engine.h"
+#include "workload/workload.h"
+
+namespace prairie {
+namespace {
+
+using algebra::Descriptor;
+using algebra::DescriptorId;
+using algebra::DescriptorStore;
+using algebra::PropertyId;
+using algebra::PropertySchema;
+using algebra::PropertySlice;
+using algebra::SliceId;
+using algebra::StoreMode;
+using algebra::Value;
+using algebra::ValueType;
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)             \
+  auto PRAIRIE_CONCAT(_res_, __LINE__) = (rexpr);    \
+  ASSERT_TRUE(PRAIRIE_CONCAT(_res_, __LINE__).ok())  \
+      << PRAIRIE_CONCAT(_res_, __LINE__).status().ToString(); \
+  lhs = std::move(PRAIRIE_CONCAT(_res_, __LINE__)).ValueUnsafe();
+
+// ---------------------------------------------------------------------------
+// Concurrent interning.
+
+class ConcurrentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.Add("x", ValueType::kReal).ok());
+    ASSERT_TRUE(schema_.Add("y", ValueType::kReal).ok());
+    ASSERT_TRUE(schema_.Add("s", ValueType::kString).ok());
+    x_ = *schema_.Find("x");
+    y_ = *schema_.Find("y");
+    s_ = *schema_.Find("s");
+  }
+
+  Descriptor Make(int key) const {
+    Descriptor d(&schema_);
+    d.SetUnchecked(x_, Value::Real(static_cast<double>(key)));
+    d.SetUnchecked(y_, Value::Real(static_cast<double>(key % 4)));
+    d.SetUnchecked(s_, Value::Str("tag" + std::to_string(key % 8)));
+    return d;
+  }
+
+  PropertySchema schema_;
+  PropertyId x_ = 0, y_ = 0, s_ = 0;
+};
+
+TEST_F(ConcurrentStoreTest, ParallelInternYieldsCanonicalIds) {
+  constexpr int kKeys = 64;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+
+  DescriptorStore store(&schema_, StoreMode::kConcurrent);
+  ASSERT_TRUE(store.concurrent());
+
+  // Every thread interns the whole key space repeatedly, each starting at
+  // a different rotation so threads race on different keys at any moment.
+  std::vector<std::vector<DescriptorId>> seen(
+      kThreads, std::vector<DescriptorId>(kKeys, algebra::kInvalidDescriptorId));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+          const int key = (i + t * 7) % kKeys;
+          const DescriptorId id = store.Intern(Make(key));
+          if (seen[t][key] == algebra::kInvalidDescriptorId) {
+            seen[t][key] = id;
+          } else {
+            // Re-interning an equal value must return the same id, always.
+            ASSERT_EQ(seen[t][key], id);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // All threads agree on every key's id: ids are globally canonical.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  // Value-level dedup is global: exactly one entry per distinct value.
+  EXPECT_EQ(store.size(), static_cast<size_t>(kKeys));
+  // The id <-> value invariant holds for everything interned.
+  for (int key = 0; key < kKeys; ++key) {
+    const DescriptorId id = seen[0][key];
+    EXPECT_TRUE(store.Get(id) == Make(key));
+    EXPECT_EQ(store.HashOf(id), store.Get(id).Hash());
+  }
+  // Traffic accounting: kThreads * kRounds * kKeys lookups, all but the
+  // first interning of each value a hit.
+  EXPECT_EQ(store.lookups(), uint64_t{kThreads} * kRounds * kKeys);
+  EXPECT_EQ(store.hits(), store.lookups() - kKeys);
+}
+
+TEST_F(ConcurrentStoreTest, ParallelProjectedInternAndProject) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+
+  DescriptorStore store(&schema_, StoreMode::kConcurrent);
+  const SliceId sx = store.RegisterSlice(PropertySlice{{x_}});
+
+  // Pre-intern the full descriptors serially so Project() has stable ids
+  // to chew on; the projected interning itself runs concurrently.
+  std::vector<DescriptorId> full(kKeys);
+  for (int i = 0; i < kKeys; ++i) full[i] = store.Intern(Make(i));
+
+  std::vector<std::vector<DescriptorId>> proj(
+      kThreads, std::vector<DescriptorId>(kKeys));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kKeys; ++i) {
+        const int key = (i + t * 5) % kKeys;
+        // Mix both entry points; they must agree.
+        const DescriptorId via_value = store.InternProjected(sx, Make(key));
+        const DescriptorId via_id = store.Project(sx, full[key]);
+        ASSERT_EQ(via_value, via_id);
+        proj[t][key] = via_value;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(proj[t], proj[0]);
+  // The projection keeps only x, so every projected id's descriptor must
+  // equal the slice projection of the full value.
+  const PropertySlice slice{{x_}};
+  for (int key = 0; key < kKeys; ++key) {
+    EXPECT_TRUE(store.Get(proj[0][key]) == slice.Project(Make(key)));
+  }
+}
+
+TEST_F(ConcurrentStoreTest, RegisterSliceDedupesByPropertySet) {
+  DescriptorStore store(&schema_, StoreMode::kConcurrent);
+  const SliceId a = store.RegisterSlice(PropertySlice{{x_, s_}});
+  const SliceId b = store.RegisterSlice(PropertySlice{{x_, s_}});
+  const SliceId c = store.RegisterSlice(PropertySlice{{y_}});
+  EXPECT_EQ(a, b);  // same property set -> same handle, no coordination
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.slice(a).ids, (std::vector<PropertyId>{x_, s_}));
+  EXPECT_EQ(store.slice(c).ids, (std::vector<PropertyId>{y_}));
+}
+
+TEST_F(ConcurrentStoreTest, SerialModeBehavesIdentically) {
+  DescriptorStore serial(&schema_, StoreMode::kSerial);
+  DescriptorStore conc(&schema_, StoreMode::kConcurrent);
+  EXPECT_FALSE(serial.concurrent());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int key = 0; key < 16; ++key) {
+      EXPECT_EQ(serial.Intern(Make(key)), conc.Intern(Make(key)));
+    }
+  }
+  EXPECT_EQ(serial.size(), conc.size());
+  EXPECT_EQ(serial.lookups(), conc.lookups());
+  EXPECT_EQ(serial.hits(), conc.hits());
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator rule dispatch index.
+
+class OodbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(core::RuleSet prairie_rules, opt::BuildOodbPrairie());
+    ASSERT_OK_AND_ASSIGN(rules_, p2v::Translate(prairie_rules, nullptr));
+  }
+
+  workload::Workload MakeQ(int qnum, int joins, uint64_t seed) {
+    auto w = workload::MakeWorkload(
+        *rules_->algebra, workload::PaperQuery(qnum, joins, seed));
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return std::move(*w);
+  }
+
+  std::shared_ptr<volcano::RuleSet> rules_;
+};
+
+using DispatchIndexTest = OodbFixture;
+
+TEST_F(DispatchIndexTest, FinalizeBuildsWellFormedIndex) {
+  ASSERT_FALSE(rules_->trans_rules_by_op.empty());
+  ASSERT_FALSE(rules_->impl_rules_by_op.empty());
+  size_t trans_indexed = 0;
+  for (const auto& bucket : rules_->trans_rules_by_op) {
+    for (uint32_t ri : bucket) {
+      ASSERT_LT(ri, rules_->trans_rules.size());
+      ++trans_indexed;
+    }
+  }
+  EXPECT_GT(trans_indexed, 0u);
+  for (size_t op = 0; op < rules_->impl_rules_by_op.size(); ++op) {
+    for (uint32_t ri : rules_->impl_rules_by_op[op]) {
+      ASSERT_LT(ri, rules_->impl_rules.size());
+      // An impl bucket only holds rules for exactly that operator.
+      EXPECT_EQ(static_cast<size_t>(rules_->impl_rules[ri].op), op);
+    }
+  }
+}
+
+TEST_F(DispatchIndexTest, SearchIsEquivalentToLinearScan) {
+  for (int q = 1; q <= 8; ++q) {
+    workload::Workload w = MakeQ(q, 2, 1);
+
+    volcano::OptimizerOptions indexed_opts;
+    indexed_opts.use_dispatch_index = true;
+    volcano::Optimizer indexed(rules_.get(), &w.catalog, indexed_opts);
+    auto indexed_plan = indexed.Optimize(*w.query);
+    ASSERT_TRUE(indexed_plan.ok()) << indexed_plan.status().ToString();
+
+    volcano::OptimizerOptions scan_opts;
+    scan_opts.use_dispatch_index = false;
+    volcano::Optimizer scanned(rules_.get(), &w.catalog, scan_opts);
+    auto scanned_plan = scanned.Optimize(*w.query);
+    ASSERT_TRUE(scanned_plan.ok()) << scanned_plan.status().ToString();
+
+    // Not merely the same plan: the identical search (same groups, same
+    // expressions, same rule firings, same costed plans).
+    EXPECT_EQ(indexed_plan->cost, scanned_plan->cost) << "Q" << q;
+    EXPECT_EQ(indexed_plan->root->ToString(*rules_->algebra),
+              scanned_plan->root->ToString(*rules_->algebra))
+        << "Q" << q;
+    EXPECT_EQ(indexed.stats().groups, scanned.stats().groups) << "Q" << q;
+    EXPECT_EQ(indexed.stats().mexprs, scanned.stats().mexprs) << "Q" << q;
+    EXPECT_EQ(indexed.stats().trans_fired, scanned.stats().trans_fired)
+        << "Q" << q;
+    EXPECT_EQ(indexed.stats().plans_costed, scanned.stats().plans_costed)
+        << "Q" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchOptimizer.
+
+using BatchOptimizerTest = OodbFixture;
+
+TEST_F(BatchOptimizerTest, ParallelPlansMatchSerialOptimizer) {
+  std::vector<workload::Workload> workloads;
+  for (int q = 1; q <= 8; ++q) workloads.push_back(MakeQ(q, 2, 1));
+
+  // Serial reference: one fresh single-threaded optimizer per query.
+  std::vector<double> ref_cost;
+  std::vector<std::string> ref_plan;
+  for (const auto& w : workloads) {
+    volcano::Optimizer opt(rules_.get(), &w.catalog, {});
+    auto plan = opt.Optimize(*w.query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ref_cost.push_back(plan->cost);
+    ref_plan.push_back(plan->root->ToString(*rules_->algebra));
+  }
+
+  std::vector<volcano::BatchQuery> queries;
+  for (const auto& w : workloads) {
+    queries.push_back(volcano::BatchQuery{w.query.get(), &w.catalog});
+  }
+
+  for (int jobs : {1, 4}) {
+    volcano::BatchOptions options;
+    options.jobs = jobs;
+    volcano::BatchOptimizer batch(rules_.get(), options);
+    EXPECT_EQ(batch.jobs(), jobs);
+    ASSERT_NE(batch.shared_store(), nullptr);
+    EXPECT_EQ(batch.shared_store()->concurrent(), jobs > 1);
+
+    auto results = batch.OptimizeAll(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].plan.ok())
+          << "jobs=" << jobs << " Q" << (i + 1) << ": "
+          << results[i].plan.status().ToString();
+      EXPECT_EQ(results[i].plan->cost, ref_cost[i])
+          << "jobs=" << jobs << " Q" << (i + 1);
+      EXPECT_EQ(results[i].plan->root->ToString(*rules_->algebra), ref_plan[i])
+          << "jobs=" << jobs << " Q" << (i + 1);
+      EXPECT_GT(results[i].stats.groups, 0u);
+      EXPECT_GE(results[i].seconds, 0.0);
+    }
+    EXPECT_GT(batch.shared_store()->size(), 0u);
+  }
+}
+
+TEST_F(BatchOptimizerTest, PerQueryFailuresDoNotAbortTheBatch) {
+  workload::Workload good = MakeQ(1, 2, 1);
+  std::vector<volcano::BatchQuery> queries{
+      volcano::BatchQuery{good.query.get(), &good.catalog},
+      volcano::BatchQuery{nullptr, &good.catalog},  // broken entry
+      volcano::BatchQuery{good.query.get(), &good.catalog},
+  };
+  volcano::BatchOptions options;
+  options.jobs = 2;
+  volcano::BatchOptimizer batch(rules_.get(), options);
+  auto results = batch.OptimizeAll(queries);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].plan.ok());
+  EXPECT_FALSE(results[1].plan.ok());
+  EXPECT_TRUE(results[2].plan.ok());
+  EXPECT_EQ(results[0].plan->cost, results[2].plan->cost);
+}
+
+TEST_F(BatchOptimizerTest, PrivateStoresWhenSharingDisabled) {
+  workload::Workload w = MakeQ(2, 2, 1);
+  std::vector<volcano::BatchQuery> queries{
+      volcano::BatchQuery{w.query.get(), &w.catalog}};
+  volcano::BatchOptions options;
+  options.jobs = 2;
+  options.share_store = false;
+  volcano::BatchOptimizer batch(rules_.get(), options);
+  EXPECT_EQ(batch.shared_store(), nullptr);
+  auto results = batch.OptimizeAll(queries);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].plan.ok());
+}
+
+}  // namespace
+}  // namespace prairie

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against committed baseline snapshots.
+
+Every bench binary writes one JSON object per line to BENCH_<name>.json
+(fields: bench, family, wall_us, groups, mexprs, intern_hit_rate). This
+tool diffs fresh results against the snapshots committed under
+bench/baselines/ and exits non-zero when any family's wall time regressed
+by more than --tolerance (a fraction: 0.10 means +10%).
+
+Usage:
+    tools/bench_compare.py [--baseline-dir bench/baselines]
+                           [--tolerance 0.10] [--update]
+                           build/BENCH_table5.json [more...]
+
+--update refreshes the baseline snapshots from the given results instead
+of comparing (run on a quiet machine, then commit the changed files).
+
+Families present only on one side are reported but never fail the check:
+benches gain families as the repo grows, and CI runs some benches in a
+reduced configuration.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def load_records(path):
+    """Returns {(bench, family): wall_us}; the last record of a key wins."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{line_no}: bad JSON: {e}")
+            try:
+                records[(obj["bench"], obj["family"])] = float(obj["wall_us"])
+            except KeyError as e:
+                raise SystemExit(f"{path}:{line_no}: missing field {e}")
+    return records
+
+
+def fmt_us(us):
+    return f"{us / 1000.0:.2f}ms" if us >= 1000 else f"{us:.1f}us"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff bench JSON results against committed baselines.")
+    parser.add_argument("results", nargs="+",
+                        help="fresh BENCH_<name>.json files to check")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory of committed snapshots")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional wall-time regression "
+                             "(default 0.10 = +10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy results into the baseline dir instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in args.results:
+            dest = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"baseline updated: {dest}")
+        return 0
+
+    regressions = []
+    for path in args.results:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(path))
+        if not os.path.exists(baseline_path):
+            print(f"NOTE  no baseline for {os.path.basename(path)} "
+                  f"(expected {baseline_path}); skipping")
+            continue
+        current = load_records(path)
+        baseline = load_records(baseline_path)
+
+        for key in sorted(baseline.keys() - current.keys()):
+            print(f"NOTE  {key[0]}/{key[1]}: in baseline only")
+        for key in sorted(current.keys() - baseline.keys()):
+            print(f"NOTE  {key[0]}/{key[1]}: new family (no baseline)")
+
+        for key in sorted(current.keys() & baseline.keys()):
+            cur, base = current[key], baseline[key]
+            if base <= 0:
+                continue
+            delta = cur / base - 1.0
+            tag = f"{key[0]}/{key[1]}"
+            line = (f"{tag}: {fmt_us(base)} -> {fmt_us(cur)} "
+                    f"({delta:+.1%})")
+            if delta > args.tolerance:
+                regressions.append(line)
+                print(f"FAIL  {line}")
+            else:
+                print(f"ok    {line}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"+{args.tolerance:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nall benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

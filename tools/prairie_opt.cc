@@ -4,18 +4,27 @@
 //
 //   prairie_opt [--spec relational|oodb|FILE] [--query 1..8]
 //               [--joins N] [--seed S] [--expand-only] [--no-prune]
+//               [--jobs N] [--batch K]
+//
+// With --jobs and/or --batch the driver switches to batch mode: it
+// generates K instances of the query (seeds S..S+K-1) and optimizes them
+// concurrently on N worker threads through a BatchOptimizer — all workers
+// interning into one shared concurrent descriptor store.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/stopwatch.h"
 #include "dsl/parser.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
 #include "optimizers/relational.h"
 #include "p2v/translator.h"
+#include "volcano/batch.h"
 #include "volcano/engine.h"
 #include "workload/workload.h"
 
@@ -25,7 +34,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: prairie_opt [--spec relational|oodb|FILE]\n"
                "                   [--query 1..8] [--joins N] [--seed S]\n"
-               "                   [--expand-only] [--no-prune]\n");
+               "                   [--expand-only] [--no-prune]\n"
+               "                   [--jobs N] [--batch K]\n");
   return 2;
 }
 
@@ -37,6 +47,8 @@ int main(int argc, char** argv) {
   int joins = 2;
   uint64_t seed = 1;
   bool expand_only = false;
+  int jobs = 0;
+  int batch = 0;
   prairie::volcano::OptimizerOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -63,11 +75,19 @@ int main(int argc, char** argv) {
       expand_only = true;
     } else if (arg == "--no-prune") {
       options.prune = false;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      jobs = std::atoi(v);
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      batch = std::atoi(v);
     } else {
       return Usage();
     }
   }
-  if (query < 1 || query > 8 || joins < 1) return Usage();
+  if (query < 1 || query > 8 || joins < 1 || batch < 0) return Usage();
 
   std::string text;
   if (spec == "relational") {
@@ -102,6 +122,64 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "prairie_opt: %s\n",
                  volcano_rules.status().ToString().c_str());
     return 1;
+  }
+
+  if (jobs != 0 || batch > 1) {
+    // Batch mode: K instances of the query under consecutive seeds,
+    // optimized concurrently on the worker pool.
+    const int count = batch > 1 ? batch : 8;
+    const auto& algebra = *(*volcano_rules)->algebra;
+    std::vector<prairie::workload::Workload> workloads;
+    workloads.reserve(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      prairie::workload::QuerySpec qspec = prairie::workload::PaperQuery(
+          query, joins, seed + static_cast<uint64_t>(k));
+      auto w = prairie::workload::MakeWorkload(algebra, qspec);
+      if (!w.ok()) {
+        std::fprintf(stderr, "prairie_opt: seed %llu: %s\n",
+                     static_cast<unsigned long long>(qspec.seed),
+                     w.status().ToString().c_str());
+        return 1;
+      }
+      workloads.push_back(std::move(*w));
+    }
+    std::vector<prairie::volcano::BatchQuery> queries;
+    queries.reserve(workloads.size());
+    for (const auto& w : workloads) {
+      queries.push_back(prairie::volcano::BatchQuery{w.query.get(), &w.catalog});
+    }
+    prairie::volcano::BatchOptions batch_options;
+    batch_options.jobs = jobs;
+    batch_options.optimizer = options;
+    prairie::volcano::BatchOptimizer batcher(volcano_rules->get(),
+                                             batch_options);
+    prairie::common::Stopwatch sw;
+    auto results = batcher.OptimizeAll(queries);
+    const double wall = sw.ElapsedSeconds();
+    int failures = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      if (!r.plan.ok()) {
+        std::printf("Q%d seed %llu: ERROR %s\n", query,
+                    static_cast<unsigned long long>(seed + i),
+                    r.plan.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("Q%d seed %llu: cost %.2f  %s\n", query,
+                  static_cast<unsigned long long>(seed + i), r.plan->cost,
+                  r.plan->root->ToString(algebra).c_str());
+    }
+    const auto* store = batcher.shared_store();
+    std::printf(
+        "\nbatch: %zu queries on %d worker(s) in %.2f ms (%.1f queries/s)\n",
+        results.size(), batcher.jobs(), wall * 1e3,
+        static_cast<double>(results.size()) / wall);
+    if (store != nullptr) {
+      std::printf("shared store: %zu descriptors, %.1f%% intern hit rate\n",
+                  store->size(), 100.0 * store->HitRate());
+    }
+    return failures == 0 ? 0 : 1;
   }
 
   prairie::workload::QuerySpec qspec =
