@@ -1,0 +1,154 @@
+// Per-rule search profiling over the Q1..Q8 OODB workload (observability
+// layer): where does optimization time go, rule by rule?
+//
+// Each query is optimized twice — untraced (the production configuration:
+// null sink, one branch per event site) and traced into a RingBufferSink —
+// so the JSON log captures both the tracing overhead and the per-query
+// event volume. The traced streams are aggregated with BuildRuleProfile
+// into one table of attempts / firings / cumulative / max latency per
+// transformation rule, implementation rule, and enforcer.
+//
+// Self-check: per-rule firing counts summed over the profile must equal
+// the engine's trans_fired counter for every query, or the bench exits
+// non-zero (the stream is complete as long as the ring never wraps).
+//
+// Environment knobs:
+//   PRAIRIE_RULEPROFILE_JOINS    join count per query  (def 3)
+//   PRAIRIE_RULEPROFILE_REPEATS  timing repeats, best-of  (def 3)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "volcano/profile.h"
+
+namespace {
+
+using prairie::bench::BuildOodbPair;
+using prairie::bench::EnvInt;
+using prairie::bench::JsonWriter;
+using prairie::common::RingBufferSink;
+using prairie::volcano::Optimizer;
+using prairie::volcano::OptimizerOptions;
+using prairie::volcano::RuleSet;
+
+}  // namespace
+
+int main() {
+  const int joins = EnvInt("PRAIRIE_RULEPROFILE_JOINS", 3);
+  const int repeats = EnvInt("PRAIRIE_RULEPROFILE_REPEATS", 3);
+
+  auto pair = BuildOodbPair();
+  if (!pair.ok()) {
+    std::fprintf(stderr, "bench_ruleprofile: %s\n",
+                 pair.status().ToString().c_str());
+    return 1;
+  }
+  const RuleSet& rules = *pair->emitted;
+
+  std::printf("per-rule search profile: Q1..Q8, %d joins, best of %d runs\n\n",
+              joins, repeats);
+  std::printf("%6s %12s %12s %10s %9s %9s\n", "query", "untraced", "traced",
+              "overhead", "events", "fired");
+
+  JsonWriter json("ruleprofile");
+  std::vector<prairie::common::TraceEvent> all_events;
+  size_t all_dropped = 0;
+  bool counts_match = true;
+
+  for (int q = 1; q <= 8; ++q) {
+    prairie::workload::QuerySpec spec =
+        prairie::workload::PaperQuery(q, joins, 1);
+    auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+    if (!w.ok()) {
+      std::fprintf(stderr, "bench_ruleprofile: Q%d: %s\n", q,
+                   w.status().ToString().c_str());
+      return 1;
+    }
+
+    // Untraced: the production-path timing (null sink).
+    double untraced = -1;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Optimizer optimizer(&rules, &w->catalog);
+      prairie::common::Stopwatch sw;
+      auto plan = optimizer.Optimize(*w->query);
+      const double t = sw.ElapsedSeconds();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bench_ruleprofile: Q%d: %s\n", q,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      if (untraced < 0 || t < untraced) untraced = t;
+    }
+
+    // Traced: same search into a private ring sink.
+    double traced = -1;
+    size_t events = 0;
+    size_t dropped = 0;
+    size_t trans_fired = 0;
+    size_t profile_fired = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      RingBufferSink sink;
+      OptimizerOptions options;
+      options.trace = &sink;
+      Optimizer optimizer(&rules, &w->catalog, options);
+      prairie::common::Stopwatch sw;
+      auto plan = optimizer.Optimize(*w->query);
+      const double t = sw.ElapsedSeconds();
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bench_ruleprofile: Q%d (traced): %s\n", q,
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      if (traced < 0 || t < traced) {
+        traced = t;
+        std::vector<prairie::common::TraceEvent> stream = sink.Snapshot();
+        events = stream.size();
+        dropped = sink.dropped();
+        trans_fired = optimizer.stats().trans_fired;
+        profile_fired =
+            prairie::volcano::BuildRuleProfile(stream, rules, dropped)
+                .TotalTransFired();
+        if (rep == 0) {
+          all_events.insert(all_events.end(), stream.begin(), stream.end());
+          all_dropped += dropped;
+        }
+      }
+    }
+    if (dropped == 0 && profile_fired != trans_fired) {
+      std::fprintf(stderr,
+                   "bench_ruleprofile: Q%d: profile firings (%zu) != "
+                   "stats.trans_fired (%zu)\n",
+                   q, profile_fired, trans_fired);
+      counts_match = false;
+    }
+
+    json.RecordRaw("Q" + std::to_string(q) + "/untraced", untraced * 1e6, "");
+    char extra[160];
+    std::snprintf(extra, sizeof(extra),
+                  "\"events\":%zu,\"dropped\":%zu,\"trans_fired\":%zu", events,
+                  dropped, trans_fired);
+    json.RecordRaw("Q" + std::to_string(q) + "/traced", traced * 1e6, extra);
+    std::printf("%6s %10.2fus %10.2fus %+9.1f%% %9zu %9zu\n",
+                ("Q" + std::to_string(q)).c_str(), untraced * 1e6,
+                traced * 1e6, 100.0 * (traced / untraced - 1.0), events,
+                trans_fired);
+    std::fflush(stdout);
+  }
+
+  prairie::volcano::RuleProfile profile =
+      prairie::volcano::BuildRuleProfile(all_events, rules, all_dropped);
+  std::printf("\naggregate rule profile (Q1..Q8, one traced run each):\n%s",
+              profile.ToTable().c_str());
+
+  if (!counts_match) {
+    std::fprintf(stderr,
+                 "bench_ruleprofile: FAILED — profile/stat firing counts "
+                 "disagree\n");
+    return 1;
+  }
+  return 0;
+}

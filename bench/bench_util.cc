@@ -74,6 +74,15 @@ void JsonWriter::Record(const std::string& family, double wall_us,
   std::fflush(f_);
 }
 
+void JsonWriter::RecordRaw(const std::string& family, double wall_us,
+                           const std::string& extra_json) {
+  if (f_ == nullptr) return;
+  std::fprintf(f_, "{\"bench\":\"%s\",\"family\":\"%s\",\"wall_us\":%.3f%s%s}\n",
+               bench_.c_str(), family.c_str(), wall_us,
+               extra_json.empty() ? "" : ",", extra_json.c_str());
+  std::fflush(f_);
+}
+
 Measurement MeasureQuery(const volcano::RuleSet& rules, int qnum,
                          int num_joins, int num_seeds, int repeats) {
   Measurement m;

@@ -67,6 +67,12 @@ class JsonWriter {
     Record(family, m.seconds * 1e6, m.groups, m.mexprs, m.intern_hit_rate);
   }
 
+  /// Appends one record with bench-specific fields: `extra_json` is a
+  /// comma-separated list of already-encoded "key":value pairs appended
+  /// after the mandatory bench/family/wall_us fields (may be empty).
+  void RecordRaw(const std::string& family, double wall_us,
+                 const std::string& extra_json);
+
  private:
   std::FILE* f_ = nullptr;
   std::string bench_;

@@ -1,6 +1,8 @@
 #include "volcano/batch.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "common/stopwatch.h"
@@ -26,7 +28,21 @@ std::vector<BatchResult> BatchOptimizer::OptimizeAll(
     const std::vector<BatchQuery>& queries) {
   std::vector<BatchResult> results(queries.size());
   std::atomic<size_t> next{0};
-  auto worker = [&]() {
+  const int pool =
+      std::max(1, std::min<int>(jobs_, static_cast<int>(queries.size())));
+  // One private sink per worker: emission never crosses threads, so sinks
+  // stay lock-free; the streams are merged after the join barrier below.
+  std::vector<std::unique_ptr<common::RingBufferSink>> sinks;
+  if (options_.trace_capacity > 0) {
+    sinks.reserve(static_cast<size_t>(pool));
+    for (int t = 0; t < pool; ++t) {
+      sinks.push_back(
+          std::make_unique<common::RingBufferSink>(options_.trace_capacity));
+    }
+  }
+  auto worker = [&](int wid) {
+    OptimizerOptions opt = options_.optimizer;
+    opt.trace = sinks.empty() ? nullptr : sinks[static_cast<size_t>(wid)].get();
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) return;
@@ -37,22 +53,34 @@ std::vector<BatchResult> BatchOptimizer::OptimizeAll(
         continue;
       }
       common::Stopwatch sw;
-      Optimizer optimizer(rules_, q.catalog, options_.optimizer,
-                          store_.get());
+      Optimizer optimizer(rules_, q.catalog, opt, store_.get());
       r.plan = optimizer.Optimize(*q.tree);
       r.seconds = sw.ElapsedSeconds();
       r.stats = optimizer.stats();
     }
   };
-  const int pool = std::min<int>(jobs_, static_cast<int>(queries.size()));
   if (pool <= 1) {
-    worker();
-    return results;
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(pool));
+    for (int t = 0; t < pool; ++t) threads.emplace_back(worker, t);
+    for (std::thread& t : threads) t.join();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(pool));
-  for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  // Workers have joined: merge the per-worker streams into one
+  // timestamp-ordered trace (steady-clock timestamps are comparable across
+  // threads on one host).
+  trace_.clear();
+  trace_dropped_ = 0;
+  for (const auto& sink : sinks) {
+    std::vector<common::TraceEvent> events = sink->Snapshot();
+    trace_.insert(trace_.end(), events.begin(), events.end());
+    trace_dropped_ += sink->dropped();
+  }
+  std::sort(trace_.begin(), trace_.end(),
+            [](const common::TraceEvent& a, const common::TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
   return results;
 }
 

@@ -45,11 +45,17 @@ struct BatchResult {
 struct BatchOptions {
   /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
   int jobs = 1;
-  /// Per-query optimizer options (pruning, limits, dispatch index).
+  /// Per-query optimizer options (pruning, limits, dispatch index). The
+  /// `trace` sink here is ignored — per-worker sinks are wired internally
+  /// when trace_capacity > 0 so workers never contend on one sink.
   OptimizerOptions optimizer;
   /// Intern all workers' descriptors through one concurrent store.
   /// Disabling gives every query a private serial store (no sharing).
   bool share_store = true;
+  /// > 0: trace every worker into a private RingBufferSink of this
+  /// capacity; the streams are merged (timestamp-ordered) after the
+  /// workers join and exposed via trace_events(). 0 disables tracing.
+  size_t trace_capacity = 0;
 };
 
 /// \brief Optimizes batches of queries over one rule set, in parallel.
@@ -73,11 +79,22 @@ class BatchOptimizer {
 
   int jobs() const { return jobs_; }
 
+  /// The merged (timestamp-ordered) trace of the last OptimizeAll call;
+  /// empty unless BatchOptions::trace_capacity > 0. Events carry the
+  /// emitting worker's thread id, so per-worker streams stay separable.
+  const std::vector<common::TraceEvent>& trace_events() const {
+    return trace_;
+  }
+  /// Events lost to per-worker ring wrap-around in the last call.
+  size_t trace_dropped() const { return trace_dropped_; }
+
  private:
   const RuleSet* rules_;
   BatchOptions options_;
   int jobs_;
   std::unique_ptr<algebra::DescriptorStore> store_;
+  std::vector<common::TraceEvent> trace_;
+  size_t trace_dropped_ = 0;
 };
 
 }  // namespace prairie::volcano

@@ -46,6 +46,16 @@ Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
       phys_slice_id_(memo_.store()->RegisterSlice(rules->PhysSlice())) {
   stats_.trans_matched.assign(rules_->trans_rules.size(), 0);
   stats_.impl_matched.assign(rules_->impl_rules.size(), 0);
+  // Snapshot the store counters before this optimizer interns anything:
+  // RecordStoreStats() reports deltas against these, so a shared store
+  // does not inflate per-query interning stats with other queries'
+  // traffic.
+  store_size0_ = memo_.store()->size();
+  store_lookups0_ = memo_.store()->lookups();
+  store_hits0_ = memo_.store()->hits();
+#if PRAIRIE_TRACING
+  if (options_.trace != nullptr) trace_tid_ = common::TraceThreadId();
+#endif
 }
 
 const std::vector<uint32_t>* Optimizer::TransRulesFor(
@@ -85,9 +95,13 @@ BindingView Optimizer::MakeBinding(int num_slots) {
 
 void Optimizer::RecordStoreStats() {
   const algebra::DescriptorStore* store = memo_.store();
-  stats_.desc_interned = store->size();
-  stats_.desc_lookups = store->lookups();
-  stats_.desc_hits = store->hits();
+  // Deltas since construction, not the store-global totals: under a
+  // shared (batch) store the global counters include every other worker's
+  // interning. The delta is exact for a private or sequentially shared
+  // store and a close approximation under truly concurrent workers.
+  stats_.desc_interned = store->size() - store_size0_;
+  stats_.desc_lookups = store->lookups() - store_lookups0_;
+  stats_.desc_hits = store->hits() - store_hits0_;
 }
 
 Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
@@ -101,6 +115,10 @@ Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
   }
   PRAIRIE_ASSIGN_OR_RETURN(
       Winner w, OptimizeGroup(root, req, options_.initial_cost_limit));
+  // Entry point of ExplainWinner(): the canonical root group and the
+  // interned requirement the final winner is memoized under.
+  explain_root_ = memo_.Find(root);
+  explain_req_ = ReqId(req);
   stats_.groups = memo_.NumGroups();
   stats_.mexprs = memo_.NumExprs();
   RecordStoreStats();
@@ -149,6 +167,8 @@ Status Optimizer::ExpandGroup(GroupId gid) {
     if (grp.expanded || grp.expanding) return Status::OK();
     grp.expanding = true;
   }
+  TraceSpan span(this, common::TraceEventKind::kGroupExpand, gid, -1,
+                 algebra::kInvalidDescriptorId);
   Status st = Status::OK();
   bool restart = true;
   while (restart && st.ok()) {
@@ -280,6 +300,19 @@ Status Optimizer::MatchChildren(const PatNode& pat,
 Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
                               size_t rule_idx, const MatchBinding& binding) {
   ++stats_.trans_attempts;
+  // Identity key of the source expression the pattern's root matched —
+  // recorded as the new expression's provenance (indexes go stale under
+  // merges; interned keys do not).
+  algebra::DescriptorId src_key = algebra::kInvalidDescriptorId;
+  if (!binding.op_nodes.empty()) {
+    const auto& loc = binding.op_nodes.front().second;
+    const Group& sg = memo_.group(loc.first);
+    if (loc.second >= 0 && loc.second < static_cast<int>(sg.exprs.size())) {
+      src_key = sg.exprs[static_cast<size_t>(loc.second)].arg_key;
+    }
+  }
+  TraceSpan span(this, common::TraceEventKind::kTransAttempt, memo_.Find(gid),
+                 static_cast<int>(rule_idx), src_key);
   BindingView bv = MakeBinding(rule.num_slots);
   bv.streams.assign(binding.streams.size(), -1);
   const algebra::DescriptorStore* store = memo_.store();
@@ -315,17 +348,25 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
   MExpr m;
   m.op = root.op;
   m.args = memo_.store()->Intern(bv.slots[static_cast<size_t>(root.desc_slot)]);
+  m.src_rule = static_cast<int>(rule_idx);
+  m.src_arg_key = src_key;
   m.children.reserve(root.children.size());
   for (const algebra::PatNodePtr& c : root.children) {
-    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, &bv));
+    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg,
+                             BuildRhs(*c, &bv, static_cast<int>(rule_idx)));
     m.children.push_back(cg);
   }
   PRAIRIE_ASSIGN_OR_RETURN(bool added, memo_.InsertInto(gid, std::move(m)));
-  if (added) ++stats_.trans_fired;
+  if (added) {
+    ++stats_.trans_fired;
+    TraceInstant(common::TraceEventKind::kTransFire, memo_.Find(gid),
+                 static_cast<int>(rule_idx), src_key, 0);
+  }
   return Status::OK();
 }
 
-Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv) {
+Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv,
+                                    int src_rule) {
   if (node.is_stream()) {
     GroupId g = bv->streams[static_cast<size_t>(node.stream_var - 1)];
     if (g < 0) {
@@ -339,9 +380,12 @@ Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv) {
   m.op = node.op;
   m.args =
       memo_.store()->Intern(bv->slots[static_cast<size_t>(node.desc_slot)]);
+  // Interior RHS expressions have no single source expression, only the
+  // rule that synthesized them.
+  m.src_rule = src_rule;
   m.children.reserve(node.children.size());
   for (const algebra::PatNodePtr& c : node.children) {
-    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, bv));
+    PRAIRIE_ASSIGN_OR_RETURN(GroupId cg, BuildRhs(*c, bv, src_rule));
     m.children.push_back(cg);
   }
   const algebra::DescriptorId desc = m.args;
@@ -372,9 +416,11 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   const std::pair<GroupId, algebra::DescriptorId> progress_key(gid, rid);
   if (in_progress_.count(progress_key) > 0) {
     // Cyclic requirement path: infeasible along this branch; do not cache.
+    TraceInstant(common::TraceEventKind::kCycleGuard, gid, -1, rid, 0);
     return Winner{};
   }
   in_progress_.insert(progress_key);
+  TraceSpan span(this, common::TraceEventKind::kGroupOptimize, gid, -1, rid);
 
   Status st = ExpandGroup(gid);
   if (!st.ok()) {
@@ -384,6 +430,7 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   gid = memo_.Find(gid);
 
   Winner best;
+  WinnerProv prov;
   double budget = options_.prune ? limit : kInf;
   bool limit_failure = false;
 
@@ -400,6 +447,8 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
         best.plan = PhysNode::File(grp.exprs[ei].file,
                                    memo_.store()->Get(grp.stream_desc));
         budget = std::min(budget, 0.0);
+        prov = WinnerProv{};
+        prov.src_arg_key = grp.exprs[ei].arg_key;
       }
       continue;
     }
@@ -413,7 +462,8 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
       const size_t ri = indexed != nullptr ? (*indexed)[k] : k;
       const ImplRule& rule = rules_->impl_rules[ri];
       if (rule.op != m.op) continue;
-      st = TryImplRule(m, rule, ri, req, &budget, &best, &limit_failure);
+      st = TryImplRule(rep, rid, m, rule, ri, req, &budget, &best, &prov,
+                       &limit_failure);
       if (!st.ok()) {
         in_progress_.erase(progress_key);
         return st;
@@ -421,7 +471,8 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
     }
   }
 
-  for (const Enforcer& enf : rules_->enforcers) {
+  for (size_t enf_idx = 0; enf_idx < rules_->enforcers.size(); ++enf_idx) {
+    const Enforcer& enf = rules_->enforcers[enf_idx];
     const Value& want = req.Get(enf.prop);
     if (want.is_null()) continue;
     if (want.type() == algebra::ValueType::kSort &&
@@ -429,7 +480,8 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
       continue;
     }
     if (enf.applicable != nullptr && !enf.applicable(want)) continue;
-    st = TryEnforcer(gid, enf, req, &budget, &best, &limit_failure);
+    st = TryEnforcer(gid, rid, enf, enf_idx, req, &budget, &best, &prov,
+                     &limit_failure);
     if (!st.ok()) {
       in_progress_.erase(progress_key);
       return st;
@@ -442,8 +494,14 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   Winner& slot = grp.winners[rid];
   if (best.has_plan) {
     slot = best;
+    slot.rid = rid;
+    TraceInstant(common::TraceEventKind::kWinnerSelected, gid,
+                 prov.impl_rule >= 0 ? prov.impl_rule : prov.enforcer, rid,
+                 best.cost);
+    grp.prov[rid] = std::move(prov);
   } else {
     slot.has_plan = false;
+    slot.rid = rid;
     // Only a limit-induced failure is worth retrying with a larger budget.
     slot.failed_limit =
         limit_failure ? limit : std::numeric_limits<double>::max();
@@ -451,11 +509,14 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   return slot;
 }
 
-Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
+Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
+                              const MExpr& m, const ImplRule& rule,
                               size_t rule_idx, const Descriptor& req,
                               double* budget, Winner* best,
-                              bool* limit_failure) {
+                              WinnerProv* best_prov, bool* limit_failure) {
   ++stats_.impl_attempts;
+  TraceSpan span(this, common::TraceEventKind::kImplAttempt, gid,
+                 static_cast<int>(rule_idx), m.arg_key);
   const algebra::PropertySchema& schema = rules_->algebra->properties();
   BindingView bv = MakeBinding(rule.num_slots);
   // Bind LHS input descriptors to the child groups' stream descriptors
@@ -486,6 +547,10 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
   // onto the RHS input descriptors.
   std::vector<PhysNodeRef> kids;
   kids.reserve(static_cast<size_t>(rule.arity));
+  // (canonical child group, winner-table key) per optimized input — the
+  // provenance links recorded if this alternative wins.
+  std::vector<std::pair<GroupId, algebra::DescriptorId>> ckeys;
+  ckeys.reserve(static_cast<size_t>(rule.arity));
   double child_sum = 0;
   for (int i = 0; i < rule.arity; ++i) {
     int rslot = rule.rhs_input_slots[static_cast<size_t>(i)];
@@ -497,6 +562,8 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
         options_.prune ? (*budget - child_sum) : kInf;
     if (options_.prune && child_limit < 0) {
       *limit_failure = true;
+      TraceInstant(common::TraceEventKind::kPrune, gid,
+                   static_cast<int>(rule_idx), rid, *budget);
       return Status::OK();
     }
     PRAIRIE_ASSIGN_OR_RETURN(
@@ -509,9 +576,12 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
       }
       return Status::OK();
     }
+    ckeys.emplace_back(memo_.Find(m.children[static_cast<size_t>(i)]), w.rid);
     child_sum += w.cost;
     if (options_.prune && child_sum > *budget) {
       *limit_failure = true;
+      TraceInstant(common::TraceEventKind::kPrune, gid,
+                   static_cast<int>(rule_idx), rid, child_sum);
       return Status::OK();
     }
     // Report the input's optimized cost and delivered physical properties
@@ -538,6 +608,8 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
                              "' did not assign a cost");
   }
   PRAIRIE_ASSIGN_OR_RETURN(double total, cost_value.ToReal());
+  TraceInstant(common::TraceEventKind::kPlanCosted, gid,
+               static_cast<int>(rule_idx), rid, total);
 
   // The produced plan must deliver the required physical properties.
   for (PropertyId id : rules_->phys_props) {
@@ -545,6 +617,8 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
   }
   if (options_.prune && total > *budget) {
     *limit_failure = true;
+    TraceInstant(common::TraceEventKind::kPrune, gid,
+                 static_cast<int>(rule_idx), rid, total);
     return Status::OK();
   }
   if (!best->has_plan || total < best->cost) {
@@ -553,14 +627,23 @@ Status Optimizer::TryImplRule(const MExpr& m, const ImplRule& rule,
     best->plan = PhysNode::Alg(rule.alg, alg_desc, total, std::move(kids));
     best->failed_limit = -1;
     *budget = std::min(*budget, total);
+    best_prov->impl_rule = static_cast<int>(rule_idx);
+    best_prov->enforcer = -1;
+    best_prov->src_arg_key = m.arg_key;
+    best_prov->src_children = m.children;
+    best_prov->child_keys = std::move(ckeys);
   }
   return Status::OK();
 }
 
-Status Optimizer::TryEnforcer(GroupId gid, const Enforcer& enf,
+Status Optimizer::TryEnforcer(GroupId gid, algebra::DescriptorId rid,
+                              const Enforcer& enf, size_t enf_idx,
                               const Descriptor& req, double* budget,
-                              Winner* best, bool* limit_failure) {
+                              Winner* best, WinnerProv* best_prov,
+                              bool* limit_failure) {
   ++stats_.enforcer_attempts;
+  TraceSpan span(this, common::TraceEventKind::kEnforcerAttempt,
+                 memo_.Find(gid), static_cast<int>(enf_idx), rid);
   Descriptor relaxed = req;
   relaxed.SetUnchecked(enf.prop, Value::Null());
   double child_limit = options_.prune ? *budget : kInf;
@@ -615,6 +698,8 @@ Status Optimizer::TryEnforcer(GroupId gid, const Enforcer& enf,
   }
   if (options_.prune && total > *budget) {
     *limit_failure = true;
+    TraceInstant(common::TraceEventKind::kPrune, memo_.Find(gid),
+                 static_cast<int>(enf_idx), rid, total);
     return Status::OK();
   }
   if (!best->has_plan || total < best->cost) {
@@ -623,8 +708,174 @@ Status Optimizer::TryEnforcer(GroupId gid, const Enforcer& enf,
     best->plan = PhysNode::Alg(enf.alg, alg_desc, total, {w.plan});
     best->failed_limit = -1;
     *budget = std::min(*budget, total);
+    best_prov->impl_rule = -1;
+    best_prov->enforcer = static_cast<int>(enf_idx);
+    best_prov->src_arg_key = algebra::kInvalidDescriptorId;
+    best_prov->src_children.clear();
+    best_prov->child_keys.assign(1, {memo_.Find(gid), w.rid});
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Observability: trace emission and plan provenance
+// ---------------------------------------------------------------------------
+
+void Optimizer::TraceInstantSlow(common::TraceEventKind kind, GroupId gid,
+                                 int rule, algebra::DescriptorId desc,
+                                 double cost) {
+  common::TraceEvent e;
+  e.kind = kind;
+  e.group = gid;
+  e.rule = rule;
+  e.desc = desc;
+  e.depth = trace_depth_;
+  e.tid = trace_tid_;
+  e.cost = cost;
+  e.ts_ns = common::TraceNowNs();
+  options_.trace->Emit(e);
+}
+
+void Optimizer::TraceSpan::Begin(Optimizer* opt, common::TraceEventKind kind,
+                                 GroupId gid, int rule,
+                                 algebra::DescriptorId desc) {
+  opt_ = opt;
+  kind_ = kind;
+  gid_ = gid;
+  rule_ = rule;
+  desc_ = desc;
+  start_ns_ = common::TraceNowNs();
+  ++opt_->trace_depth_;
+}
+
+void Optimizer::TraceSpan::End() {
+  --opt_->trace_depth_;
+  common::TraceEvent e;
+  e.kind = kind_;
+  e.group = gid_;
+  e.rule = rule_;
+  e.desc = desc_;
+  e.depth = opt_->trace_depth_;
+  e.tid = opt_->trace_tid_;
+  e.ts_ns = start_ns_;
+  e.dur_ns = common::TraceNowNs() - start_ns_;
+  opt_->options_.trace->Emit(e);
+}
+
+std::string Optimizer::RenderExpr(const MExpr& m) const {
+  if (m.is_file) return "file '" + m.file + "'";
+  std::string out = rules_->algebra->name(m.op) + "(";
+  std::vector<std::string> parts;
+  parts.reserve(m.children.size());
+  for (GroupId c : m.children) {
+    parts.push_back("g" + std::to_string(memo_.Find(c)));
+  }
+  return out + common::Join(parts, ", ") + ")";
+}
+
+const MExpr* Optimizer::FindByArgKey(GroupId gid, algebra::DescriptorId key,
+                                     const MExpr* exclude) const {
+  if (key == algebra::kInvalidDescriptorId) return nullptr;
+  const Group& grp = memo_.group(gid);
+  for (const MExpr& m : grp.exprs) {
+    if (&m != exclude && m.arg_key == key) return &m;
+  }
+  return nullptr;
+}
+
+const MExpr* Optimizer::FindImplemented(
+    GroupId gid, algebra::DescriptorId key,
+    const std::vector<GroupId>& children) const {
+  if (key == algebra::kInvalidDescriptorId) return nullptr;
+  const Group& grp = memo_.group(gid);
+  for (const MExpr& m : grp.exprs) {
+    if (m.arg_key != key || m.children.size() != children.size()) continue;
+    bool same = true;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (memo_.Find(m.children[i]) != memo_.Find(children[i])) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return &m;
+  }
+  // Children may have merged since the winner was recorded; fall back to
+  // the first arg_key match rather than dropping the chain entirely.
+  return FindByArgKey(gid, key, nullptr);
+}
+
+void Optimizer::ExplainGroup(GroupId gid, algebra::DescriptorId rid,
+                             int indent, int depth, std::string* out) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (depth > 32) {
+    *out += pad + "... (provenance walk depth limit)\n";
+    return;
+  }
+  gid = memo_.Find(gid);
+  const Group& grp = memo_.group(gid);
+  auto wit = grp.winners.find(rid);
+  if (wit == grp.winners.end() || !wit->second.has_plan) {
+    // A later merge cleared this winner table; the plan itself is still
+    // valid, only its provenance record is gone.
+    *out += pad +
+            common::StringPrintf("g%d: (winner not memoized)\n",
+                                 static_cast<int>(gid));
+    return;
+  }
+  const Winner& w = wit->second;
+  auto pit = grp.prov.find(rid);
+  if (pit == grp.prov.end()) {
+    *out += pad + common::StringPrintf("g%d: cost=%.3f (no provenance)\n",
+                                       static_cast<int>(gid), w.cost);
+    return;
+  }
+  const WinnerProv& p = pit->second;
+  std::string line =
+      common::StringPrintf("g%d: cost=%.3f", static_cast<int>(gid), w.cost);
+  if (p.enforcer >= 0) {
+    line += " via enforcer '" +
+            rules_->enforcers[static_cast<size_t>(p.enforcer)].name + "'";
+  } else if (p.impl_rule >= 0) {
+    line += " via impl_rule '" +
+            rules_->impl_rules[static_cast<size_t>(p.impl_rule)].name + "'";
+  } else {
+    line += " via stored file";
+  }
+  *out += pad + line + "\n";
+  // The implemented logical expression, then the trans-rule chain that
+  // derived it (walked by interned identity key; robust to merges). The
+  // head is resolved by arg_key plus child groups: arg_key alone cannot
+  // tell apart expressions that differ only in child order, e.g. a
+  // commuted join whose rewrite reuses the argument slice.
+  const MExpr* src = FindImplemented(gid, p.src_arg_key, p.src_children);
+  for (int guard = 0; src != nullptr && guard < 16; ++guard) {
+    *out += pad + "  expr " + RenderExpr(*src);
+    if (src->src_rule >= 0) {
+      *out += "  [from trans_rule '" +
+              rules_->trans_rules[static_cast<size_t>(src->src_rule)].name +
+              "']";
+    } else {
+      *out += "  [from input query]";
+    }
+    *out += "\n";
+    if (src->src_rule < 0 ||
+        src->src_arg_key == algebra::kInvalidDescriptorId) {
+      break;
+    }
+    src = FindByArgKey(gid, src->src_arg_key, src);
+  }
+  for (const auto& [cg, crid] : p.child_keys) {
+    ExplainGroup(cg, crid, indent + 1, depth + 1, out);
+  }
+}
+
+std::string Optimizer::ExplainWinner() const {
+  if (explain_root_ < 0 || explain_req_ == algebra::kInvalidDescriptorId) {
+    return "(no optimized query to explain)\n";
+  }
+  std::string out;
+  ExplainGroup(explain_root_, explain_req_, 0, 0, &out);
+  return out;
 }
 
 }  // namespace prairie::volcano

@@ -168,6 +168,8 @@ Status Memo::Merge(GroupId keep, GroupId lose) {
   // Winners may no longer be best (new expressions arrived): recompute.
   kg.winners.clear();
   lg.winners.clear();
+  kg.prov.clear();
+  lg.prov.clear();
   kg.expanded = false;
   ++merge_epoch_;
   return Status::OK();

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algebra/descriptor_store.h"
@@ -42,6 +43,14 @@ struct MExpr {
   algebra::DescriptorId arg_key = algebra::kInvalidDescriptorId;
   std::vector<GroupId> children;   ///< Child groups (canonicalized on use).
   common::SmallBitset applied;     ///< TransRules already applied here.
+  /// Provenance (observability): the trans rule that created this
+  /// expression (-1: copied in from the input query), and the memo
+  /// identity key (arg_key) of the source expression the rewrite matched
+  /// (invalid for RHS subtree expressions, which have no single source).
+  /// The source lives in the same group; resolve by scanning for its
+  /// arg_key — indexes go stale under merges, interned keys do not.
+  int src_rule = -1;
+  algebra::DescriptorId src_arg_key = algebra::kInvalidDescriptorId;
 };
 
 /// \brief Memoized result of optimizing a group under one requirement.
@@ -54,6 +63,29 @@ struct Winner {
   /// When >= 0: the search failed under this cost limit; a retry is only
   /// worthwhile with a larger limit.
   double failed_limit = -1;
+  /// The interned requirement id this winner is memoized under (its own
+  /// key in Group::winners) — lets callers chain provenance without
+  /// re-interning the requirement.
+  algebra::DescriptorId rid = algebra::kInvalidDescriptorId;
+};
+
+/// \brief Provenance of a memoized winner (observability): why the chosen
+/// plan exists. Stored beside Group::winners under the same key so the
+/// hot search path never copies it (Winner values travel by value; this
+/// does not).
+struct WinnerProv {
+  int impl_rule = -1;  ///< Index into RuleSet::impl_rules, or -1.
+  int enforcer = -1;   ///< Index into RuleSet::enforcers, or -1.
+  /// arg_key (memo identity) of the implemented logical expression;
+  /// invalid for stored-file winners.
+  algebra::DescriptorId src_arg_key = algebra::kInvalidDescriptorId;
+  /// Child groups of the implemented expression: arg_key alone is
+  /// ambiguous when two expressions differ only in child order (e.g. a
+  /// commuted join whose rewrite reuses the argument slice).
+  std::vector<GroupId> src_children;
+  /// (child group, interned requirement id) of each optimized input — the
+  /// winner-table keys to continue the provenance walk downward.
+  std::vector<std::pair<GroupId, algebra::DescriptorId>> child_keys;
 };
 
 /// \brief One equivalence class.
@@ -67,6 +99,9 @@ struct Group {
   bool merged_away = false;
   /// Key: interned id of the physical-slice requirement descriptor.
   std::unordered_map<algebra::DescriptorId, Winner> winners;
+  /// Winner provenance, same key as `winners`; entries exist only for
+  /// winners that carry a plan. Cleared together with `winners` on merge.
+  std::unordered_map<algebra::DescriptorId, WinnerProv> prov;
 };
 
 /// \brief Limits protecting against search-space explosion (the paper hit

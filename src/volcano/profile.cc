@@ -1,0 +1,244 @@
+#include "volcano/profile.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace prairie::volcano {
+
+using common::Status;
+using common::TraceEvent;
+using common::TraceEventKind;
+
+size_t RuleProfile::TotalTransFired() const {
+  size_t n = 0;
+  for (const RuleProfileRow& r : trans) n += r.fired;
+  return n;
+}
+
+namespace {
+
+void Accumulate(std::vector<RuleProfileRow>* rows, int rule,
+                const TraceEvent& e) {
+  if (rule < 0 || static_cast<size_t>(rule) >= rows->size()) return;
+  RuleProfileRow& row = (*rows)[static_cast<size_t>(rule)];
+  ++row.attempts;
+  row.total_ns += e.dur_ns;
+  row.max_ns = std::max(row.max_ns, e.dur_ns);
+}
+
+void AppendSection(const char* title, const std::vector<RuleProfileRow>& rows,
+                   std::string* out) {
+  // Sort by cumulative latency so the expensive rules lead.
+  std::vector<const RuleProfileRow*> order;
+  for (const RuleProfileRow& r : rows) {
+    if (r.attempts > 0) order.push_back(&r);
+  }
+  if (order.empty()) return;
+  std::sort(order.begin(), order.end(),
+            [](const RuleProfileRow* a, const RuleProfileRow* b) {
+              return a->total_ns > b->total_ns;
+            });
+  size_t width = 4;
+  for (const RuleProfileRow* r : order) width = std::max(width, r->name.size());
+  *out += common::StringPrintf("%s\n  %-*s %10s %10s %12s %12s\n", title,
+                               static_cast<int>(width), "rule", "attempts",
+                               "fired", "total_us", "max_us");
+  for (const RuleProfileRow* r : order) {
+    *out += common::StringPrintf(
+        "  %-*s %10zu %10zu %12.1f %12.1f\n", static_cast<int>(width),
+        r->name.c_str(), r->attempts, r->fired,
+        static_cast<double>(r->total_ns) / 1e3,
+        static_cast<double>(r->max_ns) / 1e3);
+  }
+}
+
+}  // namespace
+
+std::string RuleProfile::ToTable() const {
+  std::string out;
+  AppendSection("transformation rules:", trans, &out);
+  AppendSection("implementation rules:", impl, &out);
+  AppendSection("enforcers:", enforcers, &out);
+  if (out.empty()) out = "(no rule activity traced)\n";
+  out += common::StringPrintf("events: %zu", events);
+  if (dropped > 0) {
+    out += common::StringPrintf(
+        "  dropped: %zu (ring wrapped; counts are a suffix of the search)",
+        dropped);
+  }
+  out += "\n";
+  return out;
+}
+
+RuleProfile BuildRuleProfile(const std::vector<TraceEvent>& events,
+                             const RuleSet& rules, size_t dropped) {
+  RuleProfile p;
+  p.trans.resize(rules.trans_rules.size());
+  p.impl.resize(rules.impl_rules.size());
+  p.enforcers.resize(rules.enforcers.size());
+  for (size_t i = 0; i < rules.trans_rules.size(); ++i) {
+    p.trans[i].name = rules.trans_rules[i].name;
+  }
+  for (size_t i = 0; i < rules.impl_rules.size(); ++i) {
+    p.impl[i].name = rules.impl_rules[i].name;
+  }
+  for (size_t i = 0; i < rules.enforcers.size(); ++i) {
+    p.enforcers[i].name = rules.enforcers[i].name;
+  }
+  p.events = events.size();
+  p.dropped = dropped;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kTransAttempt:
+        Accumulate(&p.trans, e.rule, e);
+        break;
+      case TraceEventKind::kImplAttempt:
+        Accumulate(&p.impl, e.rule, e);
+        break;
+      case TraceEventKind::kEnforcerAttempt:
+        Accumulate(&p.enforcers, e.rule, e);
+        break;
+      case TraceEventKind::kTransFire:
+        if (e.rule >= 0 && static_cast<size_t>(e.rule) < p.trans.size()) {
+          ++p.trans[static_cast<size_t>(e.rule)].fired;
+        }
+        break;
+      case TraceEventKind::kPlanCosted:
+        if (e.rule >= 0 && static_cast<size_t>(e.rule) < p.impl.size()) {
+          ++p.impl[static_cast<size_t>(e.rule)].fired;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return p;
+}
+
+namespace {
+
+// Minimal JSON string escaping (rule names may hold anything the Prairie
+// specification declared).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RuleName(const RuleSet& rules, TraceEventKind kind, int rule) {
+  switch (kind) {
+    case TraceEventKind::kTransAttempt:
+    case TraceEventKind::kTransFire:
+      if (rule >= 0 && static_cast<size_t>(rule) < rules.trans_rules.size()) {
+        return rules.trans_rules[static_cast<size_t>(rule)].name;
+      }
+      break;
+    case TraceEventKind::kImplAttempt:
+    case TraceEventKind::kPlanCosted:
+      if (rule >= 0 && static_cast<size_t>(rule) < rules.impl_rules.size()) {
+        return rules.impl_rules[static_cast<size_t>(rule)].name;
+      }
+      break;
+    case TraceEventKind::kEnforcerAttempt:
+      if (rule >= 0 && static_cast<size_t>(rule) < rules.enforcers.size()) {
+        return rules.enforcers[static_cast<size_t>(rule)].name;
+      }
+      break;
+    default:
+      break;
+  }
+  return std::string();
+}
+
+std::string EventName(const RuleSet& rules, const TraceEvent& e) {
+  const std::string rule = RuleName(rules, e.kind, e.rule);
+  switch (e.kind) {
+    case TraceEventKind::kGroupExpand:
+      return common::StringPrintf("expand g%d", e.group);
+    case TraceEventKind::kGroupOptimize:
+      return common::StringPrintf("optimize g%d", e.group);
+    case TraceEventKind::kTransAttempt:
+      return "T:" + rule;
+    case TraceEventKind::kImplAttempt:
+      return "I:" + rule;
+    case TraceEventKind::kEnforcerAttempt:
+      return "E:" + rule;
+    case TraceEventKind::kTransFire:
+      return "fire:" + rule;
+    case TraceEventKind::kPlanCosted:
+      return "costed:" + rule;
+    case TraceEventKind::kWinnerSelected:
+      return common::StringPrintf("winner g%d", e.group);
+    case TraceEventKind::kPrune:
+      return "prune";
+    case TraceEventKind::kCycleGuard:
+      return "cycle";
+  }
+  return "event";
+}
+
+}  // namespace
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const RuleSet& rules) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::ExecError("cannot open trace output file '" + path + "'");
+  }
+  // Rebase timestamps so the trace starts at t=0 (steady-clock epochs are
+  // arbitrary); trace_event timestamps are microseconds.
+  uint64_t t0 = 0;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (first || e.ts_ns < t0) t0 = e.ts_ns;
+    first = false;
+  }
+  out << "{\"traceEvents\":[";
+  const char* sep = "\n";
+  for (const TraceEvent& e : events) {
+    const double ts_us = static_cast<double>(e.ts_ns - t0) / 1e3;
+    out << sep;
+    sep = ",\n";
+    out << common::StringPrintf(
+        "{\"name\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+        JsonEscape(EventName(rules, e)).c_str(), e.tid, ts_us);
+    if (common::IsSpanKind(e.kind)) {
+      out << common::StringPrintf(
+          ",\"ph\":\"X\",\"dur\":%.3f",
+          static_cast<double>(e.dur_ns) / 1e3);
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << common::StringPrintf(
+        ",\"args\":{\"group\":%d,\"rule\":%d,\"desc\":%d,\"depth\":%d,"
+        "\"cost\":%g}}",
+        e.group, e.rule, e.desc, e.depth, e.cost);
+  }
+  out << "\n]}\n";
+  out.close();
+  if (!out) {
+    return Status::ExecError("error writing trace output file '" + path +
+                             "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace prairie::volcano

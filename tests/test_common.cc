@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/function_ref.h"
 #include "common/hash.h"
@@ -11,6 +13,7 @@
 #include "common/small_bitset.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace prairie::common {
 namespace {
@@ -268,6 +271,76 @@ TEST(SmallBitset, HeapWordsGrowOnDemand) {
     EXPECT_FALSE(b.Test(i)) << i;
   }
   EXPECT_FALSE(b.None());
+}
+
+namespace {
+TraceEvent EventWithGroup(int32_t g) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kTransFire;
+  e.group = g;
+  e.ts_ns = static_cast<uint64_t>(g);
+  return e;
+}
+}  // namespace
+
+TEST(RingBufferSink, RetainsEverythingBelowCapacity) {
+  RingBufferSink sink(8);
+  for (int32_t i = 0; i < 5; ++i) sink.Emit(EventWithGroup(i));
+  EXPECT_EQ(sink.capacity(), 8u);
+  EXPECT_EQ(sink.total_emitted(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int32_t i = 0; i < 5; ++i) EXPECT_EQ(events[static_cast<size_t>(i)].group, i);
+}
+
+TEST(RingBufferSink, WrapsOverwritingOldestAndCountsDrops) {
+  RingBufferSink sink(4);
+  for (int32_t i = 0; i < 10; ++i) sink.Emit(EventWithGroup(i));
+  EXPECT_EQ(sink.total_emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first suffix of the stream: 6, 7, 8, 9.
+  for (int32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].group, 6 + i);
+  }
+}
+
+TEST(RingBufferSink, ClearResetsCountersAndContents) {
+  RingBufferSink sink(4);
+  for (int32_t i = 0; i < 6; ++i) sink.Emit(EventWithGroup(i));
+  sink.Clear();
+  EXPECT_EQ(sink.total_emitted(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_TRUE(sink.Snapshot().empty());
+  sink.Emit(EventWithGroup(41));
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].group, 41);
+}
+
+TEST(RingBufferSink, CapacityIsClampedToOne) {
+  RingBufferSink sink(0);
+  EXPECT_EQ(sink.capacity(), 1u);
+  sink.Emit(EventWithGroup(1));
+  sink.Emit(EventWithGroup(2));
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].group, 2);
+}
+
+TEST(TraceEvent, SpanKindsArePreciselyTheTimedKinds) {
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kGroupExpand));
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kGroupOptimize));
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kTransAttempt));
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kImplAttempt));
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kEnforcerAttempt));
+  EXPECT_FALSE(IsSpanKind(TraceEventKind::kTransFire));
+  EXPECT_FALSE(IsSpanKind(TraceEventKind::kPlanCosted));
+  EXPECT_FALSE(IsSpanKind(TraceEventKind::kWinnerSelected));
+  EXPECT_FALSE(IsSpanKind(TraceEventKind::kPrune));
+  EXPECT_FALSE(IsSpanKind(TraceEventKind::kCycleGuard));
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "algebra/descriptor_store.h"
+#include "common/trace.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
 #include "p2v/translator.h"
@@ -320,6 +321,42 @@ TEST_F(BatchOptimizerTest, PerQueryFailuresDoNotAbortTheBatch) {
   EXPECT_FALSE(results[1].plan.ok());
   EXPECT_TRUE(results[2].plan.ok());
   EXPECT_EQ(results[0].plan->cost, results[2].plan->cost);
+}
+
+TEST_F(BatchOptimizerTest, PerWorkerTracingMergesOneConsistentStream) {
+  std::vector<workload::Workload> workloads;
+  for (int q = 1; q <= 8; ++q) workloads.push_back(MakeQ(q, 2, 1));
+  std::vector<volcano::BatchQuery> queries;
+  for (const auto& w : workloads) {
+    queries.push_back(volcano::BatchQuery{w.query.get(), &w.catalog});
+  }
+
+  volcano::BatchOptions options;
+  options.jobs = 4;
+  options.trace_capacity = 1 << 16;
+  volcano::BatchOptimizer batch(rules_.get(), options);
+  auto results = batch.OptimizeAll(queries);
+  ASSERT_EQ(results.size(), queries.size());
+
+  size_t trans_fired = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.plan.ok()) << r.plan.status().ToString();
+    trans_fired += r.stats.trans_fired;
+  }
+
+  // Every worker traced into a private sink; the merged stream must carry
+  // exactly the events the per-query stats counted, in timestamp order.
+  EXPECT_EQ(batch.trace_dropped(), 0u);
+  const auto& events = batch.trace_events();
+  EXPECT_FALSE(events.empty());
+  size_t fire_events = 0;
+  for (const auto& e : events) {
+    if (e.kind == common::TraceEventKind::kTransFire) ++fire_events;
+  }
+  EXPECT_EQ(fire_events, trans_fired);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
 }
 
 TEST_F(BatchOptimizerTest, PrivateStoresWhenSharingDisabled) {

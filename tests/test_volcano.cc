@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "catalog/catalog.h"
+#include "common/trace.h"
 #include "volcano/engine.h"
+#include "volcano/profile.h"
 
 namespace prairie::volcano {
 namespace {
@@ -605,6 +609,194 @@ TEST_F(MicroOptimizerMore, PropSatisfiesSemantics) {
   EXPECT_FALSE(PropSatisfies(dontcare, on_a));
   EXPECT_TRUE(PropSatisfies(Value::Int(3), Value::Int(3)));
   EXPECT_FALSE(PropSatisfies(Value::Int(3), Value::Int(4)));
+}
+
+// Observability: trace-event stream, per-rule profile, plan provenance,
+// and per-optimizer store-stat deltas.
+
+class ObservabilityTest : public MicroOptimizer {
+ protected:
+  static size_t CountKind(const std::vector<common::TraceEvent>& events,
+                          common::TraceEventKind kind) {
+    size_t n = 0;
+    for (const common::TraceEvent& e : events) n += (e.kind == kind);
+    return n;
+  }
+};
+
+TEST_F(ObservabilityTest, StatsHelpersHandCounted) {
+  OptimizerStats s;
+  // Zero interning lookups: the hit rate is 0, not NaN.
+  EXPECT_EQ(s.desc_lookups, 0u);
+  EXPECT_EQ(s.InternHitRate(), 0.0);
+  s.trans_matched = {1, 0, 1, 0};
+  s.impl_matched = {0, 1, 1};
+  EXPECT_EQ(s.NumTransMatched(), 2u);
+  EXPECT_EQ(s.NumImplMatched(), 2u);
+}
+
+TEST_F(ObservabilityTest, MatchedFlagsFollowTheTinyRuleSet) {
+  // A join query exercises every rule of the micro set: commute matches
+  // the join, scan implements the RETs, nl implements the join.
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(o.stats().trans_matched.size(), 1u);
+  ASSERT_EQ(o.stats().impl_matched.size(), 2u);
+  EXPECT_EQ(o.stats().trans_matched[0], 1);  // commute
+  EXPECT_EQ(o.stats().impl_matched[0], 1);   // scan
+  EXPECT_EQ(o.stats().impl_matched[1], 1);   // nl
+  EXPECT_EQ(o.stats().NumTransMatched(), 1u);
+  EXPECT_EQ(o.stats().NumImplMatched(), 2u);
+}
+
+TEST_F(ObservabilityTest, TraceEventCountsMatchStatsCounters) {
+  common::RingBufferSink sink;
+  OptimizerOptions options;
+  options.trace = &sink;
+  Optimizer o(&rules_, &catalog_, options);
+  Descriptor req = Desc();
+  req.SetUnchecked(order_, Value::Sort(SortSpec::On(Attr{"R", "a"})));
+  auto plan = o.Optimize(
+      *JoinOf(JoinOf(RetOf("A", 10), RetOf("B", 20), 5), RetOf("C", 30), 2),
+      req);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(sink.dropped(), 0u);
+  const std::vector<common::TraceEvent> events = sink.Snapshot();
+  const OptimizerStats& s = o.stats();
+  EXPECT_EQ(CountKind(events, common::TraceEventKind::kTransAttempt),
+            s.trans_attempts);
+  EXPECT_EQ(CountKind(events, common::TraceEventKind::kTransFire),
+            s.trans_fired);
+  EXPECT_EQ(CountKind(events, common::TraceEventKind::kImplAttempt),
+            s.impl_attempts);
+  EXPECT_EQ(CountKind(events, common::TraceEventKind::kEnforcerAttempt),
+            s.enforcer_attempts);
+  EXPECT_EQ(CountKind(events, common::TraceEventKind::kPlanCosted),
+            s.plans_costed);
+  EXPECT_GT(CountKind(events, common::TraceEventKind::kWinnerSelected), 0u);
+  // Spans carry durations and valid nesting depths; instants do not.
+  for (const common::TraceEvent& e : events) {
+    EXPECT_GE(e.depth, 0);
+    if (!common::IsSpanKind(e.kind)) EXPECT_EQ(e.dur_ns, 0u);
+  }
+}
+
+TEST_F(ObservabilityTest, TracingDoesNotChangeTheAnswer) {
+  ExprPtr tree = JoinOf(RetOf("Big", 1000), RetOf("Small", 10), 500);
+  Optimizer plain(&rules_, &catalog_);
+  auto p1 = plain.Optimize(*tree);
+  common::RingBufferSink sink;
+  OptimizerOptions options;
+  options.trace = &sink;
+  Optimizer traced(&rules_, &catalog_, options);
+  auto p2 = traced.Optimize(*tree->Clone());
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_DOUBLE_EQ(p1->cost, p2->cost);
+  EXPECT_EQ(plain.stats().trans_fired, traced.stats().trans_fired);
+  EXPECT_GT(sink.total_emitted(), 0u);
+}
+
+TEST_F(ObservabilityTest, RuleProfileFiringsSumToStatsCounter) {
+  common::RingBufferSink sink;
+  OptimizerOptions options;
+  options.trace = &sink;
+  Optimizer o(&rules_, &catalog_, options);
+  auto plan = o.Optimize(
+      *JoinOf(JoinOf(RetOf("A", 10), RetOf("B", 20), 5), RetOf("C", 30), 2));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(sink.dropped(), 0u);
+  RuleProfile profile = BuildRuleProfile(sink.Snapshot(), rules_);
+  EXPECT_EQ(profile.TotalTransFired(), o.stats().trans_fired);
+  ASSERT_EQ(profile.trans.size(), 1u);
+  EXPECT_EQ(profile.trans[0].name, "commute");
+  EXPECT_EQ(profile.trans[0].attempts, o.stats().trans_attempts);
+  EXPECT_GT(profile.trans[0].total_ns, 0u);
+  EXPECT_GE(profile.trans[0].total_ns, profile.trans[0].max_ns);
+  // The profile names come from the rule set (the Prairie specification).
+  std::string table = profile.ToTable();
+  EXPECT_NE(table.find("commute"), std::string::npos);
+  EXPECT_NE(table.find("scan"), std::string::npos);
+  EXPECT_NE(table.find("nl"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ChromeTraceExportIsWellFormedJson) {
+  common::RingBufferSink sink;
+  OptimizerOptions options;
+  options.trace = &sink;
+  Optimizer o(&rules_, &catalog_, options);
+  ASSERT_TRUE(o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5)).ok());
+  const std::string path =
+      ::testing::TempDir() + "prairie_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path, sink.Snapshot(), rules_).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_EQ(text.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("T:commute"), std::string::npos);
+  EXPECT_NE(text.find("\n]}\n"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ExplainWinnerWalksProvenanceChains) {
+  // NL(Small, Big) wins, and the winning JOIN(small, big) expression was
+  // created by the commute rule from the input JOIN(big, small).
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*JoinOf(RetOf("Big", 1000), RetOf("Small", 10), 500));
+  ASSERT_TRUE(plan.ok());
+  const std::string text = o.ExplainWinner();
+  // The head of the chain: the winner was produced by the nl impl rule...
+  EXPECT_NE(text.find("via impl_rule 'nl'"), std::string::npos) << text;
+  // ...implementing an expression fired by the commute trans rule...
+  EXPECT_NE(text.find("[from trans_rule 'commute']"), std::string::npos)
+      << text;
+  // ...derived from an expression copied in from the query.
+  EXPECT_NE(text.find("[from input query]"), std::string::npos) << text;
+  // Children chain down to scans over stored files.
+  EXPECT_NE(text.find("via impl_rule 'scan'"), std::string::npos) << text;
+  EXPECT_NE(text.find("via stored file"), std::string::npos) << text;
+}
+
+TEST_F(ObservabilityTest, ExplainWinnerShowsEnforcers) {
+  Optimizer o(&rules_, &catalog_);
+  Descriptor req = Desc();
+  req.SetUnchecked(order_, Value::Sort(SortSpec::On(Attr{"R", "a"})));
+  auto plan = o.Optimize(*RetOf("R", 64), req);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = o.ExplainWinner();
+  EXPECT_NE(text.find("via enforcer 'sorter'"), std::string::npos) << text;
+  EXPECT_NE(text.find("via impl_rule 'scan'"), std::string::npos) << text;
+}
+
+TEST_F(ObservabilityTest, ExplainBeforeOptimizeIsHarmless) {
+  Optimizer o(&rules_, &catalog_);
+  EXPECT_EQ(o.ExplainWinner(), "(no optimized query to explain)\n");
+}
+
+TEST_F(ObservabilityTest, StoreStatsAreDeltasUnderASharedStore) {
+  // Two optimizers sharing one store sequentially: each must report only
+  // its own interning traffic, and the deltas must sum to the store's
+  // global counters (the pre-fix behaviour double-counted: each optimizer
+  // reported the global totals).
+  algebra::DescriptorStore store(&rules_.algebra->properties());
+  Optimizer a(&rules_, &catalog_, OptimizerOptions(), &store);
+  ASSERT_TRUE(a.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5)).ok());
+  const uint64_t a_lookups = a.stats().desc_lookups;
+  const uint64_t a_hits = a.stats().desc_hits;
+  const size_t a_interned = a.stats().desc_interned;
+  EXPECT_EQ(a_lookups, store.lookups());
+  // The second optimizer starts AFTER the first finished; its deltas must
+  // exclude everything the first one interned.
+  Optimizer b(&rules_, &catalog_, OptimizerOptions(), &store);
+  ASSERT_TRUE(b.Optimize(*JoinOf(RetOf("C", 30), RetOf("D", 40), 5)).ok());
+  EXPECT_LT(b.stats().desc_lookups, store.lookups());
+  EXPECT_EQ(a_lookups + b.stats().desc_lookups, store.lookups());
+  EXPECT_EQ(a_hits + b.stats().desc_hits, store.hits());
+  EXPECT_EQ(a_interned + b.stats().desc_interned, store.size());
 }
 
 }  // namespace

@@ -15,9 +15,11 @@ Usage:
 --update refreshes the baseline snapshots from the given results instead
 of comparing (run on a quiet machine, then commit the changed files).
 
-Families present only on one side are reported but never fail the check:
-benches gain families as the repo grows, and CI runs some benches in a
-reduced configuration.
+Exit codes: 0 all families within tolerance; 1 at least one wall-time
+regression beyond --tolerance; 2 no regression, but some measured family
+has no baseline entry (the snapshot is stale — rerun with --update and
+commit it). Families present only in the baseline are reported but never
+fail the check: CI runs some benches in a reduced configuration.
 """
 
 import argparse
@@ -74,12 +76,14 @@ def main():
         return 0
 
     regressions = []
+    missing = []
     for path in args.results:
         baseline_path = os.path.join(args.baseline_dir,
                                      os.path.basename(path))
         if not os.path.exists(baseline_path):
-            print(f"NOTE  no baseline for {os.path.basename(path)} "
-                  f"(expected {baseline_path}); skipping")
+            missing.append(os.path.basename(path))
+            print(f"MISS  {os.path.basename(path)}: missing baseline file "
+                  f"(expected {baseline_path}; run with --update)")
             continue
         current = load_records(path)
         baseline = load_records(baseline_path)
@@ -87,7 +91,9 @@ def main():
         for key in sorted(baseline.keys() - current.keys()):
             print(f"NOTE  {key[0]}/{key[1]}: in baseline only")
         for key in sorted(current.keys() - baseline.keys()):
-            print(f"NOTE  {key[0]}/{key[1]}: new family (no baseline)")
+            missing.append(f"{key[0]}/{key[1]}")
+            print(f"MISS  {key[0]}/{key[1]}: missing baseline entry "
+                  f"(run with --update)")
 
         for key in sorted(current.keys() & baseline.keys()):
             cur, base = current[key], baseline[key]
@@ -109,6 +115,11 @@ def main():
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
+    if missing:
+        print(f"\n{len(missing)} metric key(s) have no baseline entry; "
+              f"refresh the snapshots with --update and commit them",
+              file=sys.stderr)
+        return 2
     print("\nall benches within tolerance")
     return 0
 

@@ -5,20 +5,31 @@
 //   prairie_opt [--spec relational|oodb|FILE] [--query 1..8]
 //               [--joins N] [--seed S] [--expand-only] [--no-prune]
 //               [--jobs N] [--batch K]
+//               [--trace FILE] [--profile-rules] [--explain]
 //
 // With --jobs and/or --batch the driver switches to batch mode: it
 // generates K instances of the query (seeds S..S+K-1) and optimizes them
 // concurrently on N worker threads through a BatchOptimizer — all workers
 // interning into one shared concurrent descriptor store.
+//
+// Observability flags (all driven by the same trace-event stream):
+//   --trace FILE     write the search trace as Chrome trace_event JSON
+//                    (load in chrome://tracing or ui.perfetto.dev).
+//   --profile-rules  print the per-rule attempt/firing/latency table.
+//   --explain        print the winning plan's provenance: which impl rule
+//                    or enforcer produced each winner and the trans-rule
+//                    chain that derived the implemented expression.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "dsl/parser.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
@@ -26,6 +37,7 @@
 #include "p2v/translator.h"
 #include "volcano/batch.h"
 #include "volcano/engine.h"
+#include "volcano/profile.h"
 #include "workload/workload.h"
 
 namespace {
@@ -35,7 +47,9 @@ int Usage() {
                "usage: prairie_opt [--spec relational|oodb|FILE]\n"
                "                   [--query 1..8] [--joins N] [--seed S]\n"
                "                   [--expand-only] [--no-prune]\n"
-               "                   [--jobs N] [--batch K]\n");
+               "                   [--jobs N] [--batch K]\n"
+               "                   [--trace FILE] [--profile-rules] "
+               "[--explain]\n");
   return 2;
 }
 
@@ -49,6 +63,9 @@ int main(int argc, char** argv) {
   bool expand_only = false;
   int jobs = 0;
   int batch = 0;
+  std::string trace_path;
+  bool profile_rules = false;
+  bool explain = false;
   prairie::volcano::OptimizerOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -83,6 +100,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       batch = std::atoi(v);
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_path = v;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (trace_path.empty()) return Usage();
+    } else if (arg == "--profile-rules") {
+      profile_rules = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else {
       return Usage();
     }
@@ -151,6 +179,10 @@ int main(int argc, char** argv) {
     prairie::volcano::BatchOptions batch_options;
     batch_options.jobs = jobs;
     batch_options.optimizer = options;
+    if (!trace_path.empty() || profile_rules) {
+      batch_options.trace_capacity =
+          prairie::common::RingBufferSink::kDefaultCapacity;
+    }
     prairie::volcano::BatchOptimizer batcher(volcano_rules->get(),
                                              batch_options);
     prairie::common::Stopwatch sw;
@@ -179,6 +211,27 @@ int main(int argc, char** argv) {
       std::printf("shared store: %zu descriptors, %.1f%% intern hit rate\n",
                   store->size(), 100.0 * store->HitRate());
     }
+    if (profile_rules) {
+      prairie::volcano::RuleProfile profile = prairie::volcano::BuildRuleProfile(
+          batcher.trace_events(), **volcano_rules, batcher.trace_dropped());
+      std::printf("\nrule profile (all workers):\n%s",
+                  profile.ToTable().c_str());
+    }
+    if (!trace_path.empty()) {
+      auto st = prairie::volcano::WriteChromeTrace(
+          trace_path, batcher.trace_events(), **volcano_rules);
+      if (!st.ok()) {
+        std::fprintf(stderr, "prairie_opt: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s\n", batcher.trace_events().size(),
+                  trace_path.c_str());
+    }
+    if (explain) {
+      std::fprintf(stderr,
+                   "prairie_opt: --explain applies to single-query mode "
+                   "(batch optimizers are discarded per query)\n");
+    }
     return failures == 0 ? 0 : 1;
   }
 
@@ -196,8 +249,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed),
               w->query->ToString(algebra).c_str());
 
+  std::unique_ptr<prairie::common::RingBufferSink> sink;
+  if (!trace_path.empty() || profile_rules) {
+    sink = std::make_unique<prairie::common::RingBufferSink>();
+    options.trace = sink.get();
+  }
   prairie::volcano::Optimizer optimizer(volcano_rules->get(), &w->catalog,
                                         options);
+  auto emit_trace_outputs = [&]() -> int {
+    if (sink == nullptr) return 0;
+    const std::vector<prairie::common::TraceEvent> events = sink->Snapshot();
+    if (profile_rules) {
+      prairie::volcano::RuleProfile profile = prairie::volcano::BuildRuleProfile(
+          events, **volcano_rules, sink->dropped());
+      std::printf("\nrule profile:\n%s", profile.ToTable().c_str());
+    }
+    if (!trace_path.empty()) {
+      auto st = prairie::volcano::WriteChromeTrace(trace_path, events,
+                                                   **volcano_rules);
+      if (!st.ok()) {
+        std::fprintf(stderr, "prairie_opt: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s\n", events.size(),
+                  trace_path.c_str());
+    }
+    return 0;
+  };
   if (expand_only) {
     auto groups = optimizer.ExpandOnly(*w->query);
     if (!groups.ok()) {
@@ -208,7 +286,7 @@ int main(int argc, char** argv) {
     std::printf("logical search space: %zu equivalence classes, %zu "
                 "expressions\n",
                 *groups, optimizer.stats().mexprs);
-    return 0;
+    return emit_trace_outputs();
   }
   auto plan = optimizer.Optimize(*w->query);
   if (!plan.ok()) {
@@ -221,11 +299,16 @@ int main(int argc, char** argv) {
   const auto& stats = optimizer.stats();
   std::printf(
       "stats: %zu equivalence classes, %zu logical expressions,\n"
-      "       %zu trans-rule firings, %zu plans costed, %zu enforcer "
+      "       %zu trans-rule attempts, %zu trans-rule firings,\n"
+      "       %zu impl-rule attempts, %zu plans costed, %zu enforcer "
       "attempts,\n"
       "       %zu interned descriptors (%.1f%% intern hit rate)\n",
-      stats.groups, stats.mexprs, stats.trans_fired, stats.plans_costed,
-      stats.enforcer_attempts, stats.desc_interned,
-      100.0 * stats.InternHitRate());
-  return 0;
+      stats.groups, stats.mexprs, stats.trans_attempts, stats.trans_fired,
+      stats.impl_attempts, stats.plans_costed, stats.enforcer_attempts,
+      stats.desc_interned, 100.0 * stats.InternHitRate());
+  if (explain) {
+    std::printf("\nprovenance (winner -> rule -> source expression):\n%s",
+                optimizer.ExplainWinner().c_str());
+  }
+  return emit_trace_outputs();
 }
