@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
 #include "optimizers/relational.h"
@@ -69,7 +70,8 @@ void JsonWriter::Record(const std::string& family, double wall_us,
   std::fprintf(f_,
                "{\"bench\":\"%s\",\"family\":\"%s\",\"wall_us\":%.3f,"
                "\"groups\":%zu,\"mexprs\":%zu,\"intern_hit_rate\":%.4f}\n",
-               bench_.c_str(), family.c_str(), wall_us, groups, mexprs,
+               common::JsonEscape(bench_).c_str(),
+               common::JsonEscape(family).c_str(), wall_us, groups, mexprs,
                intern_hit_rate);
   std::fflush(f_);
 }
@@ -78,7 +80,8 @@ void JsonWriter::RecordRaw(const std::string& family, double wall_us,
                            const std::string& extra_json) {
   if (f_ == nullptr) return;
   std::fprintf(f_, "{\"bench\":\"%s\",\"family\":\"%s\",\"wall_us\":%.3f%s%s}\n",
-               bench_.c_str(), family.c_str(), wall_us,
+               common::JsonEscape(bench_).c_str(),
+               common::JsonEscape(family).c_str(), wall_us,
                extra_json.empty() ? "" : ",", extra_json.c_str());
   std::fflush(f_);
 }

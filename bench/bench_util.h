@@ -70,6 +70,8 @@ class JsonWriter {
   /// Appends one record with bench-specific fields: `extra_json` is a
   /// comma-separated list of already-encoded "key":value pairs appended
   /// after the mandatory bench/family/wall_us fields (may be empty).
+  /// Callers embedding free-form strings in `extra_json` must encode them
+  /// with common::JsonEscape; the mandatory fields are escaped here.
   void RecordRaw(const std::string& family, double wall_us,
                  const std::string& extra_json);
 

@@ -117,6 +117,18 @@ class DescriptorStore {
     return l == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(l);
   }
 
+  /// \brief One consistent-enough view of the traffic counters; lets
+  /// callers snapshot/delta them as a unit (the engine reports per-query
+  /// interning deltas this way, and metrics export hits/misses from them).
+  struct CounterSnapshot {
+    size_t size = 0;       ///< Distinct descriptors interned.
+    uint64_t lookups = 0;  ///< Intern/InternProjected probes.
+    uint64_t hits = 0;     ///< Probes that found an existing descriptor.
+
+    uint64_t misses() const { return lookups - hits; }
+  };
+  CounterSnapshot Counters() const { return {size(), lookups(), hits()}; }
+
  private:
   // Entry arena geometry: chunks of 4096 entries, up to 16384 chunks
   // (64M descriptors — far past memory exhaustion for real workloads).

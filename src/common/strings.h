@@ -37,4 +37,9 @@ std::string FormatDouble(double v);
 /// Indents every line of `text` by `spaces` spaces.
 std::string Indent(std::string_view text, int spaces);
 
+/// Escapes `s` for embedding inside a double-quoted JSON string: quotes,
+/// backslashes, and control characters (RFC 8259). Does not add the
+/// surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace prairie::common

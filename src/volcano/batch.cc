@@ -81,6 +81,17 @@ std::vector<BatchResult> BatchOptimizer::OptimizeAll(
             [](const common::TraceEvent& a, const common::TraceEvent& b) {
               return a.ts_ns < b.ts_ns;
             });
+#if PRAIRIE_METRICS
+  // Post-barrier batch metrics. Per-query counters were already flushed by
+  // each worker's optimizers (same bundle, sharded counters: no
+  // contention); here only the batch-level shape is recorded.
+  if (const VolcanoMetrics* mm = options_.optimizer.metrics) {
+    if (mm->batch_runs != nullptr) mm->batch_runs->Inc();
+    if (mm->batch_worker_merges != nullptr) {
+      mm->batch_worker_merges->Inc(static_cast<uint64_t>(pool));
+    }
+  }
+#endif
   return results;
 }
 

@@ -47,7 +47,11 @@ struct BatchOptions {
   int jobs = 1;
   /// Per-query optimizer options (pruning, limits, dispatch index). The
   /// `trace` sink here is ignored — per-worker sinks are wired internally
-  /// when trace_capacity > 0 so workers never contend on one sink.
+  /// when trace_capacity > 0 so workers never contend on one sink. The
+  /// `metrics` bundle, by contrast, IS honored and shared by every worker:
+  /// its counters/histograms are per-thread sharded, so concurrent flushes
+  /// do not contend; batch_runs/batch_worker_merges are bumped after the
+  /// join barrier.
   OptimizerOptions optimizer;
   /// Intern all workers' descriptors through one concurrent store.
   /// Disabling gives every query a private serial store (no sharing).

@@ -50,9 +50,11 @@ Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
   // RecordStoreStats() reports deltas against these, so a shared store
   // does not inflate per-query interning stats with other queries'
   // traffic.
-  store_size0_ = memo_.store()->size();
-  store_lookups0_ = memo_.store()->lookups();
-  store_hits0_ = memo_.store()->hits();
+  const algebra::DescriptorStore::CounterSnapshot snap =
+      memo_.store()->Counters();
+  store_size0_ = snap.size;
+  store_lookups0_ = snap.lookups;
+  store_hits0_ = snap.hits;
 #if PRAIRIE_TRACING
   if (options_.trace != nullptr) trace_tid_ = common::TraceThreadId();
 #endif
@@ -94,18 +96,38 @@ BindingView Optimizer::MakeBinding(int num_slots) {
 }
 
 void Optimizer::RecordStoreStats() {
-  const algebra::DescriptorStore* store = memo_.store();
   // Deltas since construction, not the store-global totals: under a
   // shared (batch) store the global counters include every other worker's
   // interning. The delta is exact for a private or sequentially shared
   // store and a close approximation under truly concurrent workers.
-  stats_.desc_interned = store->size() - store_size0_;
-  stats_.desc_lookups = store->lookups() - store_lookups0_;
-  stats_.desc_hits = store->hits() - store_hits0_;
+  const algebra::DescriptorStore::CounterSnapshot snap =
+      memo_.store()->Counters();
+  stats_.desc_interned = snap.size - store_size0_;
+  stats_.desc_lookups = snap.lookups - store_lookups0_;
+  stats_.desc_hits = snap.hits - store_hits0_;
 }
 
 Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
                                  const Descriptor& required) {
+#if PRAIRIE_METRICS
+  const VolcanoMetrics* mm = options_.metrics;
+  const uint64_t t0 = mm != nullptr ? common::TraceNowNs() : 0;
+#endif
+  Result<Plan> result = OptimizeImpl(tree, required);
+#if PRAIRIE_METRICS
+  if (mm != nullptr) {
+    if (mm->query_latency_ns != nullptr) {
+      mm->query_latency_ns->Observe(common::TraceNowNs() - t0);
+    }
+    if (mm->queries != nullptr) mm->queries->Inc();
+    FlushMetrics();
+  }
+#endif
+  return result;
+}
+
+Result<Plan> Optimizer::OptimizeImpl(const algebra::Expr& tree,
+                                     const Descriptor& required) {
   PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
   Descriptor req = MakeReq();
   if (required.valid()) {
@@ -153,6 +175,7 @@ Result<size_t> Optimizer::ExpandOnly(const algebra::Expr& tree) {
   stats_.groups = memo_.NumGroups();
   stats_.mexprs = memo_.NumExprs();
   RecordStoreStats();
+  FlushMetrics();
   return stats_.groups;
 }
 
@@ -416,6 +439,7 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   const std::pair<GroupId, algebra::DescriptorId> progress_key(gid, rid);
   if (in_progress_.count(progress_key) > 0) {
     // Cyclic requirement path: infeasible along this branch; do not cache.
+    ++stats_.cycle_guard_hits;
     TraceInstant(common::TraceEventKind::kCycleGuard, gid, -1, rid, 0);
     return Winner{};
   }
@@ -495,6 +519,7 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   if (best.has_plan) {
     slot = best;
     slot.rid = rid;
+    ++stats_.winners_selected;
     TraceInstant(common::TraceEventKind::kWinnerSelected, gid,
                  prov.impl_rule >= 0 ? prov.impl_rule : prov.enforcer, rid,
                  best.cost);
@@ -562,6 +587,7 @@ Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
         options_.prune ? (*budget - child_sum) : kInf;
     if (options_.prune && child_limit < 0) {
       *limit_failure = true;
+      ++stats_.prunes;
       TraceInstant(common::TraceEventKind::kPrune, gid,
                    static_cast<int>(rule_idx), rid, *budget);
       return Status::OK();
@@ -580,6 +606,7 @@ Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
     child_sum += w.cost;
     if (options_.prune && child_sum > *budget) {
       *limit_failure = true;
+      ++stats_.prunes;
       TraceInstant(common::TraceEventKind::kPrune, gid,
                    static_cast<int>(rule_idx), rid, child_sum);
       return Status::OK();
@@ -617,6 +644,7 @@ Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
   }
   if (options_.prune && total > *budget) {
     *limit_failure = true;
+    ++stats_.prunes;
     TraceInstant(common::TraceEventKind::kPrune, gid,
                  static_cast<int>(rule_idx), rid, total);
     return Status::OK();
@@ -698,6 +726,7 @@ Status Optimizer::TryEnforcer(GroupId gid, algebra::DescriptorId rid,
   }
   if (options_.prune && total > *budget) {
     *limit_failure = true;
+    ++stats_.prunes;
     TraceInstant(common::TraceEventKind::kPrune, memo_.Find(gid),
                  static_cast<int>(enf_idx), rid, total);
     return Status::OK();
@@ -738,17 +767,23 @@ void Optimizer::TraceInstantSlow(common::TraceEventKind kind, GroupId gid,
 
 void Optimizer::TraceSpan::Begin(Optimizer* opt, common::TraceEventKind kind,
                                  GroupId gid, int rule,
-                                 algebra::DescriptorId desc) {
+                                 algebra::DescriptorId desc, bool traced) {
   opt_ = opt;
+  traced_ = traced;
   kind_ = kind;
   gid_ = gid;
   rule_ = rule;
   desc_ = desc;
   start_ns_ = common::TraceNowNs();
-  ++opt_->trace_depth_;
+  // The nesting depth is a property of the trace stream; metrics-only
+  // spans leave it untouched so traces look identical with metrics on.
+  if (traced_) ++opt_->trace_depth_;
 }
 
 void Optimizer::TraceSpan::End() {
+  const uint64_t dur_ns = common::TraceNowNs() - start_ns_;
+  if (hist_ != nullptr) hist_->Observe(dur_ns);
+  if (!traced_) return;
   --opt_->trace_depth_;
   common::TraceEvent e;
   e.kind = kind_;
@@ -758,8 +793,156 @@ void Optimizer::TraceSpan::End() {
   e.depth = opt_->trace_depth_;
   e.tid = opt_->trace_tid_;
   e.ts_ns = start_ns_;
-  e.dur_ns = common::TraceNowNs() - start_ns_;
+  e.dur_ns = dur_ns;
   opt_->options_.trace->Emit(e);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: aggregate metrics
+// ---------------------------------------------------------------------------
+
+VolcanoMetrics VolcanoMetrics::ForRuleSet(common::MetricsRegistry* registry,
+                                          const RuleSet& rules) {
+  VolcanoMetrics m;
+  if (registry == nullptr) return m;
+  m.queries = registry->GetCounter("prairie_queries_total",
+                                   "Optimize() calls completed");
+  m.trans_attempts =
+      registry->GetCounter("prairie_trans_attempts_total",
+                           "Trans-rule binding condition evaluations");
+  m.trans_fired = registry->GetCounter(
+      "prairie_trans_fired_total",
+      "New logical expressions generated by trans rules");
+  m.impl_attempts = registry->GetCounter("prairie_impl_attempts_total",
+                                         "Impl-rule firings attempted");
+  m.enforcer_attempts = registry->GetCounter(
+      "prairie_enforcer_attempts_total", "Enforcer applications attempted");
+  m.plans_costed = registry->GetCounter(
+      "prairie_plans_costed_total", "Physical alternatives fully costed");
+  m.winners_selected =
+      registry->GetCounter("prairie_winners_selected_total",
+                           "(group, requirement) winners memoized");
+  m.prunes = registry->GetCounter("prairie_prunes_total",
+                                  "Branch-and-bound cuts");
+  m.cycle_guard_hits =
+      registry->GetCounter("prairie_cycle_guard_hits_total",
+                           "Cyclic (group, requirement) searches refused");
+  m.memo_groups_created = registry->GetCounter(
+      "prairie_memo_groups_created_total", "Memo equivalence classes created");
+  m.memo_groups_merged = registry->GetCounter(
+      "prairie_memo_groups_merged_total", "Memo equivalence-class merges");
+  m.memo_exprs_inserted =
+      registry->GetCounter("prairie_memo_exprs_inserted_total",
+                           "Multi-expressions added to the memo");
+  m.memo_exprs_deduped =
+      registry->GetCounter("prairie_memo_exprs_deduped_total",
+                           "Insert attempts resolved to an existing expr");
+  m.intern_hits =
+      registry->GetCounter("prairie_intern_hits_total",
+                           "Descriptor-interning probes that found an "
+                           "existing descriptor");
+  m.intern_misses = registry->GetCounter(
+      "prairie_intern_misses_total",
+      "Descriptor-interning probes that appended a new descriptor");
+  m.batch_runs = registry->GetCounter("prairie_batch_runs_total",
+                                      "BatchOptimizer::OptimizeAll calls");
+  m.batch_worker_merges = registry->GetCounter(
+      "prairie_batch_worker_merges_total",
+      "Per-worker trace/stat streams merged after a batch barrier");
+  m.query_latency_ns = registry->GetHistogram(
+      "prairie_query_latency_ns", "Per-query optimization wall time (ns)");
+  const auto rule_hist = [registry](const std::string& name,
+                                    const char* cls) {
+    return registry->GetHistogram(
+        "prairie_rule_latency_ns",
+        "Sampled per-attempt rule latency (ns)",
+        {{"rule", name}, {"class", cls}});
+  };
+  m.trans_latency_ns.reserve(rules.trans_rules.size());
+  for (const TransRule& r : rules.trans_rules) {
+    m.trans_latency_ns.push_back(rule_hist(r.name, "trans"));
+  }
+  m.impl_latency_ns.reserve(rules.impl_rules.size());
+  for (const ImplRule& r : rules.impl_rules) {
+    m.impl_latency_ns.push_back(rule_hist(r.name, "impl"));
+  }
+  m.enforcer_latency_ns.reserve(rules.enforcers.size());
+  for (const Enforcer& e : rules.enforcers) {
+    m.enforcer_latency_ns.push_back(rule_hist(e.name, "enforcer"));
+  }
+  return m;
+}
+
+common::Histogram* Optimizer::SampledLatency(common::TraceEventKind kind,
+                                             int rule) {
+  const VolcanoMetrics* mm = options_.metrics;
+  if (mm == nullptr || rule < 0) return nullptr;
+  const std::vector<common::Histogram*>* per_rule = nullptr;
+  switch (kind) {
+    case common::TraceEventKind::kTransAttempt:
+      per_rule = &mm->trans_latency_ns;
+      break;
+    case common::TraceEventKind::kImplAttempt:
+      per_rule = &mm->impl_latency_ns;
+      break;
+    case common::TraceEventKind::kEnforcerAttempt:
+      per_rule = &mm->enforcer_latency_ns;
+      break;
+    default:
+      return nullptr;
+  }
+  if (static_cast<size_t>(rule) >= per_rule->size()) return nullptr;
+  common::Histogram* h = (*per_rule)[static_cast<size_t>(rule)];
+  if (h == nullptr) return nullptr;
+  // 1-in-N sampling: the cost of observing an attempt is the two clock
+  // reads around it, not the shard increment; sampling keeps the
+  // per-attempt overhead inside the bench_metrics 2% gate.
+  ++metrics_tick_;
+  return metrics_tick_ % VolcanoMetrics::kLatencySamplePeriod == 0 ? h
+                                                                   : nullptr;
+}
+
+void Optimizer::FlushMetrics() {
+#if PRAIRIE_METRICS
+  const VolcanoMetrics* mm = options_.metrics;
+  if (mm == nullptr) return;
+  const auto add = [](common::Counter* c, uint64_t delta) {
+    if (c != nullptr && delta != 0) c->Inc(delta);
+  };
+  MetricsMark& mark = metrics_mark_;
+  add(mm->trans_attempts, stats_.trans_attempts - mark.trans_attempts);
+  add(mm->trans_fired, stats_.trans_fired - mark.trans_fired);
+  add(mm->impl_attempts, stats_.impl_attempts - mark.impl_attempts);
+  add(mm->enforcer_attempts,
+      stats_.enforcer_attempts - mark.enforcer_attempts);
+  add(mm->plans_costed, stats_.plans_costed - mark.plans_costed);
+  add(mm->winners_selected,
+      stats_.winners_selected - mark.winners_selected);
+  add(mm->prunes, stats_.prunes - mark.prunes);
+  add(mm->cycle_guard_hits,
+      stats_.cycle_guard_hits - mark.cycle_guard_hits);
+  add(mm->intern_hits, stats_.desc_hits - mark.desc_hits);
+  add(mm->intern_misses, (stats_.desc_lookups - stats_.desc_hits) -
+                             (mark.desc_lookups - mark.desc_hits));
+  const MemoTallies& t = memo_.tallies();
+  add(mm->memo_groups_created,
+      t.groups_created - mark.memo.groups_created);
+  add(mm->memo_groups_merged, t.groups_merged - mark.memo.groups_merged);
+  add(mm->memo_exprs_inserted,
+      t.exprs_inserted - mark.memo.exprs_inserted);
+  add(mm->memo_exprs_deduped, t.exprs_deduped - mark.memo.exprs_deduped);
+  mark.trans_attempts = stats_.trans_attempts;
+  mark.trans_fired = stats_.trans_fired;
+  mark.impl_attempts = stats_.impl_attempts;
+  mark.enforcer_attempts = stats_.enforcer_attempts;
+  mark.plans_costed = stats_.plans_costed;
+  mark.winners_selected = stats_.winners_selected;
+  mark.prunes = stats_.prunes;
+  mark.cycle_guard_hits = stats_.cycle_guard_hits;
+  mark.desc_lookups = stats_.desc_lookups;
+  mark.desc_hits = stats_.desc_hits;
+  mark.memo = t;
+#endif
 }
 
 std::string Optimizer::RenderExpr(const MExpr& m) const {

@@ -19,12 +19,62 @@
 #include "catalog/catalog.h"
 #include "common/function_ref.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "volcano/memo.h"
 #include "volcano/plan.h"
 #include "volcano/rules.h"
 
 namespace prairie::volcano {
+
+/// \brief Registry-backed series the search engine writes (aggregate
+/// observability; the per-event companion is the trace stream). All
+/// members are borrowed from a MetricsRegistry and may individually be
+/// null (skipped). Build one bundle per rule set with ForRuleSet() and
+/// share it across any number of optimizers and batches — counters are
+/// sharded per thread, so concurrent workers do not contend.
+///
+/// Write discipline: counters are flushed once per query (deltas of the
+/// engine's existing per-query stats and memo tallies — zero hot-path
+/// cost); per-rule attempt latencies are sampled 1 in
+/// kLatencySamplePeriod attempts, bounding the extra clock reads that
+/// would otherwise dominate sub-millisecond searches.
+struct VolcanoMetrics {
+  // Flushed at the end of each Optimize()/ExpandOnly() call.
+  common::Counter* queries = nullptr;          ///< Optimize() calls.
+  common::Counter* trans_attempts = nullptr;
+  common::Counter* trans_fired = nullptr;
+  common::Counter* impl_attempts = nullptr;
+  common::Counter* enforcer_attempts = nullptr;
+  common::Counter* plans_costed = nullptr;
+  common::Counter* winners_selected = nullptr;
+  common::Counter* prunes = nullptr;
+  common::Counter* cycle_guard_hits = nullptr;
+  common::Counter* memo_groups_created = nullptr;
+  common::Counter* memo_groups_merged = nullptr;
+  common::Counter* memo_exprs_inserted = nullptr;
+  common::Counter* memo_exprs_deduped = nullptr;
+  common::Counter* intern_hits = nullptr;    ///< DescriptorStore hits.
+  common::Counter* intern_misses = nullptr;  ///< DescriptorStore misses.
+  // Bumped by BatchOptimizer after its join barrier.
+  common::Counter* batch_runs = nullptr;           ///< OptimizeAll calls.
+  common::Counter* batch_worker_merges = nullptr;  ///< Worker streams merged.
+  /// Per-query optimization wall time in nanoseconds (every query).
+  common::Histogram* query_latency_ns = nullptr;
+  /// Per-rule attempt latencies in nanoseconds, indexed like the rule
+  /// set's trans_rules/impl_rules/enforcers vectors (sampled).
+  std::vector<common::Histogram*> trans_latency_ns;
+  std::vector<common::Histogram*> impl_latency_ns;
+  std::vector<common::Histogram*> enforcer_latency_ns;
+
+  /// One attempt in this many gets its latency observed.
+  static constexpr uint32_t kLatencySamplePeriod = 16;
+
+  /// Registers the full bundle (prairie_* series; per-rule histograms are
+  /// labelled {rule=<name>, class=trans|impl|enforcer}) in `registry`.
+  static VolcanoMetrics ForRuleSet(common::MetricsRegistry* registry,
+                                   const RuleSet& rules);
+};
 
 /// \brief Tuning knobs of one optimization run.
 struct OptimizerOptions {
@@ -45,6 +95,12 @@ struct OptimizerOptions {
   /// single-threaded — give each optimizer its own (BatchOptimizer wires
   /// one per worker and merges afterwards).
   common::TraceSink* trace = nullptr;
+  /// Aggregate metrics bundle (borrowed; must outlive the optimizer). Null
+  /// disables metrics: counters cost nothing (they flush per query), and
+  /// the per-attempt sampling check is one branch. Compiling with
+  /// -DPRAIRIE_METRICS=0 (default: PRAIRIE_TRACING) removes even that.
+  /// Unlike trace sinks, one bundle is safely shared by parallel workers.
+  const VolcanoMetrics* metrics = nullptr;
   MemoLimits memo_limits;
 };
 
@@ -57,6 +113,9 @@ struct OptimizerStats {
   size_t impl_attempts = 0;    ///< Impl-rule firings attempted.
   size_t plans_costed = 0;     ///< Physical alternatives fully costed.
   size_t enforcer_attempts = 0;
+  size_t winners_selected = 0;   ///< (group, requirement) winners memoized.
+  size_t prunes = 0;             ///< Branch-and-bound cuts.
+  size_t cycle_guard_hits = 0;   ///< Cyclic (group, requirement) searches.
   /// Descriptor-interning traffic (the memo's DescriptorStore).
   size_t desc_interned = 0;    ///< Distinct descriptors hash-consed.
   uint64_t desc_lookups = 0;   ///< Interning probes.
@@ -148,12 +207,22 @@ class Optimizer {
                              Winner* best, WinnerProv* best_prov,
                              bool* limit_failure);
 
+  common::Result<Plan> OptimizeImpl(const algebra::Expr& tree,
+                                    const algebra::Descriptor& required);
+
   algebra::Descriptor MakeReq() const;
   /// Interns the physical-slice projection of `req`; winner maps key on the
   /// returned id (id equality <=> requirement equality, no collision guard).
   algebra::DescriptorId ReqId(const algebra::Descriptor& req);
   BindingView MakeBinding(int num_slots);
   void RecordStoreStats();
+
+  /// The per-rule latency histogram to observe for this attempt, or null
+  /// (metrics off, unknown rule, or this attempt not sampled).
+  common::Histogram* SampledLatency(common::TraceEventKind kind, int rule);
+  /// Adds the deltas of stats/memo tallies/store counters since the last
+  /// flush into the registry counters (end of each query).
+  void FlushMetrics();
 
   /// Emits an instant trace event; a null sink costs one branch.
   void TraceInstant(common::TraceEventKind kind, GroupId gid, int rule,
@@ -169,20 +238,27 @@ class Optimizer {
   void TraceInstantSlow(common::TraceEventKind kind, GroupId gid, int rule,
                         algebra::DescriptorId desc, double cost);
 
-  /// RAII span: records the start time at construction and emits one span
-  /// event (with duration and nesting depth) at destruction. Inert — no
-  /// clock read, nothing emitted — when the optimizer has no sink.
+  /// RAII span serving both observability layers: when the optimizer has a
+  /// trace sink it emits one span event (with duration and nesting depth)
+  /// at destruction; when metrics are on and this attempt is sampled, the
+  /// same duration is observed into the per-rule latency histogram — one
+  /// pair of clock reads feeds both. Inert (no clock read, nothing
+  /// emitted) when neither consumer is active.
   class TraceSpan {
    public:
     TraceSpan(Optimizer* opt, common::TraceEventKind kind, GroupId gid,
               int rule, algebra::DescriptorId desc) {
+      bool traced = false;
 #if PRAIRIE_TRACING
-      if (opt->options_.trace != nullptr) {
-        Begin(opt, kind, gid, rule, desc);
-      }
-#else
-      (void)opt, (void)kind, (void)gid, (void)rule, (void)desc;
+      traced = opt->options_.trace != nullptr;
 #endif
+#if PRAIRIE_METRICS
+      hist_ = opt->SampledLatency(kind, rule);
+#endif
+      if (traced || hist_ != nullptr) {
+        Begin(opt, kind, gid, rule, desc, traced);
+      }
+      (void)opt, (void)kind, (void)gid, (void)rule, (void)desc;
     }
     TraceSpan(const TraceSpan&) = delete;
     TraceSpan& operator=(const TraceSpan&) = delete;
@@ -192,10 +268,12 @@ class Optimizer {
 
    private:
     void Begin(Optimizer* opt, common::TraceEventKind kind, GroupId gid,
-               int rule, algebra::DescriptorId desc);
+               int rule, algebra::DescriptorId desc, bool traced);
     void End();
 
     Optimizer* opt_ = nullptr;
+    common::Histogram* hist_ = nullptr;
+    bool traced_ = false;
     common::TraceEventKind kind_ = common::TraceEventKind::kGroupExpand;
     GroupId gid_ = -1;
     int rule_ = -1;
@@ -236,6 +314,24 @@ class Optimizer {
   /// Tracing state: emitting thread id (cached) and current span depth.
   uint32_t trace_tid_ = 0;
   int trace_depth_ = 0;
+  /// Metrics state: the attempt tick driving 1-in-N latency sampling, and
+  /// the per-counter values already flushed to the registry (FlushMetrics
+  /// adds only deltas, so repeated Optimize() calls never double-count).
+  uint32_t metrics_tick_ = 0;
+  struct MetricsMark {
+    size_t trans_attempts = 0;
+    size_t trans_fired = 0;
+    size_t impl_attempts = 0;
+    size_t enforcer_attempts = 0;
+    size_t plans_costed = 0;
+    size_t winners_selected = 0;
+    size_t prunes = 0;
+    size_t cycle_guard_hits = 0;
+    uint64_t desc_lookups = 0;
+    uint64_t desc_hits = 0;
+    MemoTallies memo;
+  };
+  MetricsMark metrics_mark_;
   /// Root of the last Optimize()/ExpandOnly() call and its interned
   /// requirement id — the entry point of ExplainWinner().
   GroupId explain_root_ = -1;

@@ -80,6 +80,8 @@ Result<GroupId> Memo::NewGroup(MExpr m, algebra::DescriptorId desc) {
   uint64_t key = KeyOf(m);
   g.exprs.push_back(std::move(m));
   ++num_exprs_;
+  ++tallies_.groups_created;
+  ++tallies_.exprs_inserted;
   index_.emplace(key, std::make_pair(id, 0));
   return id;
 }
@@ -94,6 +96,7 @@ Result<GroupId> Memo::GetOrCreateGroup(MExpr m, algebra::DescriptorId desc) {
     int idx = it->second.second;
     if (idx < static_cast<int>(grp.exprs.size()) &&
         SameExpr(grp.exprs[static_cast<size_t>(idx)], m)) {
+      ++tallies_.exprs_deduped;
       return g;
     }
   }
@@ -113,8 +116,12 @@ Result<bool> Memo::InsertInto(GroupId g, MExpr m) {
         !SameExpr(grp.exprs[static_cast<size_t>(idx)], m)) {
       continue;
     }
-    if (h == g) return false;  // Already present in this group.
+    if (h == g) {
+      ++tallies_.exprs_deduped;
+      return false;  // Already present in this group.
+    }
     // The expression proves g and h equivalent: merge.
+    ++tallies_.exprs_deduped;
     PRAIRIE_RETURN_NOT_OK(Merge(g, h));
     return false;
   }
@@ -127,6 +134,7 @@ Result<bool> Memo::InsertInto(GroupId g, MExpr m) {
   int idx = static_cast<int>(grp.exprs.size());
   grp.exprs.push_back(std::move(m));
   ++num_exprs_;
+  ++tallies_.exprs_inserted;
   index_.emplace(key, std::make_pair(g, idx));
   return true;
 }
@@ -140,6 +148,7 @@ Status Memo::Merge(GroupId keep, GroupId lose) {
   Group& kg = groups_[static_cast<size_t>(keep)];
   Group& lg = groups_[static_cast<size_t>(lose)];
   parent_[static_cast<size_t>(lose)] = keep;
+  ++tallies_.groups_merged;
   // Move the loser's expressions in, re-deduplicating against the keeper.
   for (MExpr& m : lg.exprs) {
     uint64_t key = KeyOf(m);
@@ -157,6 +166,7 @@ Status Memo::Merge(GroupId keep, GroupId lose) {
     }
     if (dup) {
       --num_exprs_;
+      ++tallies_.exprs_deduped;
       continue;
     }
     int idx = static_cast<int>(kg.exprs.size());

@@ -111,6 +111,17 @@ struct MemoLimits {
   size_t max_exprs = 8'000'000;
 };
 
+/// \brief Running structural tallies of one memo (observability). Plain
+/// integers bumped inline — the memo is single-threaded, so keeping these
+/// always on costs a few increments per insert. The engine flushes them
+/// into the process-wide metrics registry at the end of each query.
+struct MemoTallies {
+  uint64_t groups_created = 0;   ///< NewGroup calls.
+  uint64_t groups_merged = 0;    ///< Equivalence merges performed.
+  uint64_t exprs_inserted = 0;   ///< Multi-expressions actually added.
+  uint64_t exprs_deduped = 0;    ///< Inserts resolved to an existing expr.
+};
+
 /// \brief The memo structure.
 ///
 /// A memo is single-threaded. By default it owns a private serial
@@ -167,6 +178,10 @@ class Memo {
 
   size_t allocated_groups() const { return groups_.size(); }
 
+  /// Structural tallies since construction (groups created/merged, exprs
+  /// inserted/deduped).
+  const MemoTallies& tallies() const { return tallies_; }
+
   std::string ToString(const algebra::Algebra& algebra) const;
 
  private:
@@ -189,6 +204,7 @@ class Memo {
   std::unordered_multimap<uint64_t, std::pair<GroupId, int>> index_;
   size_t num_exprs_ = 0;
   uint64_t merge_epoch_ = 0;
+  MemoTallies tallies_;
 };
 
 }  // namespace prairie::volcano

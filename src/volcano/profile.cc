@@ -119,29 +119,6 @@ RuleProfile BuildRuleProfile(const std::vector<TraceEvent>& events,
 
 namespace {
 
-// Minimal JSON string escaping (rule names may hold anything the Prairie
-// specification declared).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += common::StringPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string RuleName(const RuleSet& rules, TraceEventKind kind, int rule) {
   switch (kind) {
     case TraceEventKind::kTransAttempt:
@@ -219,7 +196,7 @@ Status WriteChromeTrace(const std::string& path,
     sep = ",\n";
     out << common::StringPrintf(
         "{\"name\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
-        JsonEscape(EventName(rules, e)).c_str(), e.tid, ts_us);
+        common::JsonEscape(EventName(rules, e)).c_str(), e.tid, ts_us);
     if (common::IsSpanKind(e.kind)) {
       out << common::StringPrintf(
           ",\"ph\":\"X\",\"dur\":%.3f",

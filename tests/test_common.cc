@@ -8,6 +8,7 @@
 
 #include "common/function_ref.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/small_bitset.h"
@@ -130,6 +131,19 @@ TEST(Strings, StringPrintf) {
 TEST(Strings, FormatDouble) {
   EXPECT_EQ(FormatDouble(12), "12");
   EXPECT_EQ(FormatDouble(3.5), "3.5");
+}
+
+TEST(Strings, JsonEscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("join_commute"), "join_commute");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(Strings, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
 }
 
 TEST(Strings, Indent) {
@@ -341,6 +355,157 @@ TEST(TraceEvent, SpanKindsArePreciselyTheTimedKinds) {
   EXPECT_FALSE(IsSpanKind(TraceEventKind::kWinnerSelected));
   EXPECT_FALSE(IsSpanKind(TraceEventKind::kPrune));
   EXPECT_FALSE(IsSpanKind(TraceEventKind::kCycleGuard));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: counters, histograms, registry, exposition.
+
+TEST(MetricsCounter, IncAndValueMergeShards) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsGauge, SetAndAdd) {
+  Gauge g;
+  g.Set(-7);
+  g.Add(10);
+  EXPECT_EQ(g.Value(), 3);
+}
+
+TEST(MetricsHistogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  // Power-of-two edges land in the next bucket; bucket i covers
+  // [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 20) - 1), 20u);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 20), 21u);
+  // The last bucket absorbs everything wider than the range.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kNumBuckets - 1);
+}
+
+TEST(MetricsHistogram, UpperBoundsMatchBucketCoverage) {
+  EXPECT_EQ(HistogramSnapshot::UpperBound(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(1), 1u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(2), 3u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(10), 1023u);
+  // Every value maps to a bucket whose upper bound is >= the value.
+  for (uint64_t v : {0ull, 1ull, 5ull, 100ull, 4096ull, 1000000ull}) {
+    EXPECT_GE(HistogramSnapshot::UpperBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(MetricsHistogram, SnapshotCountsAndSum) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(1000);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1004u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[10], 1u);
+}
+
+TEST(MetricsHistogram, PercentileWalksCumulativeCounts) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(1);
+  for (int i = 0; i < 10; ++i) h.Observe(1000);
+  HistogramSnapshot s = h.Snapshot();
+  // Rank 50 and rank 90 both land in bucket 1 (cumulative 90); rank 99
+  // lands in the 1000s bucket, reported as its upper bound 1023.
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 1023.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Percentile(50), 0.0);
+}
+
+TEST(MetricsRegistry, SameIdentityReturnsSameSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total", "help");
+  Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  Counter* labelled =
+      reg.GetCounter("x_total", "", {{"rule", "join_commute"}});
+  EXPECT_NE(labelled, a);
+  EXPECT_EQ(reg.NumSeries(), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("x"), nullptr);
+  EXPECT_EQ(reg.GetGauge("x"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("x"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("prairie_test_total", "things counted")->Inc(3);
+  reg.GetGauge("prairie_depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("prairie_lat_ns", "latency",
+                                  {{"rule", "a\"b"}});
+  h->Observe(1);
+  h->Observe(1);
+  h->Observe(5);
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# HELP prairie_test_total things counted\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE prairie_test_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prairie_test_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("prairie_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prairie_lat_ns histogram\n"),
+            std::string::npos);
+  // Label values are escaped; buckets are cumulative and end at +Inf.
+  EXPECT_NE(text.find("rule=\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("le=\"7\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("prairie_lat_ns_sum{rule=\"a\\\"b\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prairie_lat_ns_count{rule=\"a\\\"b\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotOneObjectPerSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Inc(7);
+  reg.GetHistogram("h_ns")->Observe(100);
+  const std::string json = reg.JsonSnapshot();
+  EXPECT_NE(json.find("{\"metric\":\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\",\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"metric\":\"h_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  // One complete JSON object per line, all braces balanced.
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < json.size()) {
+    size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string_view line(json.data() + start, end - start);
+    if (!line.empty()) {
+      ++lines;
+      EXPECT_EQ(line.front(), '{');
+      EXPECT_EQ(line.back(), '}');
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, reg.NumSeries());
+}
+
+TEST(MetricsRegistry, GlobalIsOneProcessWideInstance) {
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
 }
 
 }  // namespace

@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "algebra/descriptor_store.h"
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
@@ -371,6 +373,108 @@ TEST_F(BatchOptimizerTest, PrivateStoresWhenSharingDisabled) {
   auto results = batch.OptimizeAll(queries);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].plan.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics under concurrency (TSan-covered): sharded counters/histograms
+// take concurrent increments from many threads while another thread
+// snapshots and exports — no locks on the write path, so this is exactly
+// the interleaving the relaxed-atomic sharding must survive.
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsMergeExactly) {
+  common::MetricsRegistry registry;
+  common::Counter* counter = registry.GetCounter("stress_total");
+  common::Histogram* hist = registry.GetHistogram("stress_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+        hist->Observe(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const common::HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotsRaceWithWriters) {
+  common::MetricsRegistry registry;
+  common::Counter* counter = registry.GetCounter("race_total");
+  common::Histogram* hist =
+      registry.GetHistogram("race_ns", "", {{"rule", "stress"}});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Inc();
+        hist->Observe(100);
+      }
+    });
+  }
+  // Concurrent readers: raw values, merged snapshots, both exporters, and
+  // re-registration of the same identities.
+  for (int i = 0; i < 50; ++i) {
+    (void)counter->Value();
+    (void)hist->Snapshot();
+    EXPECT_FALSE(registry.PrometheusText().empty());
+    EXPECT_FALSE(registry.JsonSnapshot().empty());
+    EXPECT_EQ(registry.GetCounter("race_total"), counter);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  // Quiesced: a final snapshot is exact.
+  const common::HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, counter->Value());
+  EXPECT_EQ(snap.sum, 100 * counter->Value());
+}
+
+TEST(MetricsRegistryTest, SharedBundleAcrossBatchWorkers) {
+  auto prairie_rules = opt::BuildOodbPrairie();
+  ASSERT_TRUE(prairie_rules.ok());
+  auto rules = p2v::Translate(*prairie_rules, nullptr);
+  ASSERT_TRUE(rules.ok());
+  common::MetricsRegistry registry;
+  volcano::VolcanoMetrics metrics =
+      volcano::VolcanoMetrics::ForRuleSet(&registry, **rules);
+  constexpr int kQueries = 8;
+  std::vector<workload::Workload> workloads;
+  for (int i = 0; i < kQueries; ++i) {
+    workload::QuerySpec spec =
+        workload::PaperQuery(3, 2, static_cast<uint64_t>(i + 1));
+    auto w = workload::MakeWorkload(*(*rules)->algebra, spec);
+    ASSERT_TRUE(w.ok());
+    workloads.push_back(std::move(*w));
+  }
+  std::vector<volcano::BatchQuery> queries;
+  for (const auto& w : workloads) {
+    queries.push_back(volcano::BatchQuery{w.query.get(), &w.catalog});
+  }
+  volcano::BatchOptions options;
+  options.jobs = 4;
+  options.optimizer.metrics = &metrics;
+  volcano::BatchOptimizer batch(rules->get(), options);
+  auto results = batch.OptimizeAll(queries);
+  size_t want_trans_attempts = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.plan.ok());
+    want_trans_attempts += r.stats.trans_attempts;
+  }
+#if PRAIRIE_METRICS
+  // Every worker flushed into the same sharded series; the merge must be
+  // exact once the batch barrier has passed.
+  EXPECT_EQ(metrics.queries->Value(), static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(metrics.trans_attempts->Value(), want_trans_attempts);
+  EXPECT_EQ(metrics.batch_runs->Value(), 1u);
+  EXPECT_EQ(metrics.batch_worker_merges->Value(), 4u);
+#endif
 }
 
 }  // namespace

@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "volcano/engine.h"
+#include "volcano/inspect.h"
 #include "volcano/profile.h"
 
 namespace prairie::volcano {
@@ -797,6 +801,146 @@ TEST_F(ObservabilityTest, StoreStatsAreDeltasUnderASharedStore) {
   EXPECT_EQ(a_lookups + b.stats().desc_lookups, store.lookups());
   EXPECT_EQ(a_hits + b.stats().desc_hits, store.hits());
   EXPECT_EQ(a_interned + b.stats().desc_interned, store.size());
+}
+
+// Memo inspector: DOT/JSON dumps of the finished search space.
+
+class InspectorTest : public MicroOptimizer {
+ protected:
+  /// Compares `got` against the committed golden file, or rewrites the
+  /// golden when PRAIRIE_REGEN_GOLDEN is set (run from a checkout so the
+  /// source tree is writable, then commit the diff).
+  static void CheckGolden(const std::string& got, const std::string& name) {
+    const std::string path = std::string(PRAIRIE_TEST_DIR "/golden/") + name;
+    if (std::getenv("PRAIRIE_REGEN_GOLDEN") != nullptr) {
+      std::ofstream out(path, std::ios::out | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << got;
+      return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate with PRAIRIE_REGEN_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "memo dump drifted from " << path
+        << " (regenerate with PRAIRIE_REGEN_GOLDEN=1 and review the diff)";
+  }
+};
+
+TEST_F(InspectorTest, GoldenDotAndJsonDumps) {
+  // Deterministic micro search: serial store, fixed costs, no
+  // requirement. Scan(A)=10, Scan(B)=20; NL(A,B)=10+10*20=210 beats the
+  // commuted NL(B,A)=20+20*10=220.
+  Optimizer o(&rules_, &catalog_);
+  auto plan = o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->cost, 210.0);
+  CheckGolden(MemoToDot(o.memo(), rules_), "micro_memo.dot");
+  CheckGolden(MemoToJson(o.memo(), rules_), "micro_memo.json");
+}
+
+TEST_F(InspectorTest, MergedGroupsAreCanonicalizedNotDuplicated) {
+  Memo memo(&rules_, MemoLimits{});
+  auto a = memo.CopyIn(*RetOf("A", 10));  // g0: file A, g1: RET(g0)
+  auto b = memo.CopyIn(*RetOf("B", 20));  // g2: file B, g3: RET(g2)
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_NE(memo.Find(*a), memo.Find(*b));
+  // Claim RET(B)'s expression is also a member of RET(A)'s group: the
+  // memo must merge the two groups rather than store a duplicate.
+  MExpr dup = memo.group(*b).exprs[0];
+  auto inserted = memo.InsertInto(*a, dup);
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_GE(memo.tallies().groups_merged, 1u);
+  ASSERT_EQ(memo.Find(*a), memo.Find(*b));
+
+  const std::string dot = MemoToDot(memo, rules_);
+  const std::string json = MemoToJson(memo, rules_);
+  // Exactly one node/object per live group; merged-away ids are neither
+  // dropped silently (the live count must match) nor rendered twice.
+  size_t dot_nodes = 0;
+  std::vector<GroupId> live;
+  for (size_t i = 0; i < memo.allocated_groups(); ++i) {
+    const GroupId gid = static_cast<GroupId>(i);
+    const std::string node_decl =
+        "\n  g" + std::to_string(gid) + " [label=";
+    const bool declared = dot.find(node_decl) != std::string::npos;
+    if (memo.Find(gid) == gid) {
+      live.push_back(gid);
+      ++dot_nodes;
+      EXPECT_TRUE(declared) << "live group g" << gid << " missing from DOT";
+      EXPECT_NE(json.find("{\"id\": " + std::to_string(gid) + ","),
+                std::string::npos)
+          << "live group g" << gid << " missing from JSON";
+    } else {
+      EXPECT_FALSE(declared) << "merged-away g" << gid << " rendered";
+      EXPECT_EQ(json.find("{\"id\": " + std::to_string(gid) + ","),
+                std::string::npos)
+          << "merged-away g" << gid << " rendered in JSON";
+    }
+  }
+  EXPECT_EQ(dot_nodes, memo.NumGroups());
+  EXPECT_EQ(live.size(), memo.NumGroups());
+  // Every child reference in every live expression resolves to a live
+  // representative, so all rendered edges point at rendered nodes.
+  for (GroupId gid : live) {
+    for (const MExpr& m : memo.group(gid).exprs) {
+      for (GroupId c : m.children) {
+        EXPECT_NE(std::find(live.begin(), live.end(), memo.Find(c)),
+                  live.end());
+      }
+    }
+  }
+}
+
+TEST_F(InspectorTest, WriteMemoDumpPicksFormatByExtension) {
+  Memo memo(&rules_, MemoLimits{});
+  ASSERT_TRUE(memo.CopyIn(*RetOf("A", 10)).ok());
+  EXPECT_FALSE(WriteMemoDump("memo.svg", memo, rules_).ok());
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WriteMemoDump(dir + "/m.dot", memo, rules_).ok());
+  ASSERT_TRUE(WriteMemoDump(dir + "/m.json", memo, rules_).ok());
+  std::ifstream dot(dir + "/m.dot");
+  std::string first_line;
+  ASSERT_TRUE(std::getline(dot, first_line));
+  EXPECT_EQ(first_line, "digraph memo {");
+}
+
+TEST_F(ObservabilityTest, MetricsCountersMatchStatsAcrossQueries) {
+  common::MetricsRegistry registry;
+  VolcanoMetrics metrics = VolcanoMetrics::ForRuleSet(&registry, rules_);
+  OptimizerOptions options;
+  options.metrics = &metrics;
+  Optimizer o(&rules_, &catalog_, options);
+  ASSERT_TRUE(o.Optimize(*JoinOf(RetOf("A", 10), RetOf("B", 20), 5)).ok());
+  // Second query through the same optimizer: the flush must add deltas,
+  // not re-add the first query's totals.
+  ASSERT_TRUE(
+      o.Optimize(*JoinOf(RetOf("C", 30), RetOf("D", 40), 10)).ok());
+#if PRAIRIE_METRICS
+  const OptimizerStats& s = o.stats();
+  EXPECT_EQ(metrics.queries->Value(), 2u);
+  EXPECT_EQ(metrics.trans_attempts->Value(), s.trans_attempts);
+  EXPECT_EQ(metrics.trans_fired->Value(), s.trans_fired);
+  EXPECT_EQ(metrics.impl_attempts->Value(), s.impl_attempts);
+  EXPECT_EQ(metrics.plans_costed->Value(), s.plans_costed);
+  EXPECT_EQ(metrics.winners_selected->Value(), s.winners_selected);
+  EXPECT_EQ(metrics.prunes->Value(), s.prunes);
+  EXPECT_EQ(metrics.cycle_guard_hits->Value(), s.cycle_guard_hits);
+  const MemoTallies& t = o.memo().tallies();
+  EXPECT_EQ(metrics.memo_groups_created->Value(), t.groups_created);
+  EXPECT_EQ(metrics.memo_groups_merged->Value(), t.groups_merged);
+  EXPECT_EQ(metrics.memo_exprs_inserted->Value(), t.exprs_inserted);
+  EXPECT_EQ(metrics.memo_exprs_deduped->Value(), t.exprs_deduped);
+  // Interning traffic flushed from the store counters.
+  const auto counters = o.memo().store()->Counters();
+  EXPECT_EQ(metrics.intern_hits->Value(), counters.hits);
+  EXPECT_EQ(metrics.intern_misses->Value(), counters.misses());
+  // Both query latencies observed, whatever the durations were.
+  EXPECT_EQ(metrics.query_latency_ns->Snapshot().count, 2u);
+#endif
 }
 
 }  // namespace

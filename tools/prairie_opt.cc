@@ -6,19 +6,28 @@
 //               [--joins N] [--seed S] [--expand-only] [--no-prune]
 //               [--jobs N] [--batch K]
 //               [--trace FILE] [--profile-rules] [--explain]
+//               [--metrics FILE] [--dump-memo FILE.{dot,json}] [--help]
 //
 // With --jobs and/or --batch the driver switches to batch mode: it
 // generates K instances of the query (seeds S..S+K-1) and optimizes them
 // concurrently on N worker threads through a BatchOptimizer — all workers
 // interning into one shared concurrent descriptor store.
 //
-// Observability flags (all driven by the same trace-event stream):
+// Observability flags:
 //   --trace FILE     write the search trace as Chrome trace_event JSON
 //                    (load in chrome://tracing or ui.perfetto.dev).
 //   --profile-rules  print the per-rule attempt/firing/latency table.
 //   --explain        print the winning plan's provenance: which impl rule
 //                    or enforcer produced each winner and the trans-rule
 //                    chain that derived the implemented expression.
+//   --metrics FILE   register the aggregate metrics bundle (counters +
+//                    latency histograms) and write the registry after the
+//                    run: Prometheus text exposition, or a JSON snapshot
+//                    when FILE ends in .json. Works in batch mode too —
+//                    workers share the bundle's sharded series.
+//   --dump-memo FILE write the finished memo (groups, expressions,
+//                    winners, provenance edges) as Graphviz DOT or JSON,
+//                    by extension. Single-query mode only.
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "dsl/parser.h"
@@ -37,20 +47,74 @@
 #include "p2v/translator.h"
 #include "volcano/batch.h"
 #include "volcano/engine.h"
+#include "volcano/inspect.h"
 #include "volcano/profile.h"
 #include "workload/workload.h"
 
 namespace {
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: prairie_opt [flags]\n"
+      "\n"
+      "workload selection:\n"
+      "  --spec relational|oodb|FILE  rule specification (default oodb)\n"
+      "  --query 1..8                 paper query to generate (default 1)\n"
+      "  --joins N                    join count for join queries "
+      "(default 2)\n"
+      "  --seed S                     catalog/query seed (default 1)\n"
+      "\n"
+      "search control:\n"
+      "  --expand-only                stop after logical expansion; report\n"
+      "                               the search-space size only\n"
+      "  --no-prune                   disable branch-and-bound pruning\n"
+      "\n"
+      "batch mode (enabled by either flag):\n"
+      "  --jobs N                     worker threads (0 = hardware "
+      "default)\n"
+      "  --batch K                    optimize K instances, seeds S..S+K-1\n"
+      "\n"
+      "observability:\n"
+      "  --trace FILE                 write Chrome trace_event JSON\n"
+      "  --profile-rules              print per-rule attempt/latency table\n"
+      "  --explain                    print winning-plan provenance\n"
+      "  --metrics FILE               write the metrics registry after the\n"
+      "                               run (Prometheus text; JSON when FILE\n"
+      "                               ends in .json)\n"
+      "  --dump-memo FILE.{dot,json}  dump the finished memo as Graphviz\n"
+      "                               DOT or JSON (single-query mode)\n"
+      "\n"
+      "  --help                       show this help and exit\n");
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: prairie_opt [--spec relational|oodb|FILE]\n"
-               "                   [--query 1..8] [--joins N] [--seed S]\n"
-               "                   [--expand-only] [--no-prune]\n"
-               "                   [--jobs N] [--batch K]\n"
-               "                   [--trace FILE] [--profile-rules] "
-               "[--explain]\n");
+  PrintUsage(stderr);
   return 2;
+}
+
+/// Writes the process-wide metrics registry to `path`; format picked by
+/// extension (.json -> JSON snapshot, anything else -> Prometheus text).
+int WriteMetricsFile(const std::string& path) {
+  prairie::common::MetricsRegistry* reg =
+      prairie::common::MetricsRegistry::Global();
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "prairie_opt: cannot open metrics file '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  out << (json ? reg->JsonSnapshot() : reg->PrometheusText());
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "prairie_opt: error writing metrics file '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("metrics: %zu series -> %s\n", reg->NumSeries(), path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -64,6 +128,8 @@ int main(int argc, char** argv) {
   int jobs = 0;
   int batch = 0;
   std::string trace_path;
+  std::string metrics_path;
+  std::string dump_memo_path;
   bool profile_rules = false;
   bool explain = false;
   prairie::volcano::OptimizerOptions options;
@@ -107,10 +173,27 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
       if (trace_path.empty()) return Usage();
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_path = v;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics="));
+      if (metrics_path.empty()) return Usage();
+    } else if (arg == "--dump-memo") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      dump_memo_path = v;
+    } else if (arg.rfind("--dump-memo=", 0) == 0) {
+      dump_memo_path = arg.substr(std::strlen("--dump-memo="));
+      if (dump_memo_path.empty()) return Usage();
     } else if (arg == "--profile-rules") {
       profile_rules = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
     } else {
       return Usage();
     }
@@ -150,6 +233,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "prairie_opt: %s\n",
                  volcano_rules.status().ToString().c_str());
     return 1;
+  }
+
+  // The metrics bundle registers every series (per-rule histograms need the
+  // rule names) once, up front; both modes then share it — batch workers
+  // flush into the same sharded counters without contention.
+  prairie::volcano::VolcanoMetrics metrics_bundle;
+  if (!metrics_path.empty()) {
+    metrics_bundle = prairie::volcano::VolcanoMetrics::ForRuleSet(
+        prairie::common::MetricsRegistry::Global(), **volcano_rules);
+    options.metrics = &metrics_bundle;
   }
 
   if (jobs != 0 || batch > 1) {
@@ -232,6 +325,14 @@ int main(int argc, char** argv) {
                    "prairie_opt: --explain applies to single-query mode "
                    "(batch optimizers are discarded per query)\n");
     }
+    if (!dump_memo_path.empty()) {
+      std::fprintf(stderr,
+                   "prairie_opt: --dump-memo applies to single-query mode "
+                   "(batch memos are discarded per query)\n");
+    }
+    if (!metrics_path.empty() && WriteMetricsFile(metrics_path) != 0) {
+      return 1;
+    }
     return failures == 0 ? 0 : 1;
   }
 
@@ -276,6 +377,25 @@ int main(int argc, char** argv) {
     }
     return 0;
   };
+  // Post-run observability artifacts: the memo dump (needs the finished
+  // memo, still owned by the optimizer) and the metrics file.
+  auto emit_dumps = [&]() -> int {
+    if (!dump_memo_path.empty()) {
+      const prairie::volcano::Memo& memo = optimizer.memo();
+      auto st = prairie::volcano::WriteMemoDump(dump_memo_path, memo,
+                                                **volcano_rules);
+      if (!st.ok()) {
+        std::fprintf(stderr, "prairie_opt: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("memo: %zu groups, %zu expressions -> %s\n",
+                  memo.NumGroups(), memo.NumExprs(), dump_memo_path.c_str());
+    }
+    if (!metrics_path.empty() && WriteMetricsFile(metrics_path) != 0) {
+      return 1;
+    }
+    return 0;
+  };
   if (expand_only) {
     auto groups = optimizer.ExpandOnly(*w->query);
     if (!groups.ok()) {
@@ -286,7 +406,8 @@ int main(int argc, char** argv) {
     std::printf("logical search space: %zu equivalence classes, %zu "
                 "expressions\n",
                 *groups, optimizer.stats().mexprs);
-    return emit_trace_outputs();
+    if (int rc = emit_trace_outputs(); rc != 0) return rc;
+    return emit_dumps();
   }
   auto plan = optimizer.Optimize(*w->query);
   if (!plan.ok()) {
@@ -310,5 +431,6 @@ int main(int argc, char** argv) {
     std::printf("\nprovenance (winner -> rule -> source expression):\n%s",
                 optimizer.ExplainWinner().c_str());
   }
-  return emit_trace_outputs();
+  if (int rc = emit_trace_outputs(); rc != 0) return rc;
+  return emit_dumps();
 }
