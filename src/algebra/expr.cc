@@ -1,5 +1,6 @@
 #include "algebra/expr.h"
 
+#include "algebra/descriptor_store.h"
 #include "common/hash.h"
 #include "common/strings.h"
 
@@ -109,6 +110,49 @@ uint64_t Expr::Hash() const {
   h = common::HashCombine(h, descriptor_.Hash());
   for (const ExprPtr& c : children_) h = common::HashCombine(h, c->Hash());
   return h;
+}
+
+namespace {
+
+// Self-delimiting little-endian field appends for the fingerprint
+// serialization: every node contributes a tag plus fixed-width integers
+// (and a length-prefixed name for leaves), so no byte sequence of one tree
+// is a prefix of another's and byte equality <=> tree equality.
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+uint64_t Expr::Fingerprint(DescriptorStore* store, std::string* key) const {
+  const size_t start = key->size();
+  // Iterative preorder walk: rule-generated trees can be deep (N-way
+  // linear joins), and the serialization is order-dependent either way.
+  std::vector<const Expr*> stack{this};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    const DescriptorId desc = store->Intern(e->descriptor());
+    if (e->is_file()) {
+      key->push_back('F');
+      AppendU32(static_cast<uint32_t>(e->file_name_.size()), key);
+      key->append(e->file_name_);
+      AppendU32(static_cast<uint32_t>(desc), key);
+      continue;
+    }
+    key->push_back('O');
+    AppendU32(static_cast<uint32_t>(e->op_), key);
+    AppendU32(static_cast<uint32_t>(e->children_.size()), key);
+    AppendU32(static_cast<uint32_t>(desc), key);
+    for (auto it = e->children_.rbegin(); it != e->children_.rend(); ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return common::HashMix(
+      uint64_t{0x9a17c3e5u},
+      std::string_view(key->data() + start, key->size() - start));
 }
 
 }  // namespace prairie::algebra

@@ -16,6 +16,8 @@
 
 namespace prairie::algebra {
 
+class DescriptorStore;
+
 class Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
@@ -73,6 +75,17 @@ class Expr {
   bool Equals(const Expr& o) const;
 
   uint64_t Hash() const;
+
+  /// Appends this tree's canonical serialization — node kinds, operator
+  /// ids, file names, child arity, and the *interned* id of every node
+  /// descriptor — to `key`, interning descriptors through `store` as it
+  /// walks. Because interned ids are canonical per store (id equality <=>
+  /// value equality), two trees serialize to the same bytes iff they are
+  /// structurally equal including descriptors; the bytes are a collision-
+  /// free cache key over one store (the plan cache verifies the full key
+  /// on probe, never a hash alone). Returns a 64-bit hash of the appended
+  /// serialization.
+  uint64_t Fingerprint(DescriptorStore* store, std::string* key) const;
 
  private:
   Expr() = default;

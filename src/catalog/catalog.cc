@@ -61,6 +61,42 @@ std::string StoredFile::ToString() const {
   return out;
 }
 
+uint64_t Catalog::NextUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Catalog& Catalog::operator=(const Catalog& o) {
+  if (this != &o) {
+    order_ = o.order_;
+    files_ = o.files_;
+    // The assigned-to object keeps its own uid but its derived state is
+    // now arbitrary — invalidate.
+    BumpVersion();
+  }
+  return *this;
+}
+
+Catalog::Catalog(Catalog&& o) noexcept
+    : order_(std::move(o.order_)),
+      files_(std::move(o.files_)),
+      uid_(o.uid_),
+      version_(o.version()) {
+  // The moved-from shell must not keep answering to the old identity.
+  o.uid_ = NextUid();
+}
+
+Catalog& Catalog::operator=(Catalog&& o) noexcept {
+  if (this != &o) {
+    order_ = std::move(o.order_);
+    files_ = std::move(o.files_);
+    uid_ = o.uid_;
+    version_.store(o.version(), std::memory_order_release);
+    o.uid_ = NextUid();
+  }
+  return *this;
+}
+
 Status Catalog::AddFile(StoredFile file) {
   const std::string name = file.name();
   if (files_.count(name) > 0) {
@@ -68,7 +104,15 @@ Status Catalog::AddFile(StoredFile file) {
   }
   order_.push_back(name);
   files_.emplace(name, std::move(file));
+  BumpVersion();
   return Status::OK();
+}
+
+StoredFile* Catalog::MutableFile(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return nullptr;
+  BumpVersion();
+  return &it->second;
 }
 
 const StoredFile* Catalog::Find(const std::string& name) const {

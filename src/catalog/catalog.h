@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -85,12 +86,46 @@ class StoredFile {
 };
 
 /// \brief Named collection of stored files plus statistics queries.
+///
+/// Every catalog carries two identity/staleness signals for caches keyed
+/// on catalog state (the plan cache, DESIGN.md §8):
+///  - `uid()`: a process-unique id assigned at construction. Copies get a
+///    fresh uid (they can diverge independently); moves transfer the uid
+///    (the moved-to object IS the same logical catalog).
+///  - `version()`: a monotonically increasing counter bumped by every
+///    mutation (AddFile, MutableFile, BumpVersion). Readers snapshot it
+///    and treat any change as "everything derived from this catalog is
+///    stale". The counter is atomic so concurrent bumps/reads are safe;
+///    structural mutation itself is NOT thread-safe and must not race
+///    with readers.
 class Catalog {
  public:
+  Catalog() : uid_(NextUid()) {}
+  Catalog(const Catalog& o)
+      : order_(o.order_), files_(o.files_), uid_(NextUid()) {}
+  Catalog& operator=(const Catalog& o);
+  Catalog(Catalog&& o) noexcept;
+  Catalog& operator=(Catalog&& o) noexcept;
+
   common::Status AddFile(StoredFile file);
 
   const StoredFile* Find(const std::string& name) const;
   common::Result<const StoredFile*> Require(const std::string& name) const;
+
+  /// Mutable access to a stored file for statistics/index updates; bumps
+  /// the version (conservatively — even if the caller ends up writing
+  /// nothing). Null when `name` is unknown.
+  StoredFile* MutableFile(const std::string& name);
+
+  /// Process-unique identity of this catalog object.
+  uint64_t uid() const { return uid_; }
+
+  /// Mutation epoch: bumped by AddFile/MutableFile/BumpVersion.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Explicitly invalidates everything derived from this catalog (e.g.
+  /// after mutating statistics through a retained StoredFile pointer).
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
   std::vector<std::string> FileNames() const;
   size_t size() const { return files_.size(); }
@@ -105,8 +140,12 @@ class Catalog {
   std::string ToString() const;
 
  private:
+  static uint64_t NextUid();
+
   std::vector<std::string> order_;
   std::unordered_map<std::string, StoredFile> files_;
+  uint64_t uid_ = 0;
+  std::atomic<uint64_t> version_{0};
 };
 
 /// \brief Textbook selectivity estimation (System R style, paper §5 cites

@@ -38,31 +38,6 @@ std::string PropConst(const algebra::PropertySchema& schema, PropertyId id) {
   return "kProp_" + schema.decl(id).name;
 }
 
-/// Escapes a string for inclusion in an emitted C++ string literal.
-std::string CppEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
 Result<std::string> EmitConst(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
@@ -76,7 +51,10 @@ Result<std::string> EmitConst(const Value& v) {
     case ValueType::kReal:
       return StringPrintf("Value::Real(%.17g)", v.AsReal());
     case ValueType::kString:
-      return "Value::Str(\"" + CppEscape(v.AsString()) + "\")";
+      // JSON escaping is also valid inside a C++ string literal: the
+      // short escapes coincide, and \uNNNN for control characters is a
+      // universal-character-name, legal in literals.
+      return "Value::Str(\"" + common::JsonEscape(v.AsString()) + "\")";
     case ValueType::kSort:
       if (v.AsSort().is_dont_care()) {
         return std::string(

@@ -21,6 +21,15 @@ BatchOptimizer::BatchOptimizer(const RuleSet* rules, BatchOptions options)
         &rules_->algebra->properties(),
         jobs_ > 1 ? algebra::StoreMode::kConcurrent
                   : algebra::StoreMode::kSerial);
+    // A batch-owned cache only makes sense over the shared store: cache
+    // keys embed interned ids, which per-query private stores don't share.
+    // A caller-provided optimizer.plan_cache takes precedence.
+    if (options_.plan_cache_entries > 0 &&
+        options_.optimizer.plan_cache == nullptr) {
+      PlanCacheOptions copt;
+      copt.max_entries = options_.plan_cache_entries;
+      cache_ = std::make_unique<PlanCache>(store_.get(), copt);
+    }
   }
 }
 
@@ -43,6 +52,7 @@ std::vector<BatchResult> BatchOptimizer::OptimizeAll(
   auto worker = [&](int wid) {
     OptimizerOptions opt = options_.optimizer;
     opt.trace = sinks.empty() ? nullptr : sinks[static_cast<size_t>(wid)].get();
+    if (cache_ != nullptr) opt.plan_cache = cache_.get();
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) return;

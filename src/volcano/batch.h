@@ -23,6 +23,7 @@
 
 #include "catalog/catalog.h"
 #include "volcano/engine.h"
+#include "volcano/plancache.h"
 
 namespace prairie::volcano {
 
@@ -56,6 +57,14 @@ struct BatchOptions {
   /// Intern all workers' descriptors through one concurrent store.
   /// Disabling gives every query a private serial store (no sharing).
   bool share_store = true;
+  /// > 0: construct a plan cache (sized to this many entries) over the
+  /// shared store and hand it to every worker — repeated queries across
+  /// and within batches are answered without re-running the search.
+  /// Requires share_store (per-query private stores cannot share cache
+  /// keys); ignored otherwise. Alternatively the caller may place its own
+  /// cache in optimizer.plan_cache, which takes precedence (it must be
+  /// bound to shared_store()).
+  size_t plan_cache_entries = 0;
   /// > 0: trace every worker into a private RingBufferSink of this
   /// capacity; the streams are merged (timestamp-ordered) after the
   /// workers join and exposed via trace_events(). 0 disables tracing.
@@ -81,6 +90,12 @@ class BatchOptimizer {
   /// The store shared by all workers (null when share_store is false).
   const algebra::DescriptorStore* shared_store() const { return store_.get(); }
 
+  /// The plan cache workers probe: the owned one (plan_cache_entries > 0),
+  /// the caller's (optimizer.plan_cache), or null when caching is off.
+  PlanCache* plan_cache() const {
+    return cache_ != nullptr ? cache_.get() : options_.optimizer.plan_cache;
+  }
+
   int jobs() const { return jobs_; }
 
   /// The merged (timestamp-ordered) trace of the last OptimizeAll call;
@@ -97,6 +112,7 @@ class BatchOptimizer {
   BatchOptions options_;
   int jobs_;
   std::unique_ptr<algebra::DescriptorStore> store_;
+  std::unique_ptr<PlanCache> cache_;
   std::vector<common::TraceEvent> trace_;
   size_t trace_dropped_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "volcano/plancache.h"
 
 namespace prairie::volcano {
 
@@ -113,7 +114,7 @@ Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
   const VolcanoMetrics* mm = options_.metrics;
   const uint64_t t0 = mm != nullptr ? common::TraceNowNs() : 0;
 #endif
-  Result<Plan> result = OptimizeImpl(tree, required);
+  Result<Plan> result = OptimizeCached(tree, NormalizeReq(required));
 #if PRAIRIE_METRICS
   if (mm != nullptr) {
     if (mm->query_latency_ns != nullptr) {
@@ -126,15 +127,81 @@ Result<Plan> Optimizer::Optimize(const algebra::Expr& tree,
   return result;
 }
 
-Result<Plan> Optimizer::OptimizeImpl(const algebra::Expr& tree,
-                                     const Descriptor& required) {
-  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
+Descriptor Optimizer::NormalizeReq(const Descriptor& required) const {
   Descriptor req = MakeReq();
   if (required.valid()) {
     for (PropertyId id : rules_->phys_props) {
       req.SetUnchecked(id, required.Get(id));
     }
   }
+  return req;
+}
+
+PlanCache* Optimizer::UsableCache() const {
+  PlanCache* cache = options_.plan_cache;
+  if (cache == nullptr || catalog_ == nullptr) return nullptr;
+  // A cache keyed through a different descriptor store holds ids that mean
+  // something else here; serving from it could return a wrong plan, so it
+  // is bypassed entirely rather than trusted.
+  if (cache->store() != memo_.store()) return nullptr;
+  return cache;
+}
+
+Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
+                                       const Descriptor& req) {
+  PlanCache* cache = UsableCache();
+  stats_.plan_from_cache = false;
+  if (cache == nullptr) return OptimizeImpl(tree, req);
+#if PRAIRIE_METRICS
+  const VolcanoMetrics* mm = options_.metrics;
+  const uint64_t p0 = mm != nullptr ? common::TraceNowNs() : 0;
+#endif
+  const PlanCache::Key key =
+      PlanCache::MakeKey(tree, ReqId(req), *catalog_, memo_.store());
+  PlanCache::Hit hit;
+  bool dropped_stale = false;
+  const bool found = cache->Probe(key, *catalog_, &hit, &dropped_stale);
+  ++stats_.cache_probes;
+#if PRAIRIE_METRICS
+  if (mm != nullptr) {
+    if (mm->plan_cache_probe_ns != nullptr) {
+      mm->plan_cache_probe_ns->Observe(common::TraceNowNs() - p0);
+    }
+    const auto inc = [](common::Counter* c) {
+      if (c != nullptr) c->Inc();
+    };
+    if (found) inc(mm->plan_cache_hits);
+    else inc(mm->plan_cache_misses);
+    if (dropped_stale) inc(mm->plan_cache_stale);
+  }
+#endif
+  if (found) {
+    ++stats_.cache_hits;
+    stats_.plan_from_cache = true;
+    // The memo holds no search for this query: ExplainWinner() must not
+    // report a previous query's derivation.
+    explain_root_ = -1;
+    explain_req_ = algebra::kInvalidDescriptorId;
+    RecordStoreStats();  // fingerprint interning traffic (all hits)
+    return hit.plan;
+  }
+  Result<Plan> result = OptimizeImpl(tree, req);
+  if (result.ok()) {
+    cache->Insert(key, *catalog_, result.ValueOrDie(),
+                  options_.plan_cache_provenance ? ExplainWinner()
+                                                 : std::string());
+#if PRAIRIE_METRICS
+    if (mm != nullptr && mm->plan_cache_inserts != nullptr) {
+      mm->plan_cache_inserts->Inc();
+    }
+#endif
+  }
+  return result;
+}
+
+Result<Plan> Optimizer::OptimizeImpl(const algebra::Expr& tree,
+                                     const Descriptor& req) {
+  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
   PRAIRIE_ASSIGN_OR_RETURN(
       Winner w, OptimizeGroup(root, req, options_.initial_cost_limit));
   // Entry point of ExplainWinner(): the canonical root group and the
@@ -849,8 +916,21 @@ VolcanoMetrics VolcanoMetrics::ForRuleSet(common::MetricsRegistry* registry,
   m.batch_worker_merges = registry->GetCounter(
       "prairie_batch_worker_merges_total",
       "Per-worker trace/stat streams merged after a batch barrier");
+  m.plan_cache_hits = registry->GetCounter(
+      "prairie_plan_cache_hits_total", "Queries served from the plan cache");
+  m.plan_cache_misses = registry->GetCounter(
+      "prairie_plan_cache_misses_total",
+      "Plan-cache probes that fell through to the search");
+  m.plan_cache_inserts = registry->GetCounter(
+      "prairie_plan_cache_inserts_total", "Winning plans stored in the cache");
+  m.plan_cache_stale = registry->GetCounter(
+      "prairie_plan_cache_stale_total",
+      "Stale (epoch-mismatched) cache entries dropped on probe");
   m.query_latency_ns = registry->GetHistogram(
       "prairie_query_latency_ns", "Per-query optimization wall time (ns)");
+  m.plan_cache_probe_ns = registry->GetHistogram(
+      "prairie_plan_cache_probe_ns",
+      "Plan-cache key build + probe wall time (ns)");
   const auto rule_hist = [registry](const std::string& name,
                                     const char* cls) {
     return registry->GetHistogram(

@@ -27,6 +27,8 @@
 
 namespace prairie::volcano {
 
+class PlanCache;
+
 /// \brief Registry-backed series the search engine writes (aggregate
 /// observability; the per-event companion is the trace stream). All
 /// members are borrowed from a MetricsRegistry and may individually be
@@ -59,8 +61,17 @@ struct VolcanoMetrics {
   // Bumped by BatchOptimizer after its join barrier.
   common::Counter* batch_runs = nullptr;           ///< OptimizeAll calls.
   common::Counter* batch_worker_merges = nullptr;  ///< Worker streams merged.
+  // Plan-cache traffic as seen by this engine (DESIGN.md §8); cache-global
+  // figures (evictions, total live entries) come from PlanCache::stats().
+  common::Counter* plan_cache_hits = nullptr;    ///< Queries served cached.
+  common::Counter* plan_cache_misses = nullptr;  ///< Probes that searched.
+  common::Counter* plan_cache_inserts = nullptr;  ///< Plans stored.
+  common::Counter* plan_cache_stale = nullptr;  ///< Stale entries dropped.
   /// Per-query optimization wall time in nanoseconds (every query).
   common::Histogram* query_latency_ns = nullptr;
+  /// Plan-cache key-build + probe wall time in nanoseconds (every probe;
+  /// this is the entire warm-hit cost).
+  common::Histogram* plan_cache_probe_ns = nullptr;
   /// Per-rule attempt latencies in nanoseconds, indexed like the rule
   /// set's trans_rules/impl_rules/enforcers vectors (sampled).
   std::vector<common::Histogram*> trans_latency_ns;
@@ -101,6 +112,18 @@ struct OptimizerOptions {
   /// -DPRAIRIE_METRICS=0 (default: PRAIRIE_TRACING) removes even that.
   /// Unlike trace sinks, one bundle is safely shared by parallel workers.
   const VolcanoMetrics* metrics = nullptr;
+  /// Shared plan cache (borrowed; must outlive the optimizer). Null
+  /// disables caching — the classic search-every-query path, with zero
+  /// added cost. Non-null: Optimize() probes by canonical fingerprint
+  /// before searching and stores winning plans after. The cache must be
+  /// bound to the SAME DescriptorStore this optimizer interns through
+  /// (the shared batch store, or the store passed at construction) — a
+  /// mismatched cache is bypassed, since its keys would be meaningless.
+  PlanCache* plan_cache = nullptr;
+  /// Record full winner provenance text (ExplainWinner) into cache
+  /// entries. Off by default: the provenance walk costs more than many
+  /// warm hits save.
+  bool plan_cache_provenance = false;
   MemoLimits memo_limits;
 };
 
@@ -120,6 +143,12 @@ struct OptimizerStats {
   size_t desc_interned = 0;    ///< Distinct descriptors hash-consed.
   uint64_t desc_lookups = 0;   ///< Interning probes.
   uint64_t desc_hits = 0;      ///< Probes that found an existing descriptor.
+  /// Plan-cache traffic of this optimizer (one query: probes <= 1).
+  size_t cache_probes = 0;     ///< Plan-cache lookups performed.
+  size_t cache_hits = 0;       ///< Lookups served from the cache.
+  /// True when the last Optimize() answer came from the plan cache (the
+  /// memo then holds no search to explain or dump).
+  bool plan_from_cache = false;
   /// Per-rule "did its LHS match (and its condition pass) anywhere" flags —
   /// the paper's Table 5 "rules matched" columns.
   std::vector<char> trans_matched;
@@ -208,7 +237,19 @@ class Optimizer {
                              bool* limit_failure);
 
   common::Result<Plan> OptimizeImpl(const algebra::Expr& tree,
-                                    const algebra::Descriptor& required);
+                                    const algebra::Descriptor& req);
+  /// Plan-cache front door: probe by canonical fingerprint, fall through
+  /// to OptimizeImpl on a miss and insert the winner. `req` must already
+  /// be normalized (NormalizeReq).
+  common::Result<Plan> OptimizeCached(const algebra::Expr& tree,
+                                      const algebra::Descriptor& req);
+  /// The full-schema requirement descriptor: phys_props copied from
+  /// `required` (when valid) over an otherwise-empty descriptor, so
+  /// Optimize(tree) and Optimize(tree, empty) agree on one canonical form.
+  algebra::Descriptor NormalizeReq(const algebra::Descriptor& required) const;
+  /// The usable plan cache, or null (none configured, no catalog, or the
+  /// cache is bound to a foreign descriptor store).
+  PlanCache* UsableCache() const;
 
   algebra::Descriptor MakeReq() const;
   /// Interns the physical-slice projection of `req`; winner maps key on the

@@ -1,0 +1,196 @@
+#include "volcano/plancache.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace prairie::volcano {
+
+namespace {
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const algebra::DescriptorStore* store,
+                     PlanCacheOptions options)
+    : store_(store), options_(options) {
+  num_shards_ = std::bit_ceil(std::max<size_t>(1, options_.shards));
+  shard_entry_budget_ =
+      options_.max_entries == 0
+          ? 0
+          : std::max<size_t>(1, options_.max_entries / num_shards_);
+  shard_byte_budget_ =
+      options_.max_bytes == 0
+          ? 0
+          : std::max<size_t>(1, options_.max_bytes / num_shards_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+PlanCache::Key PlanCache::MakeKey(const algebra::Expr& tree,
+                                  algebra::DescriptorId req_id,
+                                  const catalog::Catalog& catalog,
+                                  algebra::DescriptorStore* store) {
+  Key key;
+  key.catalog_uid = catalog.uid();
+  // Snapshot the epoch BEFORE walking the tree: if the catalog mutates
+  // anywhere between here and Insert(), the insert is refused.
+  key.epoch = catalog.version();
+  AppendU64(key.catalog_uid, &key.bytes);
+  AppendU64(static_cast<uint64_t>(static_cast<int64_t>(req_id)), &key.bytes);
+  const uint64_t tree_hash = tree.Fingerprint(store, &key.bytes);
+  uint64_t h = common::HashCombine(key.catalog_uid, tree_hash);
+  h = common::HashCombine(h, static_cast<uint64_t>(static_cast<int64_t>(req_id)));
+  key.fingerprint = h;
+  return key;
+}
+
+size_t PlanCache::EntryBytes(const Entry& e) {
+  // Approximation good enough to budget by: the key and provenance
+  // strings, the list/map node overhead, and the plan tree at a nominal
+  // per-node footprint (PhysNode + descriptor values + child vector).
+  constexpr size_t kPerNode = 256;
+  constexpr size_t kFixed = 160;
+  const size_t plan_nodes =
+      e.plan.root == nullptr
+          ? 0
+          : static_cast<size_t>(e.plan.root->AlgCount()) + 1;
+  return kFixed + e.key_bytes.size() + e.provenance.size() +
+         plan_nodes * kPerNode;
+}
+
+bool PlanCache::Probe(const Key& key, const catalog::Catalog& catalog,
+                      Hit* hit, bool* dropped_stale) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  if (dropped_stale != nullptr) *dropped_stale = false;
+  if (key.catalog_uid != catalog.uid()) {
+    // A key built against a different catalog can never match an entry
+    // for this one (the uid leads the key bytes); don't even look.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t now_version = catalog.version();
+  Shard& sh = ShardFor(key.fingerprint);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto [begin, end] = sh.by_fp.equal_range(key.fingerprint);
+  for (auto it = begin; it != end; ++it) {
+    Entry& e = *it->second;
+    if (e.key_bytes != key.bytes) continue;  // fingerprint collision
+    if (e.epoch != now_version) {
+      // Lazy epoch invalidation: the catalog mutated since this plan was
+      // optimized. Drop the entry; the caller re-optimizes and re-inserts
+      // under the current epoch.
+      Erase(sh, it);
+      stale_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (dropped_stale != nullptr) *dropped_stale = true;
+      break;
+    }
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // refresh recency
+    hit->plan = e.plan;
+    hit->provenance = e.provenance;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void PlanCache::Insert(const Key& key, const catalog::Catalog& catalog,
+                       const Plan& plan, std::string provenance) {
+  if (key.catalog_uid != catalog.uid() || catalog.version() != key.epoch) {
+    // The catalog moved (or is not the one the key was built against)
+    // while this query was being optimized: the plan may reflect mixed
+    // state, so it must not be served to anyone.
+    skipped_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Entry entry;
+  entry.key_bytes = key.bytes;
+  entry.fingerprint = key.fingerprint;
+  entry.epoch = key.epoch;
+  entry.plan = plan;
+  entry.provenance = std::move(provenance);
+  entry.bytes = EntryBytes(entry);
+
+  Shard& sh = ShardFor(key.fingerprint);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  // Replace an equal-key entry (a racing worker optimized the same query;
+  // keep the newer plan — same epoch, same answer).
+  auto [begin, end] = sh.by_fp.equal_range(key.fingerprint);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->key_bytes == key.bytes) {
+      Erase(sh, it);
+      break;
+    }
+  }
+  sh.lru.push_front(std::move(entry));
+  sh.by_fp.emplace(key.fingerprint, sh.lru.begin());
+  sh.bytes += sh.lru.front().bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  EvictOver(sh);
+}
+
+void PlanCache::Erase(
+    Shard& sh,
+    std::unordered_multimap<uint64_t, std::list<Entry>::iterator>::iterator
+        fp_it) {
+  sh.bytes -= fp_it->second->bytes;
+  sh.lru.erase(fp_it->second);
+  sh.by_fp.erase(fp_it);
+}
+
+void PlanCache::EvictOver(Shard& sh) {
+  while (!sh.lru.empty() &&
+         ((shard_entry_budget_ != 0 && sh.lru.size() > shard_entry_budget_) ||
+          (shard_byte_budget_ != 0 && sh.bytes > shard_byte_budget_))) {
+    const Entry& victim = sh.lru.back();
+    auto [begin, end] = sh.by_fp.equal_range(victim.fingerprint);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == std::prev(sh.lru.end())) {
+        sh.by_fp.erase(it);
+        break;
+      }
+    }
+    sh.bytes -= victim.bytes;
+    sh.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.skipped_inserts = skipped_inserts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    n += shards_[i].lru.size();
+  }
+  return n;
+}
+
+size_t PlanCache::bytes() const {
+  size_t n = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    n += shards_[i].bytes;
+  }
+  return n;
+}
+
+}  // namespace prairie::volcano

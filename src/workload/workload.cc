@@ -132,11 +132,15 @@ Result<Workload> MakeWorkload(const algebra::Algebra& algebra,
     }
     streams.push_back(std::move(ret));
   }
-  // Linear join graph with random equality join attributes.
+  // Linear join graph with random equality join attributes. The structure
+  // draws come after every catalog draw, so routing them through a
+  // separate stream (structure_seed != 0) cannot perturb cardinalities.
+  Rng structure_rng(spec.structure_seed * 0x51d7 + 29);
+  Rng* srng = spec.structure_seed != 0 ? &structure_rng : &rng;
   ExprPtr tree = std::move(streams[0]);
   for (int i = 1; i < num_classes; ++i) {
-    const char* left_attr = rng.Bernoulli(0.5) ? "a" : "b";
-    const char* right_attr = rng.Bernoulli(0.5) ? "a" : "b";
+    const char* left_attr = srng->Bernoulli(0.5) ? "a" : "b";
+    const char* right_attr = srng->Bernoulli(0.5) ? "a" : "b";
     PredicateRef pred = Predicate::EqAttrs(
         Attr{ClassName(i - 1), left_attr}, Attr{ClassName(i), right_attr});
     PRAIRIE_ASSIGN_OR_RETURN(

@@ -29,6 +29,13 @@ struct QuerySpec {
   int num_joins = 2;          ///< N: the query joins N+1 classes.
   bool with_indexes = false;  ///< One index per base class (on "bc").
   uint64_t seed = 1;          ///< Drives cardinalities and join attrs.
+  /// 0 (default): join-attribute choices draw from the same stream as
+  /// `seed` — byte-identical to historical behavior. Non-zero: they draw
+  /// from a separate RNG seeded here, so query *structure* varies while
+  /// the catalog (cardinalities, indexes) stays fixed by `seed` — e.g. to
+  /// generate many distinct queries against one catalog for plan-cache
+  /// working-set experiments.
+  uint64_t structure_seed = 0;
   /// Cardinality range for base classes (the bench uses large values; the
   /// execution tests use small ones so results stay enumerable).
   int64_t min_card = 100;

@@ -24,6 +24,7 @@
 #include "p2v/translator.h"
 #include "volcano/batch.h"
 #include "volcano/engine.h"
+#include "volcano/plancache.h"
 #include "workload/workload.h"
 
 namespace prairie {
@@ -475,6 +476,101 @@ TEST(MetricsRegistryTest, SharedBundleAcrossBatchWorkers) {
   EXPECT_EQ(metrics.batch_runs->Value(), 1u);
   EXPECT_EQ(metrics.batch_worker_merges->Value(), 4u);
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache under concurrency (TSan-covered): 8 workers share one cache
+// over one concurrent store — racing probes, inserts, LRU splices and
+// evictions — while another thread keeps bumping a catalog's version
+// (contents unchanged, so every produced plan stays comparable to the
+// serial reference; the bumps only force stale drops and refused inserts).
+
+using PlanCacheConcurrencyTest = OodbFixture;
+
+TEST_F(PlanCacheConcurrencyTest, SharedCacheUnderProbesInsertsAndEpochBumps) {
+  constexpr int kRounds = 6;
+  std::vector<workload::Workload> workloads;
+  for (int q = 1; q <= 8; ++q) workloads.push_back(MakeQ(q, 2, 1));
+
+  // Serial cache-less reference, per query.
+  std::vector<double> ref_cost;
+  std::vector<std::string> ref_plan;
+  for (const auto& w : workloads) {
+    volcano::Optimizer opt(rules_.get(), &w.catalog, {});
+    auto plan = opt.Optimize(*w.query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ref_cost.push_back(plan->cost);
+    ref_plan.push_back(plan->root->ToString(*rules_->algebra));
+  }
+
+  std::vector<volcano::BatchQuery> queries;
+  for (const auto& w : workloads) {
+    queries.push_back(volcano::BatchQuery{w.query.get(), &w.catalog});
+  }
+
+  // The mutator bumps one catalog's epoch while workers optimize against
+  // it; plans stay correct because the contents never change.
+  std::atomic<bool> stop{false};
+  std::thread mutator([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      workloads[0].catalog.BumpVersion();
+      std::this_thread::yield();
+    }
+  });
+
+  auto run_rounds = [&](volcano::BatchOptimizer* batch) {
+    for (int round = 0; round < kRounds; ++round) {
+      auto results = batch->OptimizeAll(queries);
+      ASSERT_EQ(results.size(), queries.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].plan.ok())
+            << "round " << round << " query " << i << ": "
+            << results[i].plan.status().ToString();
+        EXPECT_EQ(results[i].plan->cost, ref_cost[i])
+            << "round " << round << " query " << i;
+        EXPECT_EQ(results[i].plan->root->ToString(*rules_->algebra),
+                  ref_plan[i])
+            << "round " << round << " query " << i;
+      }
+    }
+  };
+
+  // Phase 1: a deliberately tiny cache (one entry per shard) so evictions
+  // race probes and inserts. Colliding keys can evict each other before
+  // either re-probes, so no hit count is guaranteed here — only plan
+  // correctness and probe accounting.
+  {
+    volcano::BatchOptions options;
+    options.jobs = 8;
+    options.plan_cache_entries = 16;
+    volcano::BatchOptimizer batch(rules_.get(), options);
+    run_rounds(&batch);
+    const volcano::PlanCacheStats stats = batch.plan_cache()->stats();
+    EXPECT_EQ(stats.probes,
+              static_cast<uint64_t>(kRounds) * queries.size());
+    EXPECT_EQ(stats.hits + stats.misses, stats.probes);
+  }
+
+  // Phase 2: a roomy cache where nothing is ever evicted. Every query with
+  // a stable catalog inserts in round one and must hit in every later
+  // round; only the query whose epoch the mutator keeps bumping may miss.
+  {
+    volcano::BatchOptions options;
+    options.jobs = 8;
+    options.plan_cache_entries = 4096;
+    volcano::BatchOptimizer batch(rules_.get(), options);
+    run_rounds(&batch);
+    const volcano::PlanCacheStats stats = batch.plan_cache()->stats();
+    EXPECT_EQ(stats.probes,
+              static_cast<uint64_t>(kRounds) * queries.size());
+    EXPECT_GE(stats.hits, static_cast<uint64_t>(kRounds - 1) *
+                              (queries.size() - 1));
+    EXPECT_EQ(stats.hits + stats.misses, stats.probes);
+    EXPECT_EQ(stats.evictions, 0u);
+  }
+
+  stop.store(true, std::memory_order_release);
+  mutator.join();
 }
 
 }  // namespace

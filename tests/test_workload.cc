@@ -118,6 +118,59 @@ TEST(MakeWorkload, DeterministicPerSeed) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(MakeWorkload, StructureSeedZeroPreservesLegacyStream) {
+  // structure_seed = 0 is the default and must reproduce the historical
+  // single-stream generation byte for byte: the same queries and catalogs
+  // that every committed baseline and golden file were generated from.
+  QuerySpec legacy = PaperQuery(7, 3, 1234);
+  QuerySpec explicit_zero = PaperQuery(7, 3, 1234);
+  explicit_zero.structure_seed = 0;
+  ASSERT_OK_AND_ASSIGN(Workload a, MakeWorkload(*Rules()->algebra, legacy));
+  ASSERT_OK_AND_ASSIGN(Workload b,
+                       MakeWorkload(*Rules()->algebra, explicit_zero));
+  // TreeString includes descriptor annotations (the join predicates), which
+  // the flat ToString omits.
+  EXPECT_EQ(a.query->TreeString(*Rules()->algebra),
+            b.query->TreeString(*Rules()->algebra));
+  EXPECT_TRUE(a.query->Equals(*b.query));
+  EXPECT_EQ(a.catalog.ToString(), b.catalog.ToString());
+}
+
+TEST(MakeWorkload, StructureSeedVariesJoinAttrsButNotCatalog) {
+  // A nonzero structure_seed moves the join-attribute choices onto their
+  // own RNG stream: the catalog (cardinalities, distinct counts) is fixed
+  // entirely by `seed`, while the query shape may change. Scan a few
+  // structure seeds to find one that actually flips an attribute choice;
+  // each join draws two fair coins, so a handful of seeds suffices.
+  QuerySpec base = PaperQuery(7, 3, 1234);
+  ASSERT_OK_AND_ASSIGN(Workload ref, MakeWorkload(*Rules()->algebra, base));
+  // TreeString carries the join predicates (descriptor annotations);
+  // the flat ToString only shows operator and class names.
+  const std::string ref_query = ref.query->TreeString(*Rules()->algebra);
+  bool any_query_diff = false;
+  for (uint64_t s = 1; s <= 8; ++s) {
+    QuerySpec spec = base;
+    spec.structure_seed = s;
+    ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+    EXPECT_EQ(w.catalog.ToString(), ref.catalog.ToString())
+        << "structure_seed " << s << " must not perturb the catalog";
+    any_query_diff |=
+        w.query->TreeString(*Rules()->algebra) != ref_query;
+  }
+  EXPECT_TRUE(any_query_diff)
+      << "no structure seed in [1,8] changed any join attribute";
+}
+
+TEST(MakeWorkload, StructureSeedIsDeterministic) {
+  QuerySpec spec = PaperQuery(7, 3, 1234);
+  spec.structure_seed = 5;
+  ASSERT_OK_AND_ASSIGN(Workload a, MakeWorkload(*Rules()->algebra, spec));
+  ASSERT_OK_AND_ASSIGN(Workload b, MakeWorkload(*Rules()->algebra, spec));
+  EXPECT_EQ(a.query->TreeString(*Rules()->algebra),
+            b.query->TreeString(*Rules()->algebra));
+  EXPECT_TRUE(a.query->Equals(*b.query));
+}
+
 TEST(MakeWorkload, SelectionConstantsAreInDomain) {
   QuerySpec spec = PaperQuery(5, 3, 77);
   spec.min_card = 5;

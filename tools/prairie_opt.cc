@@ -4,7 +4,8 @@
 //
 //   prairie_opt [--spec relational|oodb|FILE] [--query 1..8]
 //               [--joins N] [--seed S] [--expand-only] [--no-prune]
-//               [--jobs N] [--batch K]
+//               [--jobs N] [--batch K] [--plan-cache[=ENTRIES]]
+//               [--repeat R]
 //               [--trace FILE] [--profile-rules] [--explain]
 //               [--metrics FILE] [--dump-memo FILE.{dot,json}] [--help]
 //
@@ -12,6 +13,11 @@
 // generates K instances of the query (seeds S..S+K-1) and optimizes them
 // concurrently on N worker threads through a BatchOptimizer — all workers
 // interning into one shared concurrent descriptor store.
+//
+// --plan-cache enables the fingerprinted plan cache (optionally sized to
+// ENTRIES; default 4096) and reports hit/miss/insert/evict/stale counts
+// after the run. --repeat R re-optimizes the same workload R times — the
+// natural way to watch the cache go from cold to warm.
 //
 // Observability flags:
 //   --trace FILE     write the search trace as Chrome trace_event JSON
@@ -75,6 +81,13 @@ void PrintUsage(std::FILE* out) {
       "default)\n"
       "  --batch K                    optimize K instances, seeds S..S+K-1\n"
       "\n"
+      "plan cache:\n"
+      "  --plan-cache[=ENTRIES]       reuse optimized plans by fingerprint\n"
+      "                               (default 4096 entries); reports\n"
+      "                               hit/miss/insert/evict/stale counts\n"
+      "  --repeat R                   optimize the workload R times (cold\n"
+      "                               first round, warm after)\n"
+      "\n"
       "observability:\n"
       "  --trace FILE                 write Chrome trace_event JSON\n"
       "  --profile-rules              print per-rule attempt/latency table\n"
@@ -132,6 +145,9 @@ int main(int argc, char** argv) {
   std::string dump_memo_path;
   bool profile_rules = false;
   bool explain = false;
+  bool plan_cache = false;
+  size_t plan_cache_entries = 4096;
+  int repeat = 1;
   prairie::volcano::OptimizerOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -166,6 +182,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       batch = std::atoi(v);
+    } else if (arg == "--plan-cache") {
+      plan_cache = true;
+    } else if (arg.rfind("--plan-cache=", 0) == 0) {
+      plan_cache = true;
+      const long long n = std::atoll(arg.c_str() + std::strlen("--plan-cache="));
+      if (n <= 0) return Usage();
+      plan_cache_entries = static_cast<size_t>(n);
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      repeat = std::atoi(v);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.c_str() + std::strlen("--repeat="));
     } else if (arg == "--trace") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -198,7 +227,9 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (query < 1 || query > 8 || joins < 1 || batch < 0) return Usage();
+  if (query < 1 || query > 8 || joins < 1 || batch < 0 || repeat < 1) {
+    return Usage();
+  }
 
   std::string text;
   if (spec == "relational") {
@@ -272,15 +303,29 @@ int main(int argc, char** argv) {
     prairie::volcano::BatchOptions batch_options;
     batch_options.jobs = jobs;
     batch_options.optimizer = options;
+    if (plan_cache) batch_options.plan_cache_entries = plan_cache_entries;
     if (!trace_path.empty() || profile_rules) {
       batch_options.trace_capacity =
           prairie::common::RingBufferSink::kDefaultCapacity;
     }
     prairie::volcano::BatchOptimizer batcher(volcano_rules->get(),
                                              batch_options);
+    // With --repeat the same batch runs R times; round 1 is cold, later
+    // rounds are served (mostly) from the warm cache.
+    std::vector<prairie::volcano::BatchResult> results;
     prairie::common::Stopwatch sw;
-    auto results = batcher.OptimizeAll(queries);
-    const double wall = sw.ElapsedSeconds();
+    double wall = 0;
+    for (int round = 0; round < repeat; ++round) {
+      prairie::common::Stopwatch round_sw;
+      results = batcher.OptimizeAll(queries);
+      const double round_wall = round_sw.ElapsedSeconds();
+      if (repeat > 1) {
+        std::printf("round %d/%d: %.2f ms (%.1f queries/s)\n", round + 1,
+                    repeat, round_wall * 1e3,
+                    static_cast<double>(results.size()) / round_wall);
+      }
+    }
+    wall = sw.ElapsedSeconds();
     int failures = 0;
     for (size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
@@ -296,13 +341,26 @@ int main(int argc, char** argv) {
                   r.plan->root->ToString(algebra).c_str());
     }
     const auto* store = batcher.shared_store();
+    const size_t total_queries = results.size() * static_cast<size_t>(repeat);
     std::printf(
         "\nbatch: %zu queries on %d worker(s) in %.2f ms (%.1f queries/s)\n",
-        results.size(), batcher.jobs(), wall * 1e3,
-        static_cast<double>(results.size()) / wall);
+        total_queries, batcher.jobs(), wall * 1e3,
+        static_cast<double>(total_queries) / wall);
     if (store != nullptr) {
       std::printf("shared store: %zu descriptors, %.1f%% intern hit rate\n",
                   store->size(), 100.0 * store->HitRate());
+    }
+    if (const prairie::volcano::PlanCache* cache = batcher.plan_cache()) {
+      const prairie::volcano::PlanCacheStats cs = cache->stats();
+      std::printf(
+          "plan cache: %llu hits, %llu misses, %llu inserts, %llu evictions, "
+          "%llu stale drops (%zu live entries, %zu bytes)\n",
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.misses),
+          static_cast<unsigned long long>(cs.inserts),
+          static_cast<unsigned long long>(cs.evictions),
+          static_cast<unsigned long long>(cs.stale_drops), cache->size(),
+          cache->bytes());
     }
     if (profile_rules) {
       prairie::volcano::RuleProfile profile = prairie::volcano::BuildRuleProfile(
@@ -355,8 +413,37 @@ int main(int argc, char** argv) {
     sink = std::make_unique<prairie::common::RingBufferSink>();
     options.trace = sink.get();
   }
+  // The cache outlives every per-round optimizer; its keys intern through
+  // one store that all rounds share.
+  std::unique_ptr<prairie::algebra::DescriptorStore> cache_store;
+  std::unique_ptr<prairie::volcano::PlanCache> cache;
+  if (plan_cache) {
+    cache_store = std::make_unique<prairie::algebra::DescriptorStore>(
+        &(*volcano_rules)->algebra->properties(),
+        prairie::algebra::StoreMode::kSerial);
+    prairie::volcano::PlanCacheOptions copt;
+    copt.max_entries = plan_cache_entries;
+    cache = std::make_unique<prairie::volcano::PlanCache>(cache_store.get(),
+                                                          copt);
+    options.plan_cache = cache.get();
+  }
+  // --repeat: rounds 1..R-1 run here (round 1 cold; with --plan-cache the
+  // rest warm); the final round below prints the plan and stats.
+  for (int round = 1; !expand_only && round < repeat; ++round) {
+    prairie::common::Stopwatch round_sw;
+    prairie::volcano::Optimizer warm(volcano_rules->get(), &w->catalog,
+                                     options, cache_store.get());
+    auto p = warm.Optimize(*w->query);
+    if (!p.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n", p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("round %d/%d: %.3f ms%s\n", round, repeat,
+                round_sw.ElapsedSeconds() * 1e3,
+                warm.stats().plan_from_cache ? " (cached)" : "");
+  }
   prairie::volcano::Optimizer optimizer(volcano_rules->get(), &w->catalog,
-                                        options);
+                                        options, cache_store.get());
   auto emit_trace_outputs = [&]() -> int {
     if (sink == nullptr) return 0;
     const std::vector<prairie::common::TraceEvent> events = sink->Snapshot();
@@ -427,6 +514,21 @@ int main(int argc, char** argv) {
       stats.groups, stats.mexprs, stats.trans_attempts, stats.trans_fired,
       stats.impl_attempts, stats.plans_costed, stats.enforcer_attempts,
       stats.desc_interned, 100.0 * stats.InternHitRate());
+  if (stats.plan_from_cache) {
+    std::printf("(plan served from the cache; the search did not run)\n");
+  }
+  if (cache != nullptr) {
+    const prairie::volcano::PlanCacheStats cs = cache->stats();
+    std::printf(
+        "plan cache: %llu hits, %llu misses, %llu inserts, %llu evictions, "
+        "%llu stale drops (%zu live entries, %zu bytes)\n",
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.inserts),
+        static_cast<unsigned long long>(cs.evictions),
+        static_cast<unsigned long long>(cs.stale_drops), cache->size(),
+        cache->bytes());
+  }
   if (explain) {
     std::printf("\nprovenance (winner -> rule -> source expression):\n%s",
                 optimizer.ExplainWinner().c_str());
