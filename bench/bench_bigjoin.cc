@@ -1,0 +1,193 @@
+// Intra-query parallel search on adversarial big-join graphs.
+//
+// Where bench_throughput parallelizes ACROSS queries (one memo per
+// query), this bench parallelizes WITHIN one query: a single N-relation
+// join optimized over one concurrent memo at --search-jobs = 1, 2, 4, 8.
+// Three graph shapes stress different parts of the concurrent memo:
+//
+//   chain   the paper's linear graphs — long dependency spine
+//   star    every join references the hub class — its group is on every
+//           worker's critical path (lock and claim contention)
+//   clique  every class pair predicated — maximal rule interplay and
+//           cross-group merge traffic
+//
+// Every parallel run is checked against the jobs=1 serial reference: the
+// final plan cost must be identical, or the bench exits non-zero. The
+// parallel engine explores the full logical closure eagerly, so group /
+// expression counts may exceed the demand-driven serial walk — the plan
+// cost may not differ.
+//
+// Speedup over jobs=1 is reported but only enforced when
+// PRAIRIE_BIGJOIN_REQUIRE_SPEEDUP=1 and the host has at least 4 hardware
+// threads (CI containers are often single-core; a speedup gate there
+// would measure the scheduler, not the optimizer).
+//
+// Environment knobs (the default size keeps the sweep short enough for
+// shared single-core CI runners; on real hardware run the full
+// experiment with PRAIRIE_BIGJOIN_RELATIONS=30):
+//   PRAIRIE_BIGJOIN_RELATIONS        largest chain/star size   (def 10)
+//   PRAIRIE_BIGJOIN_CLIQUE           clique size               (def 6)
+//   PRAIRIE_BIGJOIN_REPEATS          timing repeats, best-of   (def 1)
+//   PRAIRIE_BIGJOIN_REQUIRE_SPEEDUP  fail below 2x at jobs=4   (def 0)
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "volcano/engine.h"
+
+namespace {
+
+using prairie::bench::BuildOodbPair;
+using prairie::bench::EnvInt;
+using prairie::bench::JsonWriter;
+using prairie::volcano::Optimizer;
+using prairie::volcano::OptimizerOptions;
+using prairie::volcano::RuleSet;
+using prairie::workload::JoinShape;
+
+const char* ShapeName(JoinShape s) {
+  switch (s) {
+    case JoinShape::kChain:
+      return "chain";
+    case JoinShape::kStar:
+      return "star";
+    case JoinShape::kClique:
+      return "clique";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const int max_relations = EnvInt("PRAIRIE_BIGJOIN_RELATIONS", 10);
+  const int clique_relations = EnvInt("PRAIRIE_BIGJOIN_CLIQUE", 6);
+  const int repeats = EnvInt("PRAIRIE_BIGJOIN_REPEATS", 1);
+  const bool require_speedup = EnvInt("PRAIRIE_BIGJOIN_REQUIRE_SPEEDUP", 0) != 0;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  auto pair = BuildOodbPair();
+  if (!pair.ok()) {
+    std::fprintf(stderr, "bench_bigjoin: %s\n",
+                 pair.status().ToString().c_str());
+    return 1;
+  }
+  const RuleSet& rules = *pair->emitted;
+
+  struct Point {
+    JoinShape shape;
+    int relations;
+  };
+  std::vector<Point> points;
+  for (int n : {10, 20, 30}) {
+    if (n > max_relations) continue;
+    points.push_back({JoinShape::kChain, n});
+    points.push_back({JoinShape::kStar, n});
+  }
+  points.push_back({JoinShape::kClique, clique_relations});
+
+  std::printf("intra-query parallel search, %u hardware thread(s), "
+              "best of %d run(s)\n\n",
+              hw, repeats);
+  std::printf("%8s %5s %5s %12s %9s %8s %8s  %s\n", "shape", "rels", "jobs",
+              "wall", "speedup", "groups", "mexprs", "plan");
+
+  JsonWriter json("bigjoin");
+  bool all_identical = true;
+  // Speedup of the largest chain point at jobs=4 (the acceptance number).
+  double headline_speedup = 0;
+  int headline_relations = 0;
+
+  for (const Point& p : points) {
+    prairie::workload::QuerySpec spec =
+        prairie::workload::PaperQuery(1, p.relations - 1, /*seed=*/1);
+    spec.shape = p.shape;
+    auto w = prairie::workload::MakeWorkload(*rules.algebra, spec);
+    if (!w.ok()) {
+      std::fprintf(stderr, "bench_bigjoin: %s/%d: %s\n", ShapeName(p.shape),
+                   p.relations, w.status().ToString().c_str());
+      return 1;
+    }
+
+    double reference_cost = 0;
+    double serial_wall = 0;
+    for (int jobs : {1, 2, 4, 8}) {
+      double best = -1;
+      double cost = 0;
+      size_t groups = 0;
+      size_t mexprs = 0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        OptimizerOptions options;
+        options.search_jobs = jobs;
+        Optimizer optimizer(&rules, &w->catalog, options);
+        prairie::common::Stopwatch sw;
+        auto plan = optimizer.Optimize(*w->query);
+        const double t = sw.ElapsedSeconds();
+        if (!plan.ok()) {
+          std::fprintf(stderr, "bench_bigjoin: %s/%d jobs=%d: %s\n",
+                       ShapeName(p.shape), p.relations, jobs,
+                       plan.status().ToString().c_str());
+          return 1;
+        }
+        if (best < 0 || t < best) {
+          best = t;
+          cost = plan->cost;
+          groups = optimizer.stats().groups;
+          mexprs = optimizer.stats().mexprs;
+        }
+      }
+      bool identical = true;
+      if (jobs == 1) {
+        reference_cost = cost;
+        serial_wall = best;
+      } else if (cost != reference_cost) {
+        identical = false;
+        all_identical = false;
+      }
+      const double speedup = jobs == 1 ? 1.0 : serial_wall / best;
+      if (p.shape == JoinShape::kChain && jobs == 4 &&
+          p.relations >= headline_relations) {
+        headline_relations = p.relations;
+        headline_speedup = speedup;
+      }
+      const std::string family = std::string(ShapeName(p.shape)) + "/n" +
+                                 std::to_string(p.relations) + "/jobs" +
+                                 std::to_string(jobs);
+      json.Record(family, best * 1e6, groups, mexprs, 0.0);
+      std::printf("%8s %5d %5d %10.2fms %8.2fx %8zu %8zu  %s\n",
+                  ShapeName(p.shape), p.relations, jobs, best * 1e3, speedup,
+                  groups, mexprs,
+                  jobs == 1 ? "reference"
+                            : (identical ? "cost-identical" : "COST DIFFERS"));
+      std::fflush(stdout);
+    }
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "bench_bigjoin: FAILED — a parallel plan's cost "
+                         "differs from the serial reference\n");
+    return 1;
+  }
+  if (require_speedup && hw >= 4) {
+    if (headline_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "bench_bigjoin: FAILED — jobs=4 speedup %.2fx < 2x on the "
+                   "%d-relation chain\n",
+                   headline_speedup, headline_relations);
+      return 1;
+    }
+    std::printf("\njobs=4 speedup gate: %.2fx on the %d-relation chain (>= "
+                "2x required) — OK\n",
+                headline_speedup, headline_relations);
+  } else {
+    std::printf("\njobs=4 speedup on the %d-relation chain: %.2fx "
+                "(informative; gate disabled%s)\n",
+                headline_relations, headline_speedup,
+                hw < 4 ? ": fewer than 4 hardware threads" : "");
+  }
+  return 0;
+}

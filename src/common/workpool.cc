@@ -1,0 +1,143 @@
+#include "common/workpool.h"
+
+#include <chrono>
+
+namespace prairie::common {
+
+thread_local const WorkPool* WorkPool::current_pool_ = nullptr;
+thread_local int WorkPool::current_wid_ = -1;
+
+WorkPool::WorkPool(int threads) {
+  threads_ = threads;
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+  queues_.reserve(static_cast<size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  helpers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int t = 1; t < threads_; ++t) {
+    helpers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void WorkPool::Submit(Task task) {
+  const int wid = current_pool_ == this ? current_wid_ : -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  if (wid >= 0) {
+    WorkerQueue& q = *queues_[static_cast<size_t>(wid)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    inject_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool WorkPool::PopLocal(int wid, Task* out) {
+  WorkerQueue& q = *queues_[static_cast<size_t>(wid)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool WorkPool::PopInject(Task* out) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (inject_.empty()) return false;
+  *out = std::move(inject_.front());
+  inject_.pop_front();
+  return true;
+}
+
+bool WorkPool::Steal(int wid, Task* out) {
+  // Round-robin victim scan starting after the thief keeps contention off
+  // any single deque.
+  for (int d = 1; d < threads_; ++d) {
+    const int victim = (wid + d) % threads_;
+    WorkerQueue& q = *queues_[static_cast<size_t>(victim)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    *out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void WorkPool::DrainAs(int wid) {
+  const WorkPool* prev_pool = current_pool_;
+  const int prev_wid = current_wid_;
+  current_pool_ = this;
+  current_wid_ = wid;
+  for (;;) {
+    Task task;
+    if (PopLocal(wid, &task) || PopInject(&task) || Steal(wid, &task)) {
+      task(wid);
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        empty = --pending_ == 0;
+      }
+      if (empty) drained_.notify_all();
+      continue;
+    }
+    break;
+  }
+  current_pool_ = prev_pool;
+  current_wid_ = prev_wid;
+}
+
+void WorkPool::WorkerLoop(int wid) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || (running_ && pending_ > 0); });
+      if (shutdown_) return;
+    }
+    DrainAs(wid);
+    // Out of visible work; loop back to wait. pending_ may still be > 0
+    // (another worker is mid-task and could spawn more) — the spawn's
+    // notify re-wakes us.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    if (pending_ == 0) drained_.notify_all();
+  }
+}
+
+void WorkPool::RunUntilIdle() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = true;
+  }
+  wake_.notify_all();
+  for (;;) {
+    DrainAs(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pending_ == 0) break;
+    // Tasks exist but are all claimed by helpers; wait for completion or
+    // for freshly spawned work to appear.
+    drained_.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return pending_ == 0; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+}  // namespace prairie::common

@@ -1,0 +1,87 @@
+// A small work-stealing thread pool shared by the batch optimizer (one
+// task per query) and the intra-query parallel search (one task per
+// group). Tasks may submit further tasks; RunUntilIdle() drains the pool
+// to quiescence, with the calling thread participating as worker 0.
+//
+// Scheduling: each worker owns a deque — it pushes and pops at the back
+// (LIFO keeps the working set warm), and steals from the FRONT of a
+// victim's deque when its own runs dry (FIFO steals take the oldest,
+// largest-granularity work). External Submit() calls land in a shared
+// inject queue that idle workers drain first.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prairie::common {
+
+/// \brief Fixed-size work-stealing pool; construct per parallel region.
+///
+/// Threads are spawned on construction and parked between RunUntilIdle()
+/// calls. The destructor joins them. Tasks receive the executing worker's
+/// id in [0, threads()): callers use it to index per-worker state (trace
+/// sinks, optimizer instances) without locks.
+class WorkPool {
+ public:
+  using Task = std::function<void(int worker_id)>;
+
+  /// `threads` <= 0 picks std::thread::hardware_concurrency(). Worker 0 is
+  /// the thread that calls RunUntilIdle(); threads - 1 helpers are
+  /// spawned.
+  explicit WorkPool(int threads);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Enqueues a task. Inside a task, the work lands on the executing
+  /// worker's own deque (stealable by others); outside, on the shared
+  /// inject queue. Must not be called concurrently with pool destruction.
+  void Submit(Task task);
+
+  /// Runs tasks on the calling thread (as worker 0) together with the
+  /// helper threads until every submitted task — including tasks spawned
+  /// by tasks — has finished. Reentrant calls are not allowed.
+  void RunUntilIdle();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  bool PopLocal(int wid, Task* out);
+  bool Steal(int wid, Task* out);
+  bool PopInject(Task* out);
+  void WorkerLoop(int wid);
+  /// Runs tasks until none can be found anywhere and pending_ is zero.
+  void DrainAs(int wid);
+
+  int threads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex inject_mu_;
+  std::deque<Task> inject_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;     ///< Helpers wait here for work.
+  std::condition_variable drained_;  ///< RunUntilIdle waits here.
+  size_t pending_ = 0;  ///< Submitted but not yet finished tasks.
+  bool running_ = false;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> helpers_;
+  /// The executing worker's id, or -1 outside pool threads (thread_local
+  /// key is global; the pool pointer disambiguates nested pools).
+  static thread_local const WorkPool* current_pool_;
+  static thread_local int current_wid_;
+};
+
+}  // namespace prairie::common

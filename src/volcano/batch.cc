@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "common/workpool.h"
 
 namespace prairie::volcano {
 
@@ -72,12 +73,16 @@ std::vector<BatchResult> BatchOptimizer::OptimizeAll(
   if (pool <= 1) {
     worker(0);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(pool));
-    for (int t = 0; t < pool; ++t) threads.emplace_back(worker, t);
-    for (std::thread& t : threads) t.join();
+    // One long-lived task per worker on the shared pool; each drains the
+    // `next` counter, so queries balance across workers regardless of how
+    // the pool schedules the tasks.
+    common::WorkPool wp(pool);
+    for (int t = 0; t < pool; ++t) {
+      wp.Submit([&worker, t](int) { worker(t); });
+    }
+    wp.RunUntilIdle();
   }
-  // Workers have joined: merge the per-worker streams into one
+  // The pool has drained: merge the per-worker streams into one
   // timestamp-ordered trace (steady-clock timestamps are comparable across
   // threads on one host).
   trace_.clear();

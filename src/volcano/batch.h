@@ -3,9 +3,11 @@
 // A production optimizer's figure of merit under heavy traffic is
 // throughput — queries optimized per second across concurrent sessions —
 // not just single-query latency. Queries are independent searches, so the
-// natural unit of parallelism is the query: BatchOptimizer runs a fixed
-// pool of worker threads, each constructing a private single-threaded
-// Optimizer (its own memo, winner tables, stats) per query, while all
+// natural unit of parallelism here is the query (for parallelism WITHIN
+// one search, see OptimizerOptions::search_jobs and the concurrent memo):
+// BatchOptimizer runs a fixed pool of worker threads, each constructing a
+// private single-threaded Optimizer (its own memo, winner tables, stats)
+// per query, while all
 // workers intern descriptors through ONE concurrent DescriptorStore so ids
 // stay globally canonical and common descriptors (empty requirements,
 // shared literals, projected slices) are stored once.

@@ -37,14 +37,37 @@ double OptimizerStats::InternHitRate() const {
                                  static_cast<double>(desc_lookups);
 }
 
+namespace {
+
+MemoMode MemoModeFor(const OptimizerOptions& options,
+                     const algebra::DescriptorStore* shared_store) {
+  if (options.search_jobs == 1) return MemoMode::kSerial;
+  // A concurrent memo interns from several threads: it needs a concurrent
+  // store. With a serial shared store the search degrades to one job
+  // (ResolveSearchJobs agrees) rather than racing the store.
+  if (shared_store != nullptr && !shared_store->concurrent()) {
+    return MemoMode::kSerial;
+  }
+  return MemoMode::kConcurrent;
+}
+
+}  // namespace
+
 Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
                      OptimizerOptions options,
-                     algebra::DescriptorStore* shared_store)
+                     algebra::DescriptorStore* shared_store, Memo* shared_memo)
     : rules_(rules),
       catalog_(catalog),
       options_(options),
-      memo_(rules, options.memo_limits, shared_store),
-      phys_slice_id_(memo_.store()->RegisterSlice(rules->PhysSlice())) {
+      owned_memo_(shared_memo != nullptr
+                      ? nullptr
+                      : std::make_unique<Memo>(rules, options.memo_limits,
+                                               shared_store,
+                                               MemoModeFor(options,
+                                                           shared_store))),
+      memo_(shared_memo != nullptr ? shared_memo : owned_memo_.get()),
+      concurrent_memo_(memo_->concurrent()),
+      phys_slice_id_(memo_->store()->RegisterSlice(rules->PhysSlice())) {
   stats_.trans_matched.assign(rules_->trans_rules.size(), 0);
   stats_.impl_matched.assign(rules_->impl_rules.size(), 0);
   // Snapshot the store counters before this optimizer interns anything:
@@ -52,7 +75,7 @@ Optimizer::Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
   // does not inflate per-query interning stats with other queries'
   // traffic.
   const algebra::DescriptorStore::CounterSnapshot snap =
-      memo_.store()->Counters();
+      memo_->store()->Counters();
   store_size0_ = snap.size;
   store_lookups0_ = snap.lookups;
   store_hits0_ = snap.hits;
@@ -83,7 +106,7 @@ Descriptor Optimizer::MakeReq() const {
 }
 
 algebra::DescriptorId Optimizer::ReqId(const Descriptor& req) {
-  return memo_.store()->InternProjected(phys_slice_id_, req);
+  return memo_->store()->InternProjected(phys_slice_id_, req);
 }
 
 BindingView Optimizer::MakeBinding(int num_slots) {
@@ -92,7 +115,7 @@ BindingView Optimizer::MakeBinding(int num_slots) {
                   Descriptor(&rules_->algebra->properties()));
   bv.algebra = rules_->algebra.get();
   bv.catalog = catalog_;
-  bv.store = memo_.store();
+  bv.store = memo_->store();
   return bv;
 }
 
@@ -102,7 +125,7 @@ void Optimizer::RecordStoreStats() {
   // interning. The delta is exact for a private or sequentially shared
   // store and a close approximation under truly concurrent workers.
   const algebra::DescriptorStore::CounterSnapshot snap =
-      memo_.store()->Counters();
+      memo_->store()->Counters();
   stats_.desc_interned = snap.size - store_size0_;
   stats_.desc_lookups = snap.lookups - store_lookups0_;
   stats_.desc_hits = snap.hits - store_hits0_;
@@ -143,7 +166,7 @@ PlanCache* Optimizer::UsableCache() const {
   // A cache keyed through a different descriptor store holds ids that mean
   // something else here; serving from it could return a wrong plan, so it
   // is bypassed entirely rather than trusted.
-  if (cache->store() != memo_.store()) return nullptr;
+  if (cache->store() != memo_->store()) return nullptr;
   return cache;
 }
 
@@ -157,7 +180,7 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
   const uint64_t p0 = mm != nullptr ? common::TraceNowNs() : 0;
 #endif
   const PlanCache::Key key =
-      PlanCache::MakeKey(tree, ReqId(req), *catalog_, memo_.store());
+      PlanCache::MakeKey(tree, ReqId(req), *catalog_, memo_->store());
   PlanCache::Hit hit;
   bool dropped_stale = false;
   const bool found = cache->Probe(key, *catalog_, &hit, &dropped_stale);
@@ -186,7 +209,9 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
     return hit.plan;
   }
   Result<Plan> result = OptimizeImpl(tree, req);
-  if (result.ok()) {
+  // A budget-exhausted plan is valid but possibly suboptimal: caching it
+  // would serve the truncated plan to future unbudgeted queries.
+  if (result.ok() && !stats_.budget_exhausted) {
     cache->Insert(key, *catalog_, result.ValueOrDie(),
                   options_.plan_cache_provenance ? ExplainWinner()
                                                  : std::string());
@@ -199,17 +224,50 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
   return result;
 }
 
+void Optimizer::ArmBudget() {
+  stats_.budget_exhausted = false;
+  budget_tick_ = 0;
+  group_budget_ = options_.group_budget;
+  has_budget_ = options_.search_budget_ms > 0;
+  deadline_ns_ =
+      has_budget_
+          ? common::TraceNowNs() +
+                static_cast<uint64_t>(options_.search_budget_ms * 1e6)
+          : 0;
+}
+
+bool Optimizer::BudgetExhausted() {
+  if (stats_.budget_exhausted) return true;
+  if (!has_budget_ && group_budget_ == 0) return false;
+  if (group_budget_ != 0 && memo_->allocated_groups() > group_budget_) {
+    stats_.budget_exhausted = true;
+    return true;
+  }
+  // The clock is sampled 1-in-64 checks: a TraceNowNs() per rule probe
+  // would cost more than the rule dispatch it guards.
+  if (has_budget_ && (++budget_tick_ & 63u) == 0 &&
+      common::TraceNowNs() >= deadline_ns_) {
+    stats_.budget_exhausted = true;
+    return true;
+  }
+  return false;
+}
+
 Result<Plan> Optimizer::OptimizeImpl(const algebra::Expr& tree,
                                      const Descriptor& req) {
-  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
+  ArmBudget();
+  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_->CopyIn(tree));
+  const bool parallel = concurrent_memo_ && ResolveSearchJobs() > 1;
   PRAIRIE_ASSIGN_OR_RETURN(
-      Winner w, OptimizeGroup(root, req, options_.initial_cost_limit));
+      Winner w, parallel
+                    ? OptimizeParallel(root, req)
+                    : OptimizeGroup(root, req, options_.initial_cost_limit));
   // Entry point of ExplainWinner(): the canonical root group and the
   // interned requirement the final winner is memoized under.
-  explain_root_ = memo_.Find(root);
+  explain_root_ = memo_->Find(root);
   explain_req_ = ReqId(req);
-  stats_.groups = memo_.NumGroups();
-  stats_.mexprs = memo_.NumExprs();
+  stats_.groups = memo_->NumGroups();
+  stats_.mexprs = memo_->NumExprs();
   RecordStoreStats();
   if (!w.has_plan) {
     return Status::OptimizeError(
@@ -224,23 +282,24 @@ Result<Plan> Optimizer::Optimize(const algebra::Expr& tree) {
 }
 
 Result<size_t> Optimizer::ExpandOnly(const algebra::Expr& tree) {
-  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_.CopyIn(tree));
+  ArmBudget();
+  PRAIRIE_ASSIGN_OR_RETURN(GroupId root, memo_->CopyIn(tree));
   PRAIRIE_RETURN_NOT_OK(ExpandGroup(root));
   // Expand every group that became reachable so the count reflects the
   // full logical search space.
   for (size_t changed = 1; changed != 0;) {
     changed = 0;
-    for (size_t g = 0; g < memo_.allocated_groups(); ++g) {
-      GroupId rep = memo_.Find(static_cast<GroupId>(g));
+    for (size_t g = 0; g < memo_->allocated_groups(); ++g) {
+      GroupId rep = memo_->Find(static_cast<GroupId>(g));
       if (rep != static_cast<GroupId>(g)) continue;
-      if (!memo_.group(rep).expanded && !memo_.group(rep).expanding) {
+      if (!memo_->group(rep).expanded && !memo_->group(rep).expanding) {
         PRAIRIE_RETURN_NOT_OK(ExpandGroup(rep));
         ++changed;
       }
     }
   }
-  stats_.groups = memo_.NumGroups();
-  stats_.mexprs = memo_.NumExprs();
+  stats_.groups = memo_->NumGroups();
+  stats_.mexprs = memo_->NumExprs();
   RecordStoreStats();
   FlushMetrics();
   return stats_.groups;
@@ -251,21 +310,52 @@ Result<size_t> Optimizer::ExpandOnly(const algebra::Expr& tree) {
 // ---------------------------------------------------------------------------
 
 Status Optimizer::ExpandGroup(GroupId gid) {
-  gid = memo_.Find(gid);
+  gid = memo_->Find(gid);
+  // The group whose `expanding` flag this call claims (flags are released
+  // on this exact group at the end even if a merge moves the canonical id
+  // while we work — releasing the keeper's flag would drop another
+  // worker's claim).
+  const GroupId claimed = gid;
   {
-    Group& grp = memo_.group(gid);
-    if (grp.expanded || grp.expanding) return Status::OK();
-    grp.expanding = true;
+    Group& grp = memo_->group(gid);
+    if (concurrent_memo_) {
+      if (grp.expanded.load(std::memory_order_acquire)) return Status::OK();
+      // Re-entry from this optimizer's own recursion is a cyclic rule
+      // path: match over what is already there, exactly as the serial
+      // engine does.
+      if (expanding_here_.count(gid) > 0) return Status::OK();
+      if (grp.expanding.exchange(true, std::memory_order_acq_rel)) {
+        // Another worker owns this expansion. Its current contents are
+        // safe to read, but the caller must not treat a pass over them as
+        // complete — the round driver retries once the owner finishes.
+        last_expand_partial_ = true;
+        return Status::OK();
+      }
+      expanding_here_.insert(gid);
+    } else {
+      if (grp.expanded || grp.expanding) return Status::OK();
+      grp.expanding = true;
+    }
   }
   TraceSpan span(this, common::TraceEventKind::kGroupExpand, gid, -1,
                  algebra::kInvalidDescriptorId);
   Status st = Status::OK();
   bool restart = true;
+  bool pass_complete = true;
+  bool frozen = false;
   while (restart && st.ok()) {
     restart = false;
+    pass_complete = true;
     for (size_t ei = 0; st.ok(); ++ei) {
-      gid = memo_.Find(gid);
-      Group* grp = &memo_.group(gid);
+      if (BudgetExhausted()) {
+        // Anytime budget: freeze the logical search space as-is. The group
+        // is marked expanded so no pass retries it; costing proceeds over
+        // whatever alternatives exist.
+        frozen = true;
+        break;
+      }
+      gid = memo_->Find(gid);
+      Group* grp = &memo_->group(gid);
       if (ei >= grp->exprs.size()) break;
       if (grp->exprs[ei].is_file) continue;
       // Only rules whose LHS root is this expression's operator can match;
@@ -277,10 +367,11 @@ Status Optimizer::ExpandGroup(GroupId gid) {
           indexed != nullptr ? indexed->size() : rules_->trans_rules.size();
       for (size_t k = 0; k < num_rules && st.ok(); ++k) {
         const size_t ri = indexed != nullptr ? (*indexed)[k] : k;
-        gid = memo_.Find(gid);
-        grp = &memo_.group(gid);
+        gid = memo_->Find(gid);
+        grp = &memo_->group(gid);
         if (ei >= grp->exprs.size()) break;
         if (grp->exprs[ei].applied.Test(static_cast<int>(ri))) continue;
+        binding_partial_child_ = false;
         bool epoch_changed = false;
         st = ApplyTransRule(gid, ei, ri, &epoch_changed);
         if (!st.ok()) break;
@@ -290,8 +381,16 @@ Status Optimizer::ExpandGroup(GroupId gid) {
           restart = true;
           break;
         }
-        gid = memo_.Find(gid);
-        grp = &memo_.group(gid);
+        if (concurrent_memo_ && binding_partial_child_) {
+          // A child group was mid-expansion in another worker: the binding
+          // enumeration may have missed alternatives. Leave the applied
+          // bit clear so a later pass redoes this application, and do not
+          // mark the group expanded.
+          pass_complete = false;
+          continue;
+        }
+        gid = memo_->Find(gid);
+        grp = &memo_->group(gid);
         if (ei < grp->exprs.size()) {
           grp->exprs[ei].applied.Set(static_cast<int>(ri));
         }
@@ -299,18 +398,29 @@ Status Optimizer::ExpandGroup(GroupId gid) {
       if (restart) break;
     }
   }
-  gid = memo_.Find(gid);
-  Group& grp = memo_.group(gid);
-  grp.expanding = false;
-  if (st.ok()) grp.expanded = true;
+  if (concurrent_memo_) {
+    if (st.ok() && (pass_complete || frozen)) {
+      // Publish completion on the canonical group: a merge under this pass
+      // leaves `claimed` merged away, and readers resolve through Find.
+      memo_->group(claimed).expanded.store(true, std::memory_order_release);
+    }
+    memo_->raw_group(claimed).expanding.store(false,
+                                              std::memory_order_release);
+    expanding_here_.erase(claimed);
+  } else {
+    gid = memo_->Find(gid);
+    Group& grp = memo_->group(gid);
+    grp.expanding = false;
+    if (st.ok()) grp.expanded = true;
+  }
   return st;
 }
 
 Status Optimizer::ApplyTransRule(GroupId gid, size_t expr_idx,
                                  size_t rule_idx, bool* epoch_changed) {
   const TransRule& rule = rules_->trans_rules[rule_idx];
-  uint64_t epoch = memo_.merge_epoch();
-  const MExpr& m = memo_.group(gid).exprs[expr_idx];
+  uint64_t epoch = memo_->merge_epoch();
+  const MExpr& m = memo_->group(gid).exprs[expr_idx];
   if (m.is_file || rule.lhs->op != m.op) return Status::OK();
 
   MatchBinding binding;
@@ -324,7 +434,7 @@ Status Optimizer::ApplyTransRule(GroupId gid, size_t expr_idx,
   PRAIRIE_RETURN_NOT_OK(EnumerateBindings(*rule.lhs, gid,
                                           static_cast<int>(expr_idx),
                                           &binding, emit, &aborted, epoch));
-  *epoch_changed = aborted || memo_.merge_epoch() != epoch;
+  *epoch_changed = aborted || memo_->merge_epoch() != epoch;
   return Status::OK();
 }
 
@@ -334,8 +444,8 @@ Status Optimizer::EnumerateBindings(const PatNode& pat, GroupId gid,
                                     uint64_t epoch) {
   // Binds pattern node `pat` (known to be kOp) to expression `expr_idx` of
   // group `gid`, then matches its children.
-  gid = memo_.Find(gid);
-  const Group& grp = memo_.group(gid);
+  gid = memo_->Find(gid);
+  const Group& grp = memo_->group(gid);
   if (expr_idx >= static_cast<int>(grp.exprs.size())) return Status::OK();
   const MExpr& m = grp.exprs[static_cast<size_t>(expr_idx)];
   if (m.is_file || m.op != pat.op) return Status::OK();
@@ -352,13 +462,13 @@ Status Optimizer::MatchChildren(const PatNode& pat,
                                 size_t k, MatchBinding* binding, EmitFn emit,
                                 bool* aborted, uint64_t epoch) {
   if (*aborted) return Status::OK();
-  if (memo_.merge_epoch() != epoch) {
+  if (memo_->merge_epoch() != epoch) {
     *aborted = true;
     return Status::OK();
   }
   if (k == pat.children.size()) return emit();
   const PatNode& cp = *pat.children[k];
-  GroupId cg = memo_.Find(child_groups[k]);
+  GroupId cg = memo_->Find(child_groups[k]);
   if (cp.is_stream()) {
     binding->streams[static_cast<size_t>(cp.stream_var - 1)] =
         std::make_pair(cg, cp.desc_slot);
@@ -366,16 +476,23 @@ Status Optimizer::MatchChildren(const PatNode& pat,
                          epoch);
   }
   // Descend into the child group: it must be expanded for completeness.
+  last_expand_partial_ = false;
   PRAIRIE_RETURN_NOT_OK(ExpandGroup(cg));
-  if (memo_.merge_epoch() != epoch) {
+  if (last_expand_partial_) {
+    // The child is mid-expansion in another worker: enumerate what is
+    // there, but flag the enclosing application as incomplete so its
+    // applied bit stays clear and a later pass redoes it.
+    binding_partial_child_ = true;
+  }
+  if (memo_->merge_epoch() != epoch) {
     *aborted = true;
     return Status::OK();
   }
-  cg = memo_.Find(cg);
+  cg = memo_->Find(cg);
   for (int ci = 0;; ++ci) {
     if (*aborted) return Status::OK();
-    GroupId rep = memo_.Find(cg);
-    const Group& cgrp = memo_.group(rep);
+    GroupId rep = memo_->Find(cg);
+    const Group& cgrp = memo_->group(rep);
     if (ci >= static_cast<int>(cgrp.exprs.size())) break;
     auto next = [&]() -> Status {
       return MatchChildren(pat, child_groups, k + 1, binding, emit, aborted,
@@ -396,25 +513,25 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
   algebra::DescriptorId src_key = algebra::kInvalidDescriptorId;
   if (!binding.op_nodes.empty()) {
     const auto& loc = binding.op_nodes.front().second;
-    const Group& sg = memo_.group(loc.first);
+    const Group& sg = memo_->group(loc.first);
     if (loc.second >= 0 && loc.second < static_cast<int>(sg.exprs.size())) {
       src_key = sg.exprs[static_cast<size_t>(loc.second)].arg_key;
     }
   }
-  TraceSpan span(this, common::TraceEventKind::kTransAttempt, memo_.Find(gid),
+  TraceSpan span(this, common::TraceEventKind::kTransAttempt, memo_->Find(gid),
                  static_cast<int>(rule_idx), src_key);
   BindingView bv = MakeBinding(rule.num_slots);
   bv.streams.assign(binding.streams.size(), -1);
-  const algebra::DescriptorStore* store = memo_.store();
+  const algebra::DescriptorStore* store = memo_->store();
   for (size_t v = 0; v < binding.streams.size(); ++v) {
     auto [g, slot] = binding.streams[v];
     if (g < 0) continue;
     bv.streams[v] = g;
     if (slot >= 0) bv.slots[static_cast<size_t>(slot)] =
-        store->Get(memo_.group(g).stream_desc);
+        store->Get(memo_->group(g).stream_desc);
   }
   for (const auto& [slot, loc] : binding.op_nodes) {
-    const Group& grp = memo_.group(loc.first);
+    const Group& grp = memo_->group(loc.first);
     if (loc.second >= static_cast<int>(grp.exprs.size())) {
       return Status::OK();  // Expression moved by a merge; binding is stale.
     }
@@ -437,7 +554,7 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
   }
   MExpr m;
   m.op = root.op;
-  m.args = memo_.store()->Intern(bv.slots[static_cast<size_t>(root.desc_slot)]);
+  m.args = memo_->store()->Intern(bv.slots[static_cast<size_t>(root.desc_slot)]);
   m.src_rule = static_cast<int>(rule_idx);
   m.src_arg_key = src_key;
   m.children.reserve(root.children.size());
@@ -446,10 +563,10 @@ Status Optimizer::FireBinding(GroupId gid, const TransRule& rule,
                              BuildRhs(*c, &bv, static_cast<int>(rule_idx)));
     m.children.push_back(cg);
   }
-  PRAIRIE_ASSIGN_OR_RETURN(bool added, memo_.InsertInto(gid, std::move(m)));
+  PRAIRIE_ASSIGN_OR_RETURN(bool added, memo_->InsertInto(gid, std::move(m)));
   if (added) {
     ++stats_.trans_fired;
-    TraceInstant(common::TraceEventKind::kTransFire, memo_.Find(gid),
+    TraceInstant(common::TraceEventKind::kTransFire, memo_->Find(gid),
                  static_cast<int>(rule_idx), src_key, 0);
   }
   return Status::OK();
@@ -464,12 +581,12 @@ Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv,
                                std::to_string(node.stream_var) +
                                " was not bound by the LHS");
     }
-    return memo_.Find(g);
+    return memo_->Find(g);
   }
   MExpr m;
   m.op = node.op;
   m.args =
-      memo_.store()->Intern(bv->slots[static_cast<size_t>(node.desc_slot)]);
+      memo_->store()->Intern(bv->slots[static_cast<size_t>(node.desc_slot)]);
   // Interior RHS expressions have no single source expression, only the
   // rule that synthesized them.
   m.src_rule = src_rule;
@@ -479,7 +596,7 @@ Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv,
     m.children.push_back(cg);
   }
   const algebra::DescriptorId desc = m.args;
-  return memo_.GetOrCreateGroup(std::move(m), desc);
+  return memo_->GetOrCreateGroup(std::move(m), desc);
 }
 
 // ---------------------------------------------------------------------------
@@ -488,18 +605,13 @@ Result<GroupId> Optimizer::BuildRhs(const PatNode& node, BindingView* bv,
 
 Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
                                         double limit) {
-  gid = memo_.Find(gid);
+  gid = memo_->Find(gid);
   // Interned requirement id: id equality <=> requirement equality, so the
   // winner lookup needs no collision re-check against a stored descriptor.
   const algebra::DescriptorId rid = ReqId(req);
-  {
-    Group& grp = memo_.group(gid);
-    auto it = grp.winners.find(rid);
-    if (it != grp.winners.end()) {
-      const Winner& w = it->second;
-      if (w.has_plan) return w;
-      if (w.failed_limit >= 0 && limit <= w.failed_limit) return w;
-    }
+  if (std::optional<Winner> w = memo_->FindWinner(gid, rid)) {
+    if (w->has_plan) return *w;
+    if (w->failed_limit >= 0 && limit <= w->failed_limit) return *w;
   }
   // Exact-pair key: a mixed 64-bit hash could collide two distinct
   // (group, requirement) pairs and prune a feasible branch as "cyclic".
@@ -518,7 +630,7 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
     in_progress_.erase(progress_key);
     return st;
   }
-  gid = memo_.Find(gid);
+  gid = memo_->Find(gid);
 
   Winner best;
   WinnerProv prov;
@@ -526,8 +638,8 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   bool limit_failure = false;
 
   for (size_t ei = 0;; ++ei) {
-    GroupId rep = memo_.Find(gid);
-    Group& grp = memo_.group(rep);
+    GroupId rep = memo_->Find(gid);
+    Group& grp = memo_->group(rep);
     if (ei >= grp.exprs.size()) break;
     if (grp.exprs[ei].is_file) {
       // A stored file is a zero-cost source; RET-class algorithms read it
@@ -536,7 +648,7 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
         best.has_plan = true;
         best.cost = 0;
         best.plan = PhysNode::File(grp.exprs[ei].file,
-                                   memo_.store()->Get(grp.stream_desc));
+                                   memo_->store()->Get(grp.stream_desc));
         budget = std::min(budget, 0.0);
         prov = WinnerProv{};
         prov.src_arg_key = grp.exprs[ei].arg_key;
@@ -580,25 +692,20 @@ Result<Winner> Optimizer::OptimizeGroup(GroupId gid, const Descriptor& req,
   }
 
   in_progress_.erase(progress_key);
-  gid = memo_.Find(gid);
-  Group& grp = memo_.group(gid);
-  Winner& slot = grp.winners[rid];
+  gid = memo_->Find(gid);
   if (best.has_plan) {
-    slot = best;
-    slot.rid = rid;
     ++stats_.winners_selected;
     TraceInstant(common::TraceEventKind::kWinnerSelected, gid,
                  prov.impl_rule >= 0 ? prov.impl_rule : prov.enforcer, rid,
                  best.cost);
-    grp.prov[rid] = std::move(prov);
   } else {
-    slot.has_plan = false;
-    slot.rid = rid;
     // Only a limit-induced failure is worth retrying with a larger budget.
-    slot.failed_limit =
+    best.failed_limit =
         limit_failure ? limit : std::numeric_limits<double>::max();
   }
-  return slot;
+  // Serial: overwrite (failed_limit retries depend on it). Concurrent:
+  // first writer with a plan wins, so racing workers agree on one winner.
+  return memo_->StoreWinner(gid, rid, std::move(best), std::move(prov));
 }
 
 Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
@@ -614,11 +721,11 @@ Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
   // Bind LHS input descriptors to the child groups' stream descriptors
   // (copied out of the store: rule actions mutate their slots freely).
   for (int i = 0; i < rule.arity; ++i) {
-    bv.slots[static_cast<size_t>(i)] = memo_.store()->Get(
-        memo_.group(m.children[static_cast<size_t>(i)]).stream_desc);
+    bv.slots[static_cast<size_t>(i)] = memo_->store()->Get(
+        memo_->group(m.children[static_cast<size_t>(i)]).stream_desc);
   }
   // The operator descriptor carries the requirement (top-down propagation).
-  Descriptor op_desc = memo_.store()->Get(m.args);
+  Descriptor op_desc = memo_->store()->Get(m.args);
   for (PropertyId id : rules_->phys_props) {
     const Value& v = req.Get(id);
     if (!v.is_null()) op_desc.SetUnchecked(id, v);
@@ -669,7 +776,7 @@ Status Optimizer::TryImplRule(GroupId gid, algebra::DescriptorId rid,
       }
       return Status::OK();
     }
-    ckeys.emplace_back(memo_.Find(m.children[static_cast<size_t>(i)]), w.rid);
+    ckeys.emplace_back(memo_->Find(m.children[static_cast<size_t>(i)]), w.rid);
     child_sum += w.cost;
     if (options_.prune && child_sum > *budget) {
       *limit_failure = true;
@@ -738,7 +845,7 @@ Status Optimizer::TryEnforcer(GroupId gid, algebra::DescriptorId rid,
                               bool* limit_failure) {
   ++stats_.enforcer_attempts;
   TraceSpan span(this, common::TraceEventKind::kEnforcerAttempt,
-                 memo_.Find(gid), static_cast<int>(enf_idx), rid);
+                 memo_->Find(gid), static_cast<int>(enf_idx), rid);
   Descriptor relaxed = req;
   relaxed.SetUnchecked(enf.prop, Value::Null());
   double child_limit = options_.prune ? *budget : kInf;
@@ -753,16 +860,16 @@ Status Optimizer::TryEnforcer(GroupId gid, algebra::DescriptorId rid,
   }
 
   BindingView bv = MakeBinding(Enforcer::kNumSlots);
-  gid = memo_.Find(gid);
+  gid = memo_->Find(gid);
   // Copy the stream descriptor out of the store (slots are mutable).
-  Descriptor input = memo_.store()->Get(memo_.group(gid).stream_desc);
+  Descriptor input = memo_->store()->Get(memo_->group(gid).stream_desc);
   input.SetUnchecked(rules_->cost_prop, Value::Real(w.cost));
   for (PropertyId id : rules_->phys_props) {
     const Value& delivered = w.plan->desc.Get(id);
     if (!delivered.is_null()) input.SetUnchecked(id, delivered);
   }
   bv.slots[Enforcer::kInputSlot] = input;
-  Descriptor op_desc = memo_.store()->Get(memo_.group(gid).stream_desc);
+  Descriptor op_desc = memo_->store()->Get(memo_->group(gid).stream_desc);
   for (PropertyId id : rules_->phys_props) {
     const Value& v = req.Get(id);
     if (!v.is_null()) op_desc.SetUnchecked(id, v);
@@ -794,7 +901,7 @@ Status Optimizer::TryEnforcer(GroupId gid, algebra::DescriptorId rid,
   if (options_.prune && total > *budget) {
     *limit_failure = true;
     ++stats_.prunes;
-    TraceInstant(common::TraceEventKind::kPrune, memo_.Find(gid),
+    TraceInstant(common::TraceEventKind::kPrune, memo_->Find(gid),
                  static_cast<int>(enf_idx), rid, total);
     return Status::OK();
   }
@@ -808,7 +915,7 @@ Status Optimizer::TryEnforcer(GroupId gid, algebra::DescriptorId rid,
     best_prov->enforcer = static_cast<int>(enf_idx);
     best_prov->src_arg_key = algebra::kInvalidDescriptorId;
     best_prov->src_children.clear();
-    best_prov->child_keys.assign(1, {memo_.Find(gid), w.rid});
+    best_prov->child_keys.assign(1, {memo_->Find(gid), w.rid});
   }
   return Status::OK();
 }
@@ -904,6 +1011,9 @@ VolcanoMetrics VolcanoMetrics::ForRuleSet(common::MetricsRegistry* registry,
   m.memo_exprs_deduped =
       registry->GetCounter("prairie_memo_exprs_deduped_total",
                            "Insert attempts resolved to an existing expr");
+  m.memo_arena_bytes = registry->GetGauge(
+      "prairie_memo_arena_bytes",
+      "Arena bytes backing the memo's group table and expression lists");
   m.intern_hits =
       registry->GetCounter("prairie_intern_hits_total",
                            "Descriptor-interning probes that found an "
@@ -1004,7 +1114,10 @@ void Optimizer::FlushMetrics() {
   add(mm->intern_hits, stats_.desc_hits - mark.desc_hits);
   add(mm->intern_misses, (stats_.desc_lookups - stats_.desc_hits) -
                              (mark.desc_lookups - mark.desc_hits));
-  const MemoTallies& t = memo_.tallies();
+  const MemoTallies t = memo_->tallies();
+  if (mm->memo_arena_bytes != nullptr) {
+    mm->memo_arena_bytes->Set(static_cast<int64_t>(t.arena_bytes));
+  }
   add(mm->memo_groups_created,
       t.groups_created - mark.memo.groups_created);
   add(mm->memo_groups_merged, t.groups_merged - mark.memo.groups_merged);
@@ -1031,7 +1144,7 @@ std::string Optimizer::RenderExpr(const MExpr& m) const {
   std::vector<std::string> parts;
   parts.reserve(m.children.size());
   for (GroupId c : m.children) {
-    parts.push_back("g" + std::to_string(memo_.Find(c)));
+    parts.push_back("g" + std::to_string(memo_->Find(c)));
   }
   return out + common::Join(parts, ", ") + ")";
 }
@@ -1039,7 +1152,7 @@ std::string Optimizer::RenderExpr(const MExpr& m) const {
 const MExpr* Optimizer::FindByArgKey(GroupId gid, algebra::DescriptorId key,
                                      const MExpr* exclude) const {
   if (key == algebra::kInvalidDescriptorId) return nullptr;
-  const Group& grp = memo_.group(gid);
+  const Group& grp = memo_->group(gid);
   for (const MExpr& m : grp.exprs) {
     if (&m != exclude && m.arg_key == key) return &m;
   }
@@ -1050,12 +1163,12 @@ const MExpr* Optimizer::FindImplemented(
     GroupId gid, algebra::DescriptorId key,
     const std::vector<GroupId>& children) const {
   if (key == algebra::kInvalidDescriptorId) return nullptr;
-  const Group& grp = memo_.group(gid);
+  const Group& grp = memo_->group(gid);
   for (const MExpr& m : grp.exprs) {
     if (m.arg_key != key || m.children.size() != children.size()) continue;
     bool same = true;
     for (size_t i = 0; i < children.size(); ++i) {
-      if (memo_.Find(m.children[i]) != memo_.Find(children[i])) {
+      if (memo_->Find(m.children[i]) != memo_->Find(children[i])) {
         same = false;
         break;
       }
@@ -1074,8 +1187,8 @@ void Optimizer::ExplainGroup(GroupId gid, algebra::DescriptorId rid,
     *out += pad + "... (provenance walk depth limit)\n";
     return;
   }
-  gid = memo_.Find(gid);
-  const Group& grp = memo_.group(gid);
+  gid = memo_->Find(gid);
+  const Group& grp = memo_->group(gid);
   auto wit = grp.winners.find(rid);
   if (wit == grp.winners.end() || !wit->second.has_plan) {
     // A later merge cleared this winner table; the plan itself is still

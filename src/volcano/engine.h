@@ -11,6 +11,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -67,6 +68,10 @@ struct VolcanoMetrics {
   common::Counter* plan_cache_misses = nullptr;  ///< Probes that searched.
   common::Counter* plan_cache_inserts = nullptr;  ///< Plans stored.
   common::Counter* plan_cache_stale = nullptr;  ///< Stale entries dropped.
+  /// Arena bytes backing the last flushed memo's groups and expression
+  /// lists (a gauge: each query's flush overwrites it with the memo it
+  /// searched, so it tracks the most recent search's footprint).
+  common::Gauge* memo_arena_bytes = nullptr;
   /// Per-query optimization wall time in nanoseconds (every query).
   common::Histogram* query_latency_ns = nullptr;
   /// Plan-cache key-build + probe wall time in nanoseconds (every probe;
@@ -125,6 +130,23 @@ struct OptimizerOptions {
   /// warm hits save.
   bool plan_cache_provenance = false;
   MemoLimits memo_limits;
+  /// Intra-query parallel search: > 1 runs the transformation closure and
+  /// the costing sweep on this many workers over ONE concurrent memo
+  /// (MemoMode::kConcurrent), finishing with a serial root pass; <= 0
+  /// picks std::thread::hardware_concurrency(); 1 (default) is the classic
+  /// serial search. Requires the memo's descriptor store to be concurrent;
+  /// with a serial shared store the engine silently degrades to 1.
+  /// Cached plans are keyed identically in both modes — a plan cache
+  /// warmed serially serves parallel searches and vice versa.
+  int search_jobs = 1;
+  /// Anytime budgets (0 = unlimited): stop EXPANDING the search space once
+  /// the wall clock or the allocated-group count passes the budget, then
+  /// cost what exists and return the best plan found so far (possibly
+  /// suboptimal, never invalid). Unlike MemoLimits these never fail the
+  /// query; budget-exhausted searches skip the plan-cache insert so a
+  /// truncated plan is not served to future queries.
+  double search_budget_ms = 0;
+  size_t group_budget = 0;
 };
 
 /// \brief Counters reported by the experiments (Table 5, Figure 14).
@@ -149,6 +171,10 @@ struct OptimizerStats {
   /// True when the last Optimize() answer came from the plan cache (the
   /// memo then holds no search to explain or dump).
   bool plan_from_cache = false;
+  /// True when an anytime budget (search_budget_ms / group_budget) ran out
+  /// before the search space was fully expanded: the returned plan is the
+  /// best over the truncated space.
+  bool budget_exhausted = false;
   /// Per-rule "did its LHS match (and its condition pass) anywhere" flags —
   /// the paper's Table 5 "rules matched" columns.
   std::vector<char> trans_matched;
@@ -164,13 +190,18 @@ struct OptimizerStats {
 /// CountOnly for expansion statistics), inspect stats.
 class Optimizer {
  public:
-  /// `shared_store` null: the optimizer's memo owns a private serial
-  /// descriptor store (the default, single-threaded case). Non-null: the
-  /// memo interns through the given store — BatchOptimizer passes one
+  /// `shared_store` null: the optimizer's memo owns a private descriptor
+  /// store (serial by default; concurrent when search_jobs > 1). Non-null:
+  /// the memo interns through the given store — BatchOptimizer passes one
   /// concurrent store to every worker so ids stay globally canonical.
+  /// `shared_memo` non-null: the optimizer BORROWS that memo instead of
+  /// owning one (shared_store is then ignored) — this is how the parallel
+  /// search builds its worker optimizers: one concurrent memo, K
+  /// optimizers with private search state (stats, cycle guards, traces).
   Optimizer(const RuleSet* rules, const catalog::Catalog* catalog,
             OptimizerOptions options = OptimizerOptions(),
-            algebra::DescriptorStore* shared_store = nullptr);
+            algebra::DescriptorStore* shared_store = nullptr,
+            Memo* shared_memo = nullptr);
 
   /// Optimizes a logical operator tree into the cheapest access plan that
   /// delivers the physical properties set (non-null) in `required`.
@@ -185,7 +216,7 @@ class Optimizer {
   common::Result<size_t> ExpandOnly(const algebra::Expr& tree);
 
   const OptimizerStats& stats() const { return stats_; }
-  const Memo& memo() const { return memo_; }
+  const Memo& memo() const { return *memo_; }
   const RuleSet& rules() const { return *rules_; }
 
   /// After Optimize() succeeded: a human-readable provenance walk of the
@@ -238,6 +269,22 @@ class Optimizer {
 
   common::Result<Plan> OptimizeImpl(const algebra::Expr& tree,
                                     const algebra::Descriptor& req);
+  /// Intra-query parallel search over the shared concurrent memo (defined
+  /// in parallel.cc): (A) cooperative transformation closure on the work
+  /// pool — workers claim (expression, rule) applications through the
+  /// atomic applied bits; (B) a costing sweep, one task per group under
+  /// the empty requirement; (C) a serial finishing pass from the root that
+  /// guarantees the final winner regardless of what the waves memoized.
+  common::Result<Winner> OptimizeParallel(GroupId root,
+                                          const algebra::Descriptor& req);
+  /// The effective worker count for this search (resolves <= 0 to the
+  /// hardware concurrency; 1 when the memo is not concurrent).
+  int ResolveSearchJobs() const;
+  /// Arms the anytime budget for one Optimize()/ExpandOnly() call.
+  void ArmBudget();
+  /// True once the wall-clock or group budget ran out (sticky per query;
+  /// the clock is sampled 1-in-64 checks).
+  bool BudgetExhausted();
   /// Plan-cache front door: probe by canonical fingerprint, fall through
   /// to OptimizeImpl on a miss and insert the winner. `req` must already
   /// be normalized (NormalizeReq).
@@ -342,9 +389,28 @@ class Optimizer {
   const RuleSet* rules_;
   const catalog::Catalog* catalog_;
   OptimizerOptions options_;
-  Memo memo_;
+  /// The memo: owned in the normal case, borrowed when this optimizer is a
+  /// parallel-search worker over another optimizer's concurrent memo.
+  std::unique_ptr<Memo> owned_memo_;
+  Memo* memo_;
+  /// Cached memo_->concurrent(): branch predictable on the hot paths.
+  bool concurrent_memo_ = false;
   algebra::SliceId phys_slice_id_;
   OptimizerStats stats_;
+  /// Anytime-budget state, armed per query by ArmBudget().
+  bool has_budget_ = false;
+  uint64_t deadline_ns_ = 0;
+  size_t group_budget_ = 0;
+  uint32_t budget_tick_ = 0;
+  /// Concurrent-expansion state: groups THIS optimizer is currently
+  /// expanding (its recursion stack — distinguishes own-cycle re-entry
+  /// from another worker's in-flight claim), and whether the last
+  /// ExpandGroup call / the current rule application observed a group
+  /// whose expansion is still in flight elsewhere (the pass then must not
+  /// mark its work done; the round driver retries).
+  std::unordered_set<GroupId> expanding_here_;
+  bool last_expand_partial_ = false;
+  bool binding_partial_child_ = false;
   /// Store-counter snapshots taken at construction: RecordStoreStats()
   /// reports deltas, so per-query interning stats stay per-query even when
   /// the store is shared across a batch (exact for private/sequential use,

@@ -1,0 +1,194 @@
+// Intra-query parallel search over one concurrent memo.
+//
+// OptimizeParallel runs three phases on a work-stealing pool:
+//
+//   A. Transformation closure. Rounds: collect every live group that is
+//      not yet expanded, submit one ExpandGroup task per group, run the
+//      pool to quiescence. Workers claim whole group expansions through
+//      the group's atomic `expanding` flag; a pass that had to read a
+//      child mid-expansion in another worker leaves its applied bits
+//      clear and does not mark the group expanded, so the next round
+//      redoes exactly the missed work. A round that expands nothing —
+//      mutually-partial passes across a cycle of groups — falls back to
+//      one serial sweep on the coordinator, whose own recursion walks
+//      through the cycle; that guarantees termination.
+//
+//   B. Costing sweep. One task per group: optimize it under the empty
+//      requirement with no cost bound. Expansion is complete, so this
+//      phase is insert- and merge-free — winner tables only gain entries,
+//      and racing workers agree through first-writer-wins StoreWinner.
+//
+//   C. Serial finishing pass. The coordinator optimizes the root under
+//      the real requirement and initial cost limit. Phase B's memoized
+//      winners make this mostly table lookups, but correctness never
+//      depends on what the waves managed to memoize.
+//
+// Worker optimizers BORROW the coordinator's memo (and thus its
+// descriptor store): ids stay canonical across threads, while search
+// state (cycle guards, stats, expansion stacks) stays private.
+
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/workpool.h"
+#include "volcano/engine.h"
+
+namespace prairie::volcano {
+
+using algebra::Descriptor;
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Folds a worker's numeric search counters into the coordinator's stats.
+/// Interning counters are left alone: the coordinator's store-delta
+/// snapshot already covers worker traffic on the shared store.
+void MergeStats(const OptimizerStats& w, OptimizerStats* out) {
+  out->trans_attempts += w.trans_attempts;
+  out->trans_fired += w.trans_fired;
+  out->impl_attempts += w.impl_attempts;
+  out->plans_costed += w.plans_costed;
+  out->enforcer_attempts += w.enforcer_attempts;
+  out->winners_selected += w.winners_selected;
+  out->prunes += w.prunes;
+  out->cycle_guard_hits += w.cycle_guard_hits;
+  out->budget_exhausted = out->budget_exhausted || w.budget_exhausted;
+  for (size_t i = 0;
+       i < w.trans_matched.size() && i < out->trans_matched.size(); ++i) {
+    out->trans_matched[i] |= w.trans_matched[i];
+  }
+  for (size_t i = 0;
+       i < w.impl_matched.size() && i < out->impl_matched.size(); ++i) {
+    out->impl_matched[i] |= w.impl_matched[i];
+  }
+}
+
+}  // namespace
+
+int Optimizer::ResolveSearchJobs() const {
+  // A serial memo cannot take concurrent inserts, whatever was asked for
+  // (the constructor degrades the mode when a serial store is shared).
+  if (!concurrent_memo_) return 1;
+  int jobs = options_.search_jobs;
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return jobs < 1 ? 1 : jobs;
+}
+
+Result<Winner> Optimizer::OptimizeParallel(GroupId root,
+                                           const Descriptor& req) {
+  const int jobs = ResolveSearchJobs();
+  common::WorkPool pool(jobs);
+
+  // Metrics, tracing, and the plan cache stay on the coordinator; workers
+  // run bare and their counters are folded in afterwards.
+  OptimizerOptions wopts = options_;
+  wopts.search_jobs = 1;
+  wopts.metrics = nullptr;
+  wopts.trace = nullptr;
+  wopts.plan_cache = nullptr;
+  std::vector<std::unique_ptr<Optimizer>> workers;
+  workers.reserve(static_cast<size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    workers.push_back(std::make_unique<Optimizer>(rules_, catalog_, wopts,
+                                                  nullptr, memo_));
+    // Workers run under the query's budget, not one armed at their own
+    // construction time.
+    workers.back()->has_budget_ = has_budget_;
+    workers.back()->deadline_ns_ = deadline_ns_;
+    workers.back()->group_budget_ = group_budget_;
+  }
+
+  Status failure = Status::OK();
+  std::mutex failure_mu;
+  const auto record_failure = [&failure, &failure_mu](Status st) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (failure.ok()) failure = std::move(st);
+  };
+  const auto merge_worker_stats = [this, &workers]() {
+    for (const std::unique_ptr<Optimizer>& w : workers) {
+      MergeStats(w->stats_, &stats_);
+    }
+  };
+
+  // Phase A: transformation closure.
+  std::vector<GroupId> todo;
+  for (;;) {
+    todo.clear();
+    const size_t before = memo_->allocated_groups();
+    for (size_t g = 0; g < before; ++g) {
+      const GroupId gid = static_cast<GroupId>(g);
+      if (memo_->Find(gid) != gid) continue;
+      if (!memo_->raw_group(gid).expanded.load(std::memory_order_acquire)) {
+        todo.push_back(gid);
+      }
+    }
+    if (todo.empty()) break;
+    if (BudgetExhausted()) {
+      // Anytime budget: freeze the remaining groups so costing proceeds
+      // over whatever alternatives exist.
+      for (GroupId gid : todo) {
+        memo_->group(gid).expanded.store(true, std::memory_order_release);
+      }
+      break;
+    }
+    for (GroupId gid : todo) {
+      pool.Submit([&workers, &record_failure, gid](int wid) {
+        Status st = workers[static_cast<size_t>(wid)]->ExpandGroup(gid);
+        if (!st.ok()) record_failure(std::move(st));
+      });
+    }
+    pool.RunUntilIdle();
+    if (!failure.ok()) {
+      merge_worker_stats();
+      return failure;
+    }
+    bool progressed = memo_->allocated_groups() > before;
+    for (size_t i = 0; !progressed && i < todo.size(); ++i) {
+      const GroupId gid = todo[i];
+      progressed = memo_->Find(gid) != gid ||
+                   memo_->raw_group(gid).expanded.load(
+                       std::memory_order_acquire);
+    }
+    if (!progressed) {
+      // Stuck round: expand serially on the coordinator (the pool is
+      // idle, so every claim succeeds and recursion resolves the cycle).
+      for (GroupId gid : todo) {
+        Status st = ExpandGroup(gid);
+        if (!st.ok()) {
+          merge_worker_stats();
+          return st;
+        }
+      }
+    }
+  }
+
+  // Phase B: costing sweep under the empty requirement.
+  const Descriptor none = MakeReq();
+  const size_t live = memo_->allocated_groups();
+  for (size_t g = 0; g < live; ++g) {
+    const GroupId gid = static_cast<GroupId>(g);
+    if (memo_->Find(gid) != gid) continue;
+    pool.Submit([&workers, &record_failure, &none, gid](int wid) {
+      Result<Winner> w =
+          workers[static_cast<size_t>(wid)]->OptimizeGroup(gid, none, kInf);
+      if (!w.ok()) record_failure(w.status());
+    });
+  }
+  pool.RunUntilIdle();
+  merge_worker_stats();
+  if (!failure.ok()) return failure;
+
+  // Phase C: serial finishing pass on the coordinator.
+  return OptimizeGroup(root, req, options_.initial_cost_limit);
+}
+
+}  // namespace prairie::volcano

@@ -132,17 +132,47 @@ Result<Workload> MakeWorkload(const algebra::Algebra& algebra,
     }
     streams.push_back(std::move(ret));
   }
-  // Linear join graph with random equality join attributes. The structure
-  // draws come after every catalog draw, so routing them through a
-  // separate stream (structure_seed != 0) cannot perturb cardinalities.
+  // Join graph with random equality join attributes. The structure draws
+  // come after every catalog draw, so routing them through a separate
+  // stream (structure_seed != 0) cannot perturb cardinalities. The chain
+  // path is draw-for-draw identical to historical behavior.
   Rng structure_rng(spec.structure_seed * 0x51d7 + 29);
   Rng* srng = spec.structure_seed != 0 ? &structure_rng : &rng;
   ExprPtr tree = std::move(streams[0]);
   for (int i = 1; i < num_classes; ++i) {
-    const char* left_attr = srng->Bernoulli(0.5) ? "a" : "b";
-    const char* right_attr = srng->Bernoulli(0.5) ? "a" : "b";
-    PredicateRef pred = Predicate::EqAttrs(
-        Attr{ClassName(i - 1), left_attr}, Attr{ClassName(i), right_attr});
+    PredicateRef pred;
+    switch (spec.shape) {
+      case JoinShape::kChain: {
+        const char* left_attr = srng->Bernoulli(0.5) ? "a" : "b";
+        const char* right_attr = srng->Bernoulli(0.5) ? "a" : "b";
+        pred = Predicate::EqAttrs(Attr{ClassName(i - 1), left_attr},
+                                  Attr{ClassName(i), right_attr});
+        break;
+      }
+      case JoinShape::kStar: {
+        // Every predicate references the hub C1: its equivalence group is
+        // on every join's critical path.
+        const char* left_attr = srng->Bernoulli(0.5) ? "a" : "b";
+        const char* right_attr = srng->Bernoulli(0.5) ? "a" : "b";
+        pred = Predicate::EqAttrs(Attr{ClassName(0), left_attr},
+                                  Attr{ClassName(i), right_attr});
+        break;
+      }
+      case JoinShape::kClique: {
+        // Equality against every class already in the tree: all pairs end
+        // up predicated, so any join order is predicate-connected.
+        std::vector<PredicateRef> conj;
+        conj.reserve(static_cast<size_t>(i));
+        for (int j = 0; j < i; ++j) {
+          const char* left_attr = srng->Bernoulli(0.5) ? "a" : "b";
+          conj.push_back(Predicate::EqAttrs(Attr{ClassName(j), left_attr},
+                                            Attr{ClassName(i), "a"}));
+        }
+        pred = conj.size() == 1 ? std::move(conj[0])
+                                : Predicate::And(std::move(conj));
+        break;
+      }
+    }
     PRAIRIE_ASSIGN_OR_RETURN(
         tree, builder.Join(std::move(tree), std::move(streams[i]),
                            std::move(pred)));

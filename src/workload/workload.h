@@ -23,9 +23,21 @@ namespace prairie::workload {
 /// Which expression template to instantiate.
 enum class ExprKind { kE1 = 1, kE2 = 2, kE3 = 3, kE4 = 4 };
 
+/// Shape of the join graph over classes C1..C_{N+1}. The paper's
+/// experiments use chains; star and clique are adversarial shapes for the
+/// parallel-search benchmarks — a star funnels every join through one hub
+/// group, a clique predicates every class pair and maximizes the number
+/// of cross-group merges the transformation rules can trigger.
+enum class JoinShape {
+  kChain,   ///< C_i joins C_{i+1} (the paper's linear graphs; default).
+  kStar,    ///< Every C_i (i > 1) joins the hub C1.
+  kClique,  ///< Join i carries equality predicates against all C_j, j < i.
+};
+
 /// \brief Parameters of one generated query instance.
 struct QuerySpec {
   ExprKind expr = ExprKind::kE1;
+  JoinShape shape = JoinShape::kChain;
   int num_joins = 2;          ///< N: the query joins N+1 classes.
   bool with_indexes = false;  ///< One index per base class (on "bc").
   uint64_t seed = 1;          ///< Drives cardinalities and join attrs.

@@ -13,9 +13,13 @@
 #include "catalog/catalog.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "optimizers/oodb.h"
+#include "p2v/translator.h"
 #include "volcano/engine.h"
 #include "volcano/inspect.h"
+#include "volcano/plancache.h"
 #include "volcano/profile.h"
+#include "workload/workload.h"
 
 namespace prairie::volcano {
 namespace {
@@ -941,6 +945,214 @@ TEST_F(ObservabilityTest, MetricsCountersMatchStatsAcrossQueries) {
   // Both query latencies observed, whatever the durations were.
   EXPECT_EQ(metrics.query_latency_ns->Snapshot().count, 2u);
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Anytime budgets.
+
+class BudgetTest : public MicroOptimizer {
+ protected:
+  ExprPtr Chain4() {
+    return JoinOf(JoinOf(JoinOf(RetOf("A", 50), RetOf("B", 40), 35),
+                         RetOf("C", 30), 20),
+                  RetOf("D", 25), 10);
+  }
+};
+
+TEST_F(BudgetTest, UnreachedBudgetIsByteIdenticalToNoBudget) {
+  Optimizer plain(&rules_, &catalog_);
+  auto ref = plain.Optimize(*Chain4());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_FALSE(plain.stats().budget_exhausted);
+
+  OptimizerOptions opts;
+  opts.search_budget_ms = 1e9;  // Armed, never reached.
+  opts.group_budget = 1u << 30;
+  Optimizer budgeted(&rules_, &catalog_, opts);
+  auto plan = budgeted.Optimize(*Chain4());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(budgeted.stats().budget_exhausted);
+  EXPECT_DOUBLE_EQ(plan->cost, ref->cost);
+  EXPECT_EQ(plan->root->ToString(*rules_.algebra),
+            ref->root->ToString(*rules_.algebra));
+  // An unreached budget is invisible: the identical search ran.
+  EXPECT_EQ(budgeted.stats().mexprs, plain.stats().mexprs);
+  EXPECT_EQ(budgeted.stats().trans_fired, plain.stats().trans_fired);
+  EXPECT_EQ(budgeted.stats().plans_costed, plain.stats().plans_costed);
+}
+
+TEST_F(BudgetTest, GroupBudgetReturnsValidPossiblySuboptimalPlan) {
+  Optimizer plain(&rules_, &catalog_);
+  auto ref = plain.Optimize(*Chain4());
+  ASSERT_TRUE(ref.ok());
+
+  OptimizerOptions opts;
+  opts.group_budget = 1;  // Exhausted after the initial CopyIn.
+  Optimizer budgeted(&rules_, &catalog_, opts);
+  auto plan = budgeted.Optimize(*Chain4());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(budgeted.stats().budget_exhausted);
+  // Valid plan over the truncated space: never better than the optimum.
+  EXPECT_GE(plan->cost, ref->cost);
+  EXPECT_GT(plan->cost, 0);
+  // The truncated search expanded strictly less.
+  EXPECT_LT(budgeted.stats().trans_fired, plain.stats().trans_fired);
+}
+
+TEST_F(BudgetTest, InfeasibleCostLimitStillFailsUnderBudget) {
+  // failed_limit bookkeeping is untouched by budgets: an initial cost
+  // limit below every feasible plan fails the same way.
+  OptimizerOptions opts;
+  opts.initial_cost_limit = 5;
+  opts.group_budget = 1u << 30;
+  opts.search_budget_ms = 1e9;
+  Optimizer o(&rules_, &catalog_, opts);
+  auto plan = o.Optimize(*RetOf("R", 100));
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), common::StatusCode::kOptimizeError);
+}
+
+TEST_F(BudgetTest, BudgetExhaustedPlansAreNotCached) {
+  algebra::DescriptorStore store(&rules_.algebra->properties(),
+                                 algebra::StoreMode::kSerial);
+  PlanCache cache(&store);
+
+  OptimizerOptions opts;
+  opts.plan_cache = &cache;
+  opts.group_budget = 1;
+  Optimizer budgeted(&rules_, &catalog_, opts, &store);
+  auto truncated = budgeted.Optimize(*Chain4());
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_TRUE(budgeted.stats().budget_exhausted);
+  // A possibly-suboptimal plan must not poison the cache.
+  EXPECT_EQ(cache.size(), 0u);
+
+  OptimizerOptions full;
+  full.plan_cache = &cache;
+  Optimizer unbudgeted(&rules_, &catalog_, full, &store);
+  auto best = unbudgeted.Optimize(*Chain4());
+  ASSERT_TRUE(best.ok());
+  EXPECT_FALSE(unbudgeted.stats().budget_exhausted);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_LE(best->cost, truncated->cost);
+}
+
+// ---------------------------------------------------------------------------
+// Intra-query parallel search: plan identity against the serial engine
+// over the paper's workloads and the adversarial join shapes.
+
+class ParallelSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto prairie_rules = opt::BuildOodbPrairie();
+    ASSERT_TRUE(prairie_rules.ok()) << prairie_rules.status().ToString();
+    auto translated = p2v::Translate(*prairie_rules, nullptr);
+    ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+    rules_ = std::move(*translated);
+  }
+
+  workload::Workload MakeQ(int qnum, int joins, uint64_t seed) {
+    auto w = workload::MakeWorkload(
+        *rules_->algebra, workload::PaperQuery(qnum, joins, seed));
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return std::move(*w);
+  }
+
+  std::shared_ptr<RuleSet> rules_;
+};
+
+TEST_F(ParallelSearchTest, Q1ThroughQ8CostIdenticalToSerial) {
+  for (int q = 1; q <= 8; ++q) {
+    workload::Workload w = MakeQ(q, 2, 1);
+    Optimizer serial(rules_.get(), &w.catalog, {});
+    auto ref = serial.Optimize(*w.query);
+    ASSERT_TRUE(ref.ok()) << "Q" << q << ": " << ref.status().ToString();
+
+    for (int jobs : {2, 4}) {
+      OptimizerOptions options;
+      options.search_jobs = jobs;
+      Optimizer parallel(rules_.get(), &w.catalog, options);
+      auto plan = parallel.Optimize(*w.query);
+      ASSERT_TRUE(plan.ok())
+          << "Q" << q << " jobs=" << jobs << ": " << plan.status().ToString();
+      EXPECT_EQ(plan->cost, ref->cost) << "Q" << q << " jobs=" << jobs;
+      EXPECT_EQ(plan->root->ToString(*rules_->algebra),
+                ref->root->ToString(*rules_->algebra))
+          << "Q" << q << " jobs=" << jobs;
+      EXPECT_FALSE(parallel.stats().budget_exhausted);
+    }
+  }
+}
+
+TEST_F(ParallelSearchTest, BigJoinShapesCostIdenticalToSerial) {
+  struct Case {
+    workload::JoinShape shape;
+    int joins;
+  };
+  for (const Case& c : {Case{workload::JoinShape::kChain, 7},
+                        Case{workload::JoinShape::kStar, 5},
+                        Case{workload::JoinShape::kClique, 4}}) {
+    workload::QuerySpec spec = workload::PaperQuery(1, c.joins, 1);
+    spec.shape = c.shape;
+    auto w = workload::MakeWorkload(*rules_->algebra, spec);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+    Optimizer serial(rules_.get(), &w->catalog, {});
+    auto ref = serial.Optimize(*w->query);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+    OptimizerOptions options;
+    options.search_jobs = 4;
+    Optimizer parallel(rules_.get(), &w->catalog, options);
+    auto plan = parallel.Optimize(*w->query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(plan->cost, ref->cost);
+    EXPECT_EQ(plan->root->ToString(*rules_->algebra),
+              ref->root->ToString(*rules_->algebra));
+  }
+}
+
+TEST_F(ParallelSearchTest, SerialSharedStoreDegradesToSerialSearch) {
+  // A serial shared store cannot back a concurrent memo: search_jobs > 1
+  // degrades to the single-threaded engine (and its exact statistics)
+  // instead of racing on an unsynchronized store.
+  workload::Workload w = MakeQ(1, 3, 1);
+  Optimizer serial(rules_.get(), &w.catalog, {});
+  auto ref = serial.Optimize(*w.query);
+  ASSERT_TRUE(ref.ok());
+
+  algebra::DescriptorStore store(&rules_->algebra->properties(),
+                                 algebra::StoreMode::kSerial);
+  OptimizerOptions options;
+  options.search_jobs = 8;
+  Optimizer degraded(rules_.get(), &w.catalog, options, &store);
+  auto plan = degraded.Optimize(*w.query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->cost, ref->cost);
+  // Fully serial search: stats are byte-identical, not merely cost-equal.
+  EXPECT_EQ(degraded.stats().mexprs, serial.stats().mexprs);
+  EXPECT_EQ(degraded.stats().trans_fired, serial.stats().trans_fired);
+  EXPECT_EQ(degraded.stats().plans_costed, serial.stats().plans_costed);
+}
+
+TEST_F(ParallelSearchTest, GroupBudgetComposesWithParallelSearch) {
+  workload::QuerySpec spec = workload::PaperQuery(1, 5, 1);
+  spec.shape = workload::JoinShape::kStar;
+  auto w = workload::MakeWorkload(*rules_->algebra, spec);
+  ASSERT_TRUE(w.ok());
+
+  Optimizer serial(rules_.get(), &w->catalog, {});
+  auto ref = serial.Optimize(*w->query);
+  ASSERT_TRUE(ref.ok());
+
+  OptimizerOptions options;
+  options.search_jobs = 4;
+  options.group_budget = 8;  // Far below the full search's group count.
+  Optimizer budgeted(rules_.get(), &w->catalog, options);
+  auto plan = budgeted.Optimize(*w->query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(budgeted.stats().budget_exhausted);
+  EXPECT_GE(plan->cost, ref->cost);
 }
 
 }  // namespace

@@ -248,5 +248,101 @@ TEST(MakeDatabase, DeterministicPerSeed) {
   EXPECT_NE(a.Find("C1")->rows(), c.Find("C1")->rows());
 }
 
+// ---------------------------------------------------------------------------
+// Join-graph shapes (chain / star / clique).
+
+// Collects the predicate text of every JOIN node, outermost first. Joins
+// are the only binary nodes of the generated trees; their predicate lives
+// in the descriptor's join_predicate property.
+std::vector<std::string> JoinPredicates(const algebra::Expr& e,
+                                        const algebra::Algebra& algebra) {
+  auto props = opt::Props::FromSchema(algebra.properties());
+  EXPECT_TRUE(props.ok());
+  std::vector<std::string> preds;
+  std::vector<const algebra::Expr*> stack{&e};
+  while (!stack.empty()) {
+    const algebra::Expr* cur = stack.back();
+    stack.pop_back();
+    if (cur->num_children() == 2) {
+      preds.push_back(
+          cur->descriptor().Get(props->join_predicate).AsPred()->ToString());
+    }
+    for (const auto& c : cur->children()) stack.push_back(c.get());
+  }
+  return preds;
+}
+
+TEST(MakeWorkload, DefaultShapeIsChainAndUnchanged) {
+  QuerySpec spec = PaperQuery(1, 3, 7);
+  ASSERT_OK_AND_ASSIGN(Workload legacy, MakeWorkload(*Rules()->algebra, spec));
+  spec.shape = JoinShape::kChain;
+  ASSERT_OK_AND_ASSIGN(Workload chain, MakeWorkload(*Rules()->algebra, spec));
+  // kChain is the default and is draw-for-draw identical to the historical
+  // generator.
+  EXPECT_EQ(legacy.query->ToString(*Rules()->algebra),
+            chain.query->ToString(*Rules()->algebra));
+  // Each chain predicate links adjacent classes C_i, C_{i+1}.
+  auto preds = JoinPredicates(*chain.query, *Rules()->algebra);
+  ASSERT_EQ(preds.size(), 3u);
+  for (const std::string& p : preds) EXPECT_NE(p.find(" = "), std::string::npos);
+}
+
+TEST(MakeWorkload, StarShapePredicatesAllReferenceTheHub) {
+  QuerySpec spec = PaperQuery(1, 4, 7);
+  spec.shape = JoinShape::kStar;
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  auto preds = JoinPredicates(*w.query, *Rules()->algebra);
+  ASSERT_EQ(preds.size(), 4u);
+  for (const std::string& p : preds) {
+    EXPECT_NE(p.find("C1."), std::string::npos) << p;
+  }
+  // Catalog is shape-independent: same classes as the chain query.
+  EXPECT_EQ(w.catalog.size(), 5u);
+}
+
+TEST(MakeWorkload, CliqueShapePredicatesEveryPair) {
+  QuerySpec spec = PaperQuery(1, 3, 7);
+  spec.shape = JoinShape::kClique;
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  // Join i (1-based class C_{i+1}) carries one equality per earlier class:
+  // the union over all joins covers every pair.
+  auto preds = JoinPredicates(*w.query, *Rules()->algebra);
+  ASSERT_EQ(preds.size(), 3u);
+  int eqs = 0;
+  for (const std::string& p : preds) {
+    for (size_t at = p.find(" = "); at != std::string::npos;
+         at = p.find(" = ", at + 1)) {
+      ++eqs;
+    }
+  }
+  // 4 classes -> C(4,2) = 6 equality conjuncts across the three joins.
+  EXPECT_EQ(eqs, 6);
+  // The innermost (first applied) join predicates exactly one pair; the
+  // outermost references every earlier class.
+  const std::string& outer = preds.front();
+  for (int j = 1; j <= 3; ++j) {
+    EXPECT_NE(outer.find("C" + std::to_string(j) + "."), std::string::npos)
+        << outer;
+  }
+}
+
+TEST(MakeWorkload, ShapesShareTheCatalogDraws) {
+  // Shape only affects join predicates, never cardinalities or indexes.
+  QuerySpec spec = PaperQuery(2, 3, 11);
+  ASSERT_OK_AND_ASSIGN(Workload chain, MakeWorkload(*Rules()->algebra, spec));
+  spec.shape = JoinShape::kStar;
+  ASSERT_OK_AND_ASSIGN(Workload star, MakeWorkload(*Rules()->algebra, spec));
+  spec.shape = JoinShape::kClique;
+  ASSERT_OK_AND_ASSIGN(Workload clique, MakeWorkload(*Rules()->algebra, spec));
+  for (int i = 1; i <= 4; ++i) {
+    const std::string name = "C" + std::to_string(i);
+    ASSERT_NE(chain.catalog.Find(name), nullptr);
+    EXPECT_EQ(chain.catalog.Find(name)->cardinality(),
+              star.catalog.Find(name)->cardinality());
+    EXPECT_EQ(chain.catalog.Find(name)->cardinality(),
+              clique.catalog.Find(name)->cardinality());
+  }
+}
+
 }  // namespace
 }  // namespace prairie::workload

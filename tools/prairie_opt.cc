@@ -75,6 +75,16 @@ void PrintUsage(std::FILE* out) {
       "  --expand-only                stop after logical expansion; report\n"
       "                               the search-space size only\n"
       "  --no-prune                   disable branch-and-bound pruning\n"
+      "  --shape chain|star|clique    join-graph shape (default chain)\n"
+      "  --search-jobs N              intra-query parallel search workers\n"
+      "                               over one concurrent memo (default 1;\n"
+      "                               0 = hardware default)\n"
+      "  --search-budget-ms MS        anytime budget: stop expanding after\n"
+      "                               MS milliseconds, return the best plan\n"
+      "                               over the truncated space (default\n"
+      "                               unlimited)\n"
+      "  --max-groups N               anytime budget on allocated memo\n"
+      "                               groups (default unlimited)\n"
       "\n"
       "batch mode (enabled by either flag):\n"
       "  --jobs N                     worker threads (0 = hardware "
@@ -148,6 +158,7 @@ int main(int argc, char** argv) {
   bool plan_cache = false;
   size_t plan_cache_entries = 4096;
   int repeat = 1;
+  std::string shape = "chain";
   prairie::volcano::OptimizerOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -174,6 +185,33 @@ int main(int argc, char** argv) {
       expand_only = true;
     } else if (arg == "--no-prune") {
       options.prune = false;
+    } else if (arg == "--shape") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      shape = v;
+    } else if (arg.rfind("--shape=", 0) == 0) {
+      shape = arg.substr(std::strlen("--shape="));
+    } else if (arg == "--search-jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.search_jobs = std::atoi(v);
+    } else if (arg.rfind("--search-jobs=", 0) == 0) {
+      options.search_jobs =
+          std::atoi(arg.c_str() + std::strlen("--search-jobs="));
+    } else if (arg == "--search-budget-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.search_budget_ms = std::atof(v);
+    } else if (arg.rfind("--search-budget-ms=", 0) == 0) {
+      options.search_budget_ms =
+          std::atof(arg.c_str() + std::strlen("--search-budget-ms="));
+    } else if (arg == "--max-groups") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.group_budget = static_cast<size_t>(std::atoll(v));
+    } else if (arg.rfind("--max-groups=", 0) == 0) {
+      options.group_budget = static_cast<size_t>(
+          std::atoll(arg.c_str() + std::strlen("--max-groups=")));
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -228,6 +266,15 @@ int main(int argc, char** argv) {
     }
   }
   if (query < 1 || query > 8 || joins < 1 || batch < 0 || repeat < 1) {
+    return Usage();
+  }
+  prairie::workload::JoinShape join_shape =
+      prairie::workload::JoinShape::kChain;
+  if (shape == "star") {
+    join_shape = prairie::workload::JoinShape::kStar;
+  } else if (shape == "clique") {
+    join_shape = prairie::workload::JoinShape::kClique;
+  } else if (shape != "chain") {
     return Usage();
   }
 
@@ -286,6 +333,7 @@ int main(int argc, char** argv) {
     for (int k = 0; k < count; ++k) {
       prairie::workload::QuerySpec qspec = prairie::workload::PaperQuery(
           query, joins, seed + static_cast<uint64_t>(k));
+      qspec.shape = join_shape;
       auto w = prairie::workload::MakeWorkload(algebra, qspec);
       if (!w.ok()) {
         std::fprintf(stderr, "prairie_opt: seed %llu: %s\n",
@@ -396,6 +444,7 @@ int main(int argc, char** argv) {
 
   prairie::workload::QuerySpec qspec =
       prairie::workload::PaperQuery(query, joins, seed);
+  qspec.shape = join_shape;
   auto w = prairie::workload::MakeWorkload(*(*volcano_rules)->algebra, qspec);
   if (!w.ok()) {
     std::fprintf(stderr, "prairie_opt: %s\n", w.status().ToString().c_str());
@@ -418,9 +467,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<prairie::algebra::DescriptorStore> cache_store;
   std::unique_ptr<prairie::volcano::PlanCache> cache;
   if (plan_cache) {
+    // A serial shared store would degrade --search-jobs to one worker (a
+    // concurrent memo interns from several threads), so the cache store
+    // follows the search mode.
     cache_store = std::make_unique<prairie::algebra::DescriptorStore>(
         &(*volcano_rules)->algebra->properties(),
-        prairie::algebra::StoreMode::kSerial);
+        options.search_jobs != 1 ? prairie::algebra::StoreMode::kConcurrent
+                                 : prairie::algebra::StoreMode::kSerial);
     prairie::volcano::PlanCacheOptions copt;
     copt.max_entries = plan_cache_entries;
     cache = std::make_unique<prairie::volcano::PlanCache>(cache_store.get(),
@@ -516,6 +569,11 @@ int main(int argc, char** argv) {
       stats.desc_interned, 100.0 * stats.InternHitRate());
   if (stats.plan_from_cache) {
     std::printf("(plan served from the cache; the search did not run)\n");
+  }
+  if (stats.budget_exhausted) {
+    std::printf(
+        "(anytime budget exhausted: best plan over the truncated search "
+        "space)\n");
   }
   if (cache != nullptr) {
     const prairie::volcano::PlanCacheStats cs = cache->stats();
