@@ -309,33 +309,35 @@ Result<size_t> Optimizer::ExpandOnly(const algebra::Expr& tree) {
 // Transformation phase
 // ---------------------------------------------------------------------------
 
-Status Optimizer::ExpandGroup(GroupId gid) {
+Status Optimizer::ExpandGroup(GroupId gid, bool* partial) {
   gid = memo_->Find(gid);
-  // The group whose `expanding` flag this call claims (flags are released
-  // on this exact group at the end even if a merge moves the canonical id
-  // while we work — releasing the keeper's flag would drop another
-  // worker's claim).
+  // Check, claim, and release the `expanding` flag on this exact group
+  // object, resolved ONCE. Re-resolving through Find between claim and
+  // release is not merely redundant: a merge landing between the two
+  // resolutions would set one group's flag and clear a different one's,
+  // leaving the keeper's flag stuck true — every later claim would see it
+  // as foreign-owned and phase A of OptimizeParallel would spin forever.
   const GroupId claimed = gid;
-  {
-    Group& grp = memo_->group(gid);
-    if (concurrent_memo_) {
-      if (grp.expanded.load(std::memory_order_acquire)) return Status::OK();
-      // Re-entry from this optimizer's own recursion is a cyclic rule
-      // path: match over what is already there, exactly as the serial
-      // engine does.
-      if (expanding_here_.count(gid) > 0) return Status::OK();
-      if (grp.expanding.exchange(true, std::memory_order_acq_rel)) {
-        // Another worker owns this expansion. Its current contents are
-        // safe to read, but the caller must not treat a pass over them as
-        // complete — the round driver retries once the owner finishes.
-        last_expand_partial_ = true;
-        return Status::OK();
-      }
-      expanding_here_.insert(gid);
-    } else {
-      if (grp.expanded || grp.expanding) return Status::OK();
-      grp.expanding = true;
+  Group& claimed_grp = memo_->raw_group(claimed);
+  if (concurrent_memo_) {
+    if (claimed_grp.expanded.load(std::memory_order_acquire)) {
+      return Status::OK();
     }
+    // Re-entry from this optimizer's own recursion is a cyclic rule
+    // path: match over what is already there, exactly as the serial
+    // engine does.
+    if (expanding_here_.count(claimed) > 0) return Status::OK();
+    if (claimed_grp.expanding.exchange(true, std::memory_order_acq_rel)) {
+      // Another worker owns this expansion. Its current contents are
+      // safe to read, but the caller must not treat a pass over them as
+      // complete — the round driver retries once the owner finishes.
+      if (partial != nullptr) *partial = true;
+      return Status::OK();
+    }
+    expanding_here_.insert(claimed);
+  } else {
+    if (claimed_grp.expanded || claimed_grp.expanding) return Status::OK();
+    claimed_grp.expanding = true;
   }
   TraceSpan span(this, common::TraceEventKind::kGroupExpand, gid, -1,
                  algebra::kInvalidDescriptorId);
@@ -371,9 +373,9 @@ Status Optimizer::ExpandGroup(GroupId gid) {
         grp = &memo_->group(gid);
         if (ei >= grp->exprs.size()) break;
         if (grp->exprs[ei].applied.Test(static_cast<int>(ri))) continue;
-        binding_partial_child_ = false;
         bool epoch_changed = false;
-        st = ApplyTransRule(gid, ei, ri, &epoch_changed);
+        bool partial_child = false;
+        st = ApplyTransRule(gid, ei, ri, &epoch_changed, &partial_child);
         if (!st.ok()) break;
         if (epoch_changed) {
           // Groups merged under us: expression indices moved. Restart the
@@ -381,7 +383,7 @@ Status Optimizer::ExpandGroup(GroupId gid) {
           restart = true;
           break;
         }
-        if (concurrent_memo_ && binding_partial_child_) {
+        if (concurrent_memo_ && partial_child) {
           // A child group was mid-expansion in another worker: the binding
           // enumeration may have missed alternatives. Leave the applied
           // bit clear so a later pass redoes this application, and do not
@@ -403,21 +405,24 @@ Status Optimizer::ExpandGroup(GroupId gid) {
       // Publish completion on the canonical group: a merge under this pass
       // leaves `claimed` merged away, and readers resolve through Find.
       memo_->group(claimed).expanded.store(true, std::memory_order_release);
+    } else if (partial != nullptr) {
+      // The pass skipped applications over children that were themselves
+      // incomplete: the group is not marked expanded, and an enclosing
+      // enumeration over it must not mark its own work done either.
+      *partial = true;
     }
-    memo_->raw_group(claimed).expanding.store(false,
-                                              std::memory_order_release);
+    claimed_grp.expanding.store(false, std::memory_order_release);
     expanding_here_.erase(claimed);
   } else {
-    gid = memo_->Find(gid);
-    Group& grp = memo_->group(gid);
-    grp.expanding = false;
-    if (st.ok()) grp.expanded = true;
+    if (st.ok()) memo_->group(claimed).expanded = true;
+    claimed_grp.expanding = false;
   }
   return st;
 }
 
 Status Optimizer::ApplyTransRule(GroupId gid, size_t expr_idx,
-                                 size_t rule_idx, bool* epoch_changed) {
+                                 size_t rule_idx, bool* epoch_changed,
+                                 bool* partial_child) {
   const TransRule& rule = rules_->trans_rules[rule_idx];
   uint64_t epoch = memo_->merge_epoch();
   const MExpr& m = memo_->group(gid).exprs[expr_idx];
@@ -433,14 +438,15 @@ Status Optimizer::ApplyTransRule(GroupId gid, size_t expr_idx,
   };
   PRAIRIE_RETURN_NOT_OK(EnumerateBindings(*rule.lhs, gid,
                                           static_cast<int>(expr_idx),
-                                          &binding, emit, &aborted, epoch));
+                                          &binding, emit, &aborted,
+                                          partial_child, epoch));
   *epoch_changed = aborted || memo_->merge_epoch() != epoch;
   return Status::OK();
 }
 
 Status Optimizer::EnumerateBindings(const PatNode& pat, GroupId gid,
                                     int expr_idx, MatchBinding* binding,
-                                    EmitFn emit, bool* aborted,
+                                    EmitFn emit, bool* aborted, bool* partial,
                                     uint64_t epoch) {
   // Binds pattern node `pat` (known to be kOp) to expression `expr_idx` of
   // group `gid`, then matches its children.
@@ -451,8 +457,8 @@ Status Optimizer::EnumerateBindings(const PatNode& pat, GroupId gid,
   if (m.is_file || m.op != pat.op) return Status::OK();
   binding->op_nodes.emplace_back(pat.desc_slot, std::make_pair(gid, expr_idx));
   std::vector<GroupId> child_groups = m.children;  // Copy: vector may move.
-  Status st =
-      MatchChildren(pat, child_groups, 0, binding, emit, aborted, epoch);
+  Status st = MatchChildren(pat, child_groups, 0, binding, emit, aborted,
+                            partial, epoch);
   binding->op_nodes.pop_back();
   return st;
 }
@@ -460,7 +466,7 @@ Status Optimizer::EnumerateBindings(const PatNode& pat, GroupId gid,
 Status Optimizer::MatchChildren(const PatNode& pat,
                                 const std::vector<GroupId>& child_groups,
                                 size_t k, MatchBinding* binding, EmitFn emit,
-                                bool* aborted, uint64_t epoch) {
+                                bool* aborted, bool* partial, uint64_t epoch) {
   if (*aborted) return Status::OK();
   if (memo_->merge_epoch() != epoch) {
     *aborted = true;
@@ -473,17 +479,16 @@ Status Optimizer::MatchChildren(const PatNode& pat,
     binding->streams[static_cast<size_t>(cp.stream_var - 1)] =
         std::make_pair(cg, cp.desc_slot);
     return MatchChildren(pat, child_groups, k + 1, binding, emit, aborted,
-                         epoch);
+                         partial, epoch);
   }
   // Descend into the child group: it must be expanded for completeness.
-  last_expand_partial_ = false;
-  PRAIRIE_RETURN_NOT_OK(ExpandGroup(cg));
-  if (last_expand_partial_) {
-    // The child is mid-expansion in another worker: enumerate what is
-    // there, but flag the enclosing application as incomplete so its
-    // applied bit stays clear and a later pass redoes it.
-    binding_partial_child_ = true;
-  }
+  // An incomplete child expansion (mid-flight in another worker, or
+  // finished with partial grandchildren of its own) ORs into `partial` —
+  // the enclosing application's marker — so its applied bit stays clear
+  // and a later pass redoes it. ExpandGroup only ever sets the flag,
+  // never clears it, so nested expansions reached through deeper pattern
+  // levels cannot erase an earlier child's marker.
+  PRAIRIE_RETURN_NOT_OK(ExpandGroup(cg, partial));
   if (memo_->merge_epoch() != epoch) {
     *aborted = true;
     return Status::OK();
@@ -496,10 +501,11 @@ Status Optimizer::MatchChildren(const PatNode& pat,
     if (ci >= static_cast<int>(cgrp.exprs.size())) break;
     auto next = [&]() -> Status {
       return MatchChildren(pat, child_groups, k + 1, binding, emit, aborted,
-                           epoch);
+                           partial, epoch);
     };
     PRAIRIE_RETURN_NOT_OK(
-        EnumerateBindings(cp, rep, ci, binding, next, aborted, epoch));
+        EnumerateBindings(cp, rep, ci, binding, next, aborted, partial,
+                          epoch));
   }
   return Status::OK();
 }

@@ -238,16 +238,26 @@ class Optimizer {
   /// FunctionRef avoids a std::function allocation per recursion level).
   using EmitFn = common::FunctionRef<common::Status()>;
 
-  common::Status ExpandGroup(GroupId gid);
+  /// Expands `gid` to its transformation closure. `partial` (may be null)
+  /// is OR-accumulated, never cleared: it is set when this call could not
+  /// guarantee completeness — the group was mid-expansion in another
+  /// worker, or this pass finished but had to skip applications whose
+  /// child groups were themselves incomplete. Callers that enumerate
+  /// bindings over the group must then not mark their own work done.
+  common::Status ExpandGroup(GroupId gid, bool* partial = nullptr);
+  /// `partial_child` is OR-accumulated: set when some binding descended
+  /// into a child group whose expansion was incomplete, so this
+  /// (expression, rule) application must be redone by a later pass.
   common::Status ApplyTransRule(GroupId gid, size_t expr_idx, size_t rule_idx,
-                                bool* epoch_changed);
+                                bool* epoch_changed, bool* partial_child);
   common::Status EnumerateBindings(const algebra::PatNode& pat, GroupId gid,
                                    int expr_idx, MatchBinding* binding,
-                                   EmitFn emit, bool* aborted, uint64_t epoch);
+                                   EmitFn emit, bool* aborted, bool* partial,
+                                   uint64_t epoch);
   common::Status MatchChildren(const algebra::PatNode& pat,
                                const std::vector<GroupId>& child_groups,
                                size_t k, MatchBinding* binding, EmitFn emit,
-                               bool* aborted, uint64_t epoch);
+                               bool* aborted, bool* partial, uint64_t epoch);
   common::Status FireBinding(GroupId gid, const TransRule& rule,
                              size_t rule_idx, const MatchBinding& binding);
   common::Result<GroupId> BuildRhs(const algebra::PatNode& node,
@@ -271,8 +281,9 @@ class Optimizer {
                                     const algebra::Descriptor& req);
   /// Intra-query parallel search over the shared concurrent memo (defined
   /// in parallel.cc): (A) cooperative transformation closure on the work
-  /// pool — workers claim (expression, rule) applications through the
-  /// atomic applied bits; (B) a costing sweep, one task per group under
+  /// pool — workers claim whole group expansions through the group's
+  /// atomic `expanding` flag, and the applied bits let retried passes
+  /// skip finished work; (B) a costing sweep, one task per group under
   /// the empty requirement; (C) a serial finishing pass from the root that
   /// guarantees the final winner regardless of what the waves memoized.
   common::Result<Winner> OptimizeParallel(GroupId root,
@@ -404,13 +415,12 @@ class Optimizer {
   uint32_t budget_tick_ = 0;
   /// Concurrent-expansion state: groups THIS optimizer is currently
   /// expanding (its recursion stack — distinguishes own-cycle re-entry
-  /// from another worker's in-flight claim), and whether the last
-  /// ExpandGroup call / the current rule application observed a group
-  /// whose expansion is still in flight elsewhere (the pass then must not
-  /// mark its work done; the round driver retries).
+  /// from another worker's in-flight claim). Partial-expansion outcomes
+  /// are NOT member state: they thread through ExpandGroup /
+  /// EnumerateBindings / MatchChildren as OR-accumulating out-parameters,
+  /// because a nested expansion reached mid-enumeration would otherwise
+  /// clobber the enclosing application's marker.
   std::unordered_set<GroupId> expanding_here_;
-  bool last_expand_partial_ = false;
-  bool binding_partial_child_ = false;
   /// Store-counter snapshots taken at construction: RecordStoreStats()
   /// reports deltas, so per-query interning stats stay per-query even when
   /// the store is shared across a batch (exact for private/sequential use,

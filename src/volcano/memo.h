@@ -54,9 +54,14 @@ struct MExpr {
   /// Filled lazily by the memo on insert; equal ids <=> equal arg slices.
   algebra::DescriptorId arg_key = algebra::kInvalidDescriptorId;
   std::vector<GroupId> children;   ///< Child groups (canonicalized on use).
-  /// TransRules already applied here. Atomic words: in concurrent mode the
-  /// 0 -> 1 flip is the claim that makes one worker own an
-  /// (expression, rule) application; the memo sizes it to the rule count
+  /// TransRules already applied here. Atomic words so concurrent readers
+  /// and writers race cleanly, but NOT a claim primitive: the engine
+  /// tests the bit, applies the rule, and only then sets it, so two
+  /// workers can redundantly apply the same rule to the same expression
+  /// (memo dedup makes that idempotent). The deferred Set is deliberate —
+  /// a pass that saw a child group mid-expansion leaves the bit clear so
+  /// a later pass redoes the application, which an eager test-and-set
+  /// claim could not express. The memo sizes the bitset to the rule count
   /// before publishing the expression.
   common::AtomicBitset applied;
   /// Provenance (observability): the trans rule that created this
