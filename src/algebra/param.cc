@@ -1,0 +1,310 @@
+#include "algebra/param.h"
+
+#include <utility>
+#include <variant>
+
+namespace prairie::algebra {
+
+namespace {
+
+bool IsNullScalar(const Scalar& s) { return s.v.index() == 0; }
+
+/// True for a comparison side the canonicalizer strips: a non-null literal.
+bool Strippable(const Term& t) {
+  return t.kind == Term::Kind::kConst && !IsNullScalar(t.scalar);
+}
+
+// Pass A: replace each strippable constant with an *anonymous* marker
+// (ordinal -1) carrying the constant as payload, and rebuild conjunctions
+// through Predicate::And so the hash-ordered conjunct sort runs with the
+// constant-blind marker hashes. After this pass the tree's shape — And
+// order included — no longer depends on the stripped constants, so pass B
+// can assign ordinals by plain walk order.
+PredicateRef Anonymize(const PredicateRef& p, bool* changed) {
+  if (p == nullptr) return p;
+  switch (p->kind()) {
+    case Predicate::Kind::kCmp: {
+      const Term& l = p->left();
+      const Term& r = p->right();
+      if (l.is_attr() && Strippable(r)) {
+        *changed = true;
+        return Predicate::Cmp(p->cmp_op(), l, Term::MakeParam(-1, r.scalar));
+      }
+      if (r.is_attr() && Strippable(l)) {
+        *changed = true;
+        return Predicate::Cmp(p->cmp_op(), Term::MakeParam(-1, l.scalar), r);
+      }
+      return p;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot: {
+      bool child_changed = false;
+      std::vector<PredicateRef> kids;
+      kids.reserve(p->children().size());
+      for (const PredicateRef& c : p->children()) {
+        kids.push_back(Anonymize(c, &child_changed));
+      }
+      if (!child_changed) return p;
+      *changed = true;
+      if (p->kind() == Predicate::Kind::kAnd) {
+        return Predicate::And(std::move(kids));
+      }
+      if (p->kind() == Predicate::Kind::kOr) {
+        return Predicate::Or(std::move(kids));
+      }
+      return Predicate::Not(std::move(kids[0]));
+    }
+    default:
+      return p;
+  }
+}
+
+// Pass B: assign ordinals to the anonymous markers in preorder and move
+// their payloads into slots. Rebuilding an And here is order-preserving:
+// marker hashes ignore the ordinal, so the sort keys are exactly the ones
+// pass A already sorted by and the stable sort is an identity.
+PredicateRef Number(const PredicateRef& p, std::vector<ParamSlot>* slots,
+                    bool* changed) {
+  if (p == nullptr) return p;
+  switch (p->kind()) {
+    case Predicate::Kind::kCmp: {
+      const Term& l = p->left();
+      const Term& r = p->right();
+      if (!l.is_param() && !r.is_param()) return p;
+      *changed = true;
+      const Term& marker = l.is_param() ? l : r;
+      ParamSlot slot;
+      slot.op = p->cmp_op();
+      slot.attr = l.is_param() ? r.attr : l.attr;
+      slot.const_on_left = l.is_param();
+      slot.value = marker.scalar;
+      const int32_t ordinal = static_cast<int32_t>(slots->size());
+      slots->push_back(std::move(slot));
+      Term stripped = Term::MakeParam(ordinal);
+      return l.is_param() ? Predicate::Cmp(p->cmp_op(), stripped, r)
+                          : Predicate::Cmp(p->cmp_op(), l, stripped);
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot: {
+      bool child_changed = false;
+      std::vector<PredicateRef> kids;
+      kids.reserve(p->children().size());
+      for (const PredicateRef& c : p->children()) {
+        kids.push_back(Number(c, slots, &child_changed));
+      }
+      if (!child_changed) return p;
+      *changed = true;
+      if (p->kind() == Predicate::Kind::kAnd) {
+        return Predicate::And(std::move(kids));
+      }
+      if (p->kind() == Predicate::Kind::kOr) {
+        return Predicate::Or(std::move(kids));
+      }
+      return Predicate::Not(std::move(kids[0]));
+    }
+    default:
+      return p;
+  }
+}
+
+// Clones `e` with every predicate annotation canonicalized (passes A+B per
+// predicate; ordinals accumulate across the whole tree in walk order).
+ExprPtr Strip(const Expr& e, std::vector<ParamSlot>* slots, bool* any) {
+  Descriptor d = e.descriptor();
+  if (d.valid()) {
+    const int n = d.schema()->size();
+    for (PropertyId id = 0; id < n; ++id) {
+      const Value& v = d.Get(id);
+      if (v.type() != ValueType::kPred) continue;
+      bool changed = false;
+      PredicateRef anon = Anonymize(v.AsPred(), &changed);
+      if (!changed) continue;
+      *any = true;
+      bool numbered_changed = false;
+      PredicateRef numbered = Number(anon, slots, &numbered_changed);
+      d.SetUnchecked(id, Value::Pred(std::move(numbered)));
+    }
+  }
+  if (e.is_file()) return Expr::MakeFile(e.file_name(), std::move(d));
+  std::vector<ExprPtr> kids;
+  kids.reserve(e.num_children());
+  for (const ExprPtr& c : e.children()) {
+    kids.push_back(Strip(*c, slots, any));
+  }
+  return Expr::MakeOp(e.op(), std::move(kids), std::move(d));
+}
+
+}  // namespace
+
+ParameterizedQuery ParameterizeQuery(const Expr& query) {
+  ParameterizedQuery out;
+  bool any = false;
+  std::vector<ParamSlot> slots;
+  ExprPtr skeleton = Strip(query, &slots, &any);
+  if (!any || slots.empty()) return out;
+  out.skeleton = std::move(skeleton);
+  out.slots = std::move(slots);
+  return out;
+}
+
+PredicateRef BindPredicate(const PredicateRef& pred,
+                           const std::vector<Scalar>& values) {
+  if (pred == nullptr) return pred;
+  switch (pred->kind()) {
+    case Predicate::Kind::kCmp: {
+      const Term& l = pred->left();
+      const Term& r = pred->right();
+      if (!l.is_param() && !r.is_param()) return pred;
+      auto bind = [&values](const Term& t, bool* fail) {
+        if (!t.is_param()) return t;
+        if (t.param < 0 ||
+            static_cast<size_t>(t.param) >= values.size()) {
+          *fail = true;
+          return t;
+        }
+        return Term::MakeConst(values[t.param]);
+      };
+      bool fail = false;
+      Term l2 = bind(l, &fail);
+      Term r2 = bind(r, &fail);
+      if (fail) return nullptr;
+      return Predicate::Cmp(pred->cmp_op(), std::move(l2), std::move(r2));
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot: {
+      bool changed = false;
+      std::vector<PredicateRef> kids;
+      kids.reserve(pred->children().size());
+      for (const PredicateRef& c : pred->children()) {
+        PredicateRef b = BindPredicate(c, values);
+        if (b == nullptr) return nullptr;
+        if (b.get() != c.get()) changed = true;
+        kids.push_back(std::move(b));
+      }
+      if (!changed) return pred;
+      if (pred->kind() == Predicate::Kind::kAnd) {
+        return Predicate::And(std::move(kids));
+      }
+      if (pred->kind() == Predicate::Kind::kOr) {
+        return Predicate::Or(std::move(kids));
+      }
+      return Predicate::Not(std::move(kids[0]));
+    }
+    default:
+      return pred;
+  }
+}
+
+ExprPtr BindQuery(const Expr& skeleton, const std::vector<Scalar>& values) {
+  Descriptor d = skeleton.descriptor();
+  if (d.valid()) {
+    const int n = d.schema()->size();
+    for (PropertyId id = 0; id < n; ++id) {
+      const Value& v = d.Get(id);
+      if (v.type() != ValueType::kPred) continue;
+      PredicateRef bound = BindPredicate(v.AsPred(), values);
+      if (bound == nullptr) return nullptr;
+      if (bound.get() != v.AsPred().get()) {
+        d.SetUnchecked(id, Value::Pred(std::move(bound)));
+      }
+    }
+  }
+  if (skeleton.is_file()) {
+    return Expr::MakeFile(skeleton.file_name(), std::move(d));
+  }
+  std::vector<ExprPtr> kids;
+  kids.reserve(skeleton.num_children());
+  for (const ExprPtr& c : skeleton.children()) {
+    ExprPtr b = BindQuery(*c, values);
+    if (b == nullptr) return nullptr;
+    kids.push_back(std::move(b));
+  }
+  return Expr::MakeOp(skeleton.op(), std::move(kids), std::move(d));
+}
+
+SlotMatcher::SlotMatcher(const std::vector<ParamSlot>& slots)
+    : slots_(slots) {
+  for (size_t i = 0; i < slots.size() && !ambiguous_; ++i) {
+    for (size_t j = i + 1; j < slots.size(); ++j) {
+      const ParamSlot& a = slots[i];
+      const ParamSlot& b = slots[j];
+      if (a.op == b.op && a.const_on_left == b.const_on_left &&
+          a.attr == b.attr && a.value == b.value) {
+        ambiguous_ = true;
+        break;
+      }
+    }
+  }
+}
+
+int SlotMatcher::Find(CmpOp op, const Attr& attr, bool const_on_left,
+                      const Scalar& value) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const ParamSlot& s = slots_[i];
+    if (s.op == op && s.const_on_left == const_on_left && s.attr == attr &&
+        s.value == value) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+PredicateRef ParameterizePredicate(const PredicateRef& pred,
+                                   const SlotMatcher& matcher,
+                                   std::vector<bool>* used, bool* ok) {
+  if (pred == nullptr) return pred;
+  if (matcher.ambiguous()) {
+    *ok = false;
+    return nullptr;
+  }
+  switch (pred->kind()) {
+    case Predicate::Kind::kCmp: {
+      const Term& l = pred->left();
+      const Term& r = pred->right();
+      const bool strip_right = l.is_attr() && Strippable(r);
+      const bool strip_left = r.is_attr() && Strippable(l);
+      if (!strip_right && !strip_left) return pred;
+      const Attr& attr = strip_right ? l.attr : r.attr;
+      const Scalar& value = strip_right ? r.scalar : l.scalar;
+      const int ordinal =
+          matcher.Find(pred->cmp_op(), attr, strip_left, value);
+      if (ordinal < 0) {
+        *ok = false;
+        return nullptr;
+      }
+      (*used)[ordinal] = true;
+      Term marker = Term::MakeParam(ordinal);
+      return strip_right
+                 ? Predicate::Cmp(pred->cmp_op(), l, std::move(marker))
+                 : Predicate::Cmp(pred->cmp_op(), std::move(marker), r);
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot: {
+      bool changed = false;
+      std::vector<PredicateRef> kids;
+      kids.reserve(pred->children().size());
+      for (const PredicateRef& c : pred->children()) {
+        PredicateRef p = ParameterizePredicate(c, matcher, used, ok);
+        if (!*ok) return nullptr;
+        if (p.get() != c.get()) changed = true;
+        kids.push_back(std::move(p));
+      }
+      if (!changed) return pred;
+      if (pred->kind() == Predicate::Kind::kAnd) {
+        return Predicate::And(std::move(kids));
+      }
+      if (pred->kind() == Predicate::Kind::kOr) {
+        return Predicate::Or(std::move(kids));
+      }
+      return Predicate::Not(std::move(kids[0]));
+    }
+    default:
+      return pred;
+  }
+}
+
+}  // namespace prairie::algebra

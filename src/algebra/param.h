@@ -1,0 +1,97 @@
+// Parameter extraction: canonicalizing queries into constant-stripped
+// skeletons for the parameterized plan cache (DESIGN.md §8).
+//
+// ParameterizeQuery walks an operator tree and replaces every literal
+// constant compared against an attribute with an ordinal parameter marker
+// (Term::Kind::kParam), emitting a *skeleton* tree plus the ordered vector
+// of stripped constants. Queries that differ only in such literals
+// canonicalize to structurally identical skeletons — and therefore to
+// byte-identical Expr::Fingerprint keys — because marker hashes are blind
+// to both the constant and the ordinal (see predicate.h), which keeps
+// Predicate::And's hash-ordered conjunct sort constant-independent.
+//
+// The reverse direction, BindQuery / BindPredicate, substitutes constants
+// back into markers and re-canonicalizes conjunct order, so a bound
+// skeleton is structurally identical to the same query built from scratch.
+
+#pragma once
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/predicate.h"
+
+namespace prairie::algebra {
+
+/// \brief One stripped constant: the comparison it sat in and its value.
+struct ParamSlot {
+  CmpOp op = CmpOp::kEq;  ///< Comparison operator of the stripped leaf.
+  Attr attr;              ///< Attribute on the other side of the compare.
+  bool const_on_left = false;  ///< True when the constant was the left term.
+  Scalar value;                ///< The stripped constant.
+};
+
+/// \brief A query split into a constant-free skeleton plus its constants.
+struct ParameterizedQuery {
+  /// Skeleton tree with markers in place of constants; null when the query
+  /// has no strippable constants (callers fall back to exact matching).
+  ExprPtr skeleton;
+  /// Stripped constants ordered by marker ordinal (slots[k] binds ?k).
+  std::vector<ParamSlot> slots;
+};
+
+/// Canonicalizes `query` into a skeleton + parameter vector. Only
+/// attribute-versus-constant comparison leaves are stripped (both-attribute
+/// joins, both-constant comparisons, and null scalars stay verbatim, so any
+/// residual literal is part of the skeleton key itself). Ordinals follow a
+/// deterministic walk: tree preorder, descriptor properties in schema
+/// order, predicate preorder after conjunct canonicalization.
+ParameterizedQuery ParameterizeQuery(const Expr& query);
+
+/// Replaces every parameter marker in `pred` with values[ordinal],
+/// re-canonicalizing conjunctions (the constant-sensitive hash order a
+/// freshly built predicate would have). Returns null if a marker's ordinal
+/// falls outside `values`. Marker-free (sub)trees are shared, not copied.
+PredicateRef BindPredicate(const PredicateRef& pred,
+                           const std::vector<Scalar>& values);
+
+/// Binds `values` into a fresh clone of `skeleton`. Returns null if any
+/// marker's ordinal falls outside `values`.
+ExprPtr BindQuery(const Expr& skeleton, const std::vector<Scalar>& values);
+
+/// \brief Matches physical-plan constants back to parameter slots when the
+/// plan cache parameterizes a winning plan at insert time.
+///
+/// A plan constant is attributed to the slot with the same comparison shape
+/// (operator, attribute, side) and the same value. If two slots are
+/// indistinguishable under that key the match is ambiguous and the caller
+/// must fall back to exact-only caching — binding the wrong ordinal could
+/// swap constants between predicates.
+class SlotMatcher {
+ public:
+  explicit SlotMatcher(const std::vector<ParamSlot>& slots);
+
+  /// True when some pair of slots shares a lookup key.
+  bool ambiguous() const { return ambiguous_; }
+
+  /// Ordinal of the slot matching this comparison leaf, or -1.
+  int Find(CmpOp op, const Attr& attr, bool const_on_left,
+           const Scalar& value) const;
+
+ private:
+  const std::vector<ParamSlot>& slots_;
+  bool ambiguous_ = false;
+};
+
+/// Rewrites every attribute-versus-constant comparison in a plan predicate
+/// into its parameter marker per `matcher`, setting (*used)[ordinal] for
+/// each rewrite. Comparison shapes that strip nothing at query time
+/// (attr-attr, const-const, null scalars) pass through verbatim. Sets *ok
+/// to false and returns null when a constant matches no slot or the
+/// matcher is ambiguous — the plan's constants cannot be proven to descend
+/// from the query's, so the caller must not rebind it.
+PredicateRef ParameterizePredicate(const PredicateRef& pred,
+                                   const SlotMatcher& matcher,
+                                   std::vector<bool>* used, bool* ok);
+
+}  // namespace prairie::algebra

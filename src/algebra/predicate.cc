@@ -57,17 +57,43 @@ std::string Scalar::ToString() const {
 
 bool Term::operator==(const Term& o) const {
   if (kind != o.kind) return false;
-  return kind == Kind::kAttr ? attr == o.attr : scalar == o.scalar;
+  switch (kind) {
+    case Kind::kAttr:
+      return attr == o.attr;
+    case Kind::kConst:
+      return scalar == o.scalar;
+    case Kind::kParam:
+      // Ordinal identity only; the payload scalar is a canonicalization
+      // scratch slot and must not affect equality (see predicate.h).
+      return param == o.param;
+  }
+  return false;
 }
 
 uint64_t Term::Hash() const {
   uint64_t h = static_cast<uint64_t>(kind) + 0x1357;
-  return kind == Kind::kAttr ? common::HashCombine(h, attr.Hash())
-                             : common::HashCombine(h, scalar.Hash());
+  switch (kind) {
+    case Kind::kAttr:
+      return common::HashCombine(h, attr.Hash());
+    case Kind::kConst:
+      return common::HashCombine(h, scalar.Hash());
+    case Kind::kParam:
+      // Kind-only: blind to both ordinal and payload so conjunct sorting
+      // and descriptor interning treat all markers alike (see predicate.h).
+      return h;
+  }
+  return h;
 }
 
 std::string Term::ToString() const {
-  return kind == Kind::kAttr ? attr.ToString() : scalar.ToString();
+  switch (kind) {
+    case Kind::kAttr:
+      return attr.ToString();
+    case Kind::kParam:
+      return "?" + std::to_string(param);
+    default:
+      return scalar.ToString();
+  }
 }
 
 PredicateRef Predicate::True() {

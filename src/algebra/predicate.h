@@ -39,12 +39,24 @@ struct Scalar {
   std::string ToString() const;
 };
 
-/// \brief One side of a comparison: an attribute or a constant.
+/// \brief One side of a comparison: an attribute, a constant, or a
+/// parameter marker.
+///
+/// Parameter markers (kParam) stand where a literal constant was stripped
+/// by the plan cache's canonicalization pass (algebra/param.h). Their Hash
+/// deliberately covers the kind ONLY — not the ordinal and not the scalar
+/// payload — so Predicate::And's hash-ordered conjunct sort is blind to
+/// which constant (and which ordinal) a marker stands for: queries that
+/// differ only in literals canonicalize to byte-identical skeletons.
+/// Equality does compare the ordinal (rebinding must tell markers apart);
+/// the scalar slot may carry a transient payload during canonicalization
+/// and is ignored by both Hash and equality.
 struct Term {
-  enum class Kind { kAttr, kConst };
+  enum class Kind { kAttr, kConst, kParam };
   Kind kind = Kind::kConst;
   Attr attr;      ///< Valid when kind == kAttr.
-  Scalar scalar;  ///< Valid when kind == kConst.
+  Scalar scalar;  ///< Valid when kind == kConst (payload for kParam).
+  int32_t param = -1;  ///< Ordinal when kind == kParam (-1 = unassigned).
 
   static Term MakeAttr(Attr a) {
     Term t;
@@ -58,8 +70,16 @@ struct Term {
     t.scalar = std::move(s);
     return t;
   }
+  static Term MakeParam(int32_t ordinal, Scalar payload = Scalar::Null()) {
+    Term t;
+    t.kind = Kind::kParam;
+    t.param = ordinal;
+    t.scalar = std::move(payload);
+    return t;
+  }
 
   bool is_attr() const { return kind == Kind::kAttr; }
+  bool is_param() const { return kind == Kind::kParam; }
   bool operator==(const Term& o) const;
   uint64_t Hash() const;
   std::string ToString() const;

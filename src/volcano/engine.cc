@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algebra/param.h"
 #include "common/hash.h"
 #include "common/strings.h"
 #include "volcano/plancache.h"
@@ -179,12 +180,36 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
   const VolcanoMetrics* mm = options_.metrics;
   const uint64_t p0 = mm != nullptr ? common::TraceNowNs() : 0;
 #endif
+  // Parameterized mode: canonicalize the query into a constant-stripped
+  // skeleton and key over THAT, so queries differing only in literals
+  // share one entry. The canonicalization happens inside the probe-timed
+  // region — it is part of the honest warm-hit cost. Queries with nothing
+  // to strip (and param_cache off) take the exact path below unchanged.
+  PlanCache::ParamInfo pinfo;
+  algebra::ExprPtr skeleton;
+  const algebra::Expr* key_tree = &tree;
+  bool parameterized = false;
+  if (options_.param_cache) {
+    algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(tree);
+    if (pq.skeleton != nullptr) {
+      skeleton = std::move(pq.skeleton);
+      key_tree = skeleton.get();
+      pinfo.slots = std::move(pq.slots);
+      pinfo.guard_est = ParamSelectivity(pinfo.slots, *catalog_);
+      parameterized = true;
+    }
+  }
   const PlanCache::Key key =
-      PlanCache::MakeKey(tree, ReqId(req), *catalog_, memo_->store());
+      PlanCache::MakeKey(*key_tree, ReqId(req), *catalog_, memo_->store());
   PlanCache::Hit hit;
   bool dropped_stale = false;
-  const bool found = cache->Probe(key, *catalog_, &hit, &dropped_stale);
+  bool guard_rejected = false;
+  const bool found =
+      parameterized ? cache->ProbeParam(key, *catalog_, pinfo, &hit,
+                                        &dropped_stale, &guard_rejected)
+                    : cache->Probe(key, *catalog_, &hit, &dropped_stale);
   ++stats_.cache_probes;
+  if (guard_rejected) ++stats_.cache_param_rejects;
 #if PRAIRIE_METRICS
   if (mm != nullptr) {
     if (mm->plan_cache_probe_ns != nullptr) {
@@ -195,11 +220,14 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
     };
     if (found) inc(mm->plan_cache_hits);
     else inc(mm->plan_cache_misses);
+    if (found && parameterized) inc(mm->plan_cache_param_hits);
+    if (guard_rejected) inc(mm->plan_cache_param_rejects);
     if (dropped_stale) inc(mm->plan_cache_stale);
   }
 #endif
   if (found) {
     ++stats_.cache_hits;
+    if (parameterized) ++stats_.cache_param_hits;
     stats_.plan_from_cache = true;
     // The memo holds no search for this query: ExplainWinner() must not
     // report a previous query's derivation.
@@ -208,16 +236,27 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
     RecordStoreStats();  // fingerprint interning traffic (all hits)
     return hit.plan;
   }
+  // Always optimize the ORIGINAL tree — the skeleton was only the key.
   Result<Plan> result = OptimizeImpl(tree, req);
   // A budget-exhausted plan is valid but possibly suboptimal: caching it
   // would serve the truncated plan to future unbudgeted queries.
   if (result.ok() && !stats_.budget_exhausted) {
-    cache->Insert(key, *catalog_, result.ValueOrDie(),
-                  options_.plan_cache_provenance ? ExplainWinner()
-                                                 : std::string());
+    std::string provenance = options_.plan_cache_provenance
+                                 ? ExplainWinner()
+                                 : std::string();
+    if (parameterized) {
+      cache->InsertParam(key, *catalog_, pinfo, result.ValueOrDie(),
+                         std::move(provenance));
+    } else {
+      cache->Insert(key, *catalog_, result.ValueOrDie(),
+                    std::move(provenance));
+    }
 #if PRAIRIE_METRICS
-    if (mm != nullptr && mm->plan_cache_inserts != nullptr) {
-      mm->plan_cache_inserts->Inc();
+    if (mm != nullptr) {
+      if (mm->plan_cache_inserts != nullptr) mm->plan_cache_inserts->Inc();
+      if (parameterized && mm->plan_cache_param_inserts != nullptr) {
+        mm->plan_cache_param_inserts->Inc();
+      }
     }
 #endif
   }
@@ -1042,6 +1081,15 @@ VolcanoMetrics VolcanoMetrics::ForRuleSet(common::MetricsRegistry* registry,
   m.plan_cache_stale = registry->GetCounter(
       "prairie_plan_cache_stale_total",
       "Stale (epoch-mismatched) cache entries dropped on probe");
+  m.plan_cache_param_hits = registry->GetCounter(
+      "prairie_plan_cache_param_hits_total",
+      "Queries served by rebinding a parameterized skeleton entry");
+  m.plan_cache_param_rejects = registry->GetCounter(
+      "prairie_plan_cache_param_rejects_total",
+      "Parameterized probes the selectivity guard band turned away");
+  m.plan_cache_param_inserts = registry->GetCounter(
+      "prairie_plan_cache_param_inserts_total",
+      "Winning plans stored under a parameterized skeleton key");
   m.query_latency_ns = registry->GetHistogram(
       "prairie_query_latency_ns", "Per-query optimization wall time (ns)");
   m.plan_cache_probe_ns = registry->GetHistogram(

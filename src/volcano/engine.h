@@ -68,6 +68,10 @@ struct VolcanoMetrics {
   common::Counter* plan_cache_misses = nullptr;  ///< Probes that searched.
   common::Counter* plan_cache_inserts = nullptr;  ///< Plans stored.
   common::Counter* plan_cache_stale = nullptr;  ///< Stale entries dropped.
+  /// Parameterized-cache traffic (OptimizerOptions::param_cache).
+  common::Counter* plan_cache_param_hits = nullptr;  ///< Rebound hits.
+  common::Counter* plan_cache_param_rejects = nullptr;  ///< Guard rejects.
+  common::Counter* plan_cache_param_inserts = nullptr;  ///< Skeletons stored.
   /// Arena bytes backing the last flushed memo's groups and expression
   /// lists (a gauge: each query's flush overwrites it with the memo it
   /// searched, so it tracks the most recent search's footprint).
@@ -129,6 +133,15 @@ struct OptimizerOptions {
   /// entries. Off by default: the provenance walk costs more than many
   /// warm hits save.
   bool plan_cache_provenance = false;
+  /// Parameterized caching (requires plan_cache): queries are canonicalized
+  /// into constant-stripped skeletons (algebra::ParameterizeQuery) before
+  /// probing, so queries differing only in predicate literals share one
+  /// cache entry; hits rebind the probe's constants into a copy of the
+  /// cached plan, guarded by the cache's selectivity band
+  /// (PlanCacheOptions::param_band). Queries with no strippable constants
+  /// fall back to the exact path unchanged. Off by default — with this
+  /// false, cache behavior is byte-identical to exact-only caching.
+  bool param_cache = false;
   MemoLimits memo_limits;
   /// Intra-query parallel search: > 1 runs the transformation closure and
   /// the costing sweep on this many workers over ONE concurrent memo
@@ -168,6 +181,9 @@ struct OptimizerStats {
   /// Plan-cache traffic of this optimizer (one query: probes <= 1).
   size_t cache_probes = 0;     ///< Plan-cache lookups performed.
   size_t cache_hits = 0;       ///< Lookups served from the cache.
+  size_t cache_param_hits = 0;  ///< Hits served by skeleton rebinding.
+  size_t cache_param_rejects = 0;  ///< Probes the sensitivity guard
+                                   ///< turned away (optimized fresh).
   /// True when the last Optimize() answer came from the plan cache (the
   /// memo then holds no search to explain or dump).
   bool plan_from_cache = false;

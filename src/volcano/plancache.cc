@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <utility>
+#include <variant>
 
 #include "common/hash.h"
 
@@ -16,7 +17,144 @@ void AppendU64(uint64_t v, std::string* out) {
   }
 }
 
+double Clamp01(double f) {
+  return f < 1e-9 ? 1e-9 : (f > 1.0 ? 1.0 : f);
+}
+
+/// Swaps a comparison so the attribute reads on the left: `c < attr` is
+/// `attr > c`.
+algebra::CmpOp MirrorOp(algebra::CmpOp op) {
+  switch (op) {
+    case algebra::CmpOp::kLt:
+      return algebra::CmpOp::kGt;
+    case algebra::CmpOp::kLe:
+      return algebra::CmpOp::kGe;
+    case algebra::CmpOp::kGt:
+      return algebra::CmpOp::kLt;
+    case algebra::CmpOp::kGe:
+      return algebra::CmpOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// True when two binding selectivities are within the guard band.
+bool BandCompatible(double a, double b, double band) {
+  if (band <= 0) return true;
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  return lo > 0 && hi / lo <= band;
+}
+
+/// Rebinds `values` into a plan subtree, copy-on-write: marker-free
+/// subtrees are shared with the cached entry, never copied. Sets *ok false
+/// on an out-of-range ordinal (the entry cannot serve this binding).
+PhysNodeRef RebindNode(const PhysNodeRef& node,
+                       const std::vector<algebra::Scalar>& values, bool* ok) {
+  bool changed = false;
+  std::vector<PhysNodeRef> kids;
+  kids.reserve(node->children.size());
+  for (const PhysNodeRef& c : node->children) {
+    PhysNodeRef r = RebindNode(c, values, ok);
+    if (!*ok) return nullptr;
+    if (r.get() != c.get()) changed = true;
+    kids.push_back(std::move(r));
+  }
+  algebra::Descriptor desc = node->desc;
+  if (desc.valid()) {
+    const int n = desc.schema()->size();
+    for (algebra::PropertyId id = 0; id < n; ++id) {
+      const algebra::Value& v = desc.Get(id);
+      if (v.type() != algebra::ValueType::kPred) continue;
+      algebra::PredicateRef bound = algebra::BindPredicate(v.AsPred(), values);
+      if (bound == nullptr) {
+        *ok = false;
+        return nullptr;
+      }
+      if (bound.get() == v.AsPred().get()) continue;
+      desc.SetUnchecked(id, algebra::Value::Pred(std::move(bound)));
+      changed = true;
+    }
+  }
+  if (!changed) return node;
+  auto copy = std::make_shared<PhysNode>(*node);
+  copy->desc = std::move(desc);
+  copy->children = std::move(kids);
+  return copy;
+}
+
+/// Rewrites a plan subtree's constants into parameter markers per
+/// `matcher` (insert-time inverse of RebindNode). Same copy-on-write
+/// sharing; *ok false when a constant matches no slot.
+PhysNodeRef ParameterizeNode(const PhysNodeRef& node,
+                             const algebra::SlotMatcher& matcher,
+                             std::vector<bool>* used, bool* ok) {
+  bool changed = false;
+  std::vector<PhysNodeRef> kids;
+  kids.reserve(node->children.size());
+  for (const PhysNodeRef& c : node->children) {
+    PhysNodeRef r = ParameterizeNode(c, matcher, used, ok);
+    if (!*ok) return nullptr;
+    if (r.get() != c.get()) changed = true;
+    kids.push_back(std::move(r));
+  }
+  algebra::Descriptor desc = node->desc;
+  if (desc.valid()) {
+    const int n = desc.schema()->size();
+    for (algebra::PropertyId id = 0; id < n; ++id) {
+      const algebra::Value& v = desc.Get(id);
+      if (v.type() != algebra::ValueType::kPred) continue;
+      algebra::PredicateRef p =
+          algebra::ParameterizePredicate(v.AsPred(), matcher, used, ok);
+      if (!*ok) return nullptr;
+      if (p.get() == v.AsPred().get()) continue;
+      desc.SetUnchecked(id, algebra::Value::Pred(std::move(p)));
+      changed = true;
+    }
+  }
+  if (!changed) return node;
+  auto copy = std::make_shared<PhysNode>(*node);
+  copy->desc = std::move(desc);
+  copy->children = std::move(kids);
+  return copy;
+}
+
 }  // namespace
+
+double ParamSelectivity(const std::vector<algebra::ParamSlot>& slots,
+                        const catalog::Catalog& catalog) {
+  double sel = 1.0;
+  for (const algebra::ParamSlot& s : slots) {
+    const double d =
+        static_cast<double>(std::max<int64_t>(1, catalog.DistinctValues(s.attr)));
+    const algebra::CmpOp op = s.const_on_left ? MirrorOp(s.op) : s.op;
+    const int64_t* iv = std::get_if<int64_t>(&s.value.v);
+    double f;
+    switch (op) {
+      case algebra::CmpOp::kEq:
+        f = 1.0 / d;
+        break;
+      case algebra::CmpOp::kNe:
+        f = 1.0 - 1.0 / d;
+        break;
+      case algebra::CmpOp::kLt:
+      case algebra::CmpOp::kLe:
+        // Integer domains are modeled as [0, distinct): the fraction below
+        // the constant is its position in the domain.
+        f = iv != nullptr ? static_cast<double>(*iv) / d : 1.0 / 3.0;
+        break;
+      case algebra::CmpOp::kGt:
+      case algebra::CmpOp::kGe:
+        f = iv != nullptr ? 1.0 - static_cast<double>(*iv) / d : 1.0 / 3.0;
+        break;
+      default:
+        f = 1.0 / 3.0;
+        break;
+    }
+    sel *= Clamp01(f);
+  }
+  return Clamp01(sel);
+}
 
 PlanCache::PlanCache(const algebra::DescriptorStore* store,
                      PlanCacheOptions options)
@@ -53,16 +191,24 @@ PlanCache::Key PlanCache::MakeKey(const algebra::Expr& tree,
 
 size_t PlanCache::EntryBytes(const Entry& e) {
   // Approximation good enough to budget by: the key and provenance
-  // strings, the list/map node overhead, and the plan tree at a nominal
-  // per-node footprint (PhysNode + descriptor values + child vector).
+  // strings, the list/map node overhead, the plan tree at a nominal
+  // per-node footprint (PhysNode + descriptor values + child vector), and
+  // — for parameterized entries — the recorded binding vector including
+  // out-of-line string payloads.
   constexpr size_t kPerNode = 256;
   constexpr size_t kFixed = 160;
   const size_t plan_nodes =
       e.plan.root == nullptr
           ? 0
           : static_cast<size_t>(e.plan.root->AlgCount()) + 1;
+  size_t param_bytes = e.values.size() * sizeof(algebra::Scalar);
+  for (const algebra::Scalar& s : e.values) {
+    if (const std::string* str = std::get_if<std::string>(&s.v)) {
+      param_bytes += str->size();
+    }
+  }
   return kFixed + e.key_bytes.size() + e.provenance.size() +
-         plan_nodes * kPerNode;
+         plan_nodes * kPerNode + param_bytes;
 }
 
 bool PlanCache::Probe(const Key& key, const catalog::Catalog& catalog,
@@ -82,6 +228,7 @@ bool PlanCache::Probe(const Key& key, const catalog::Catalog& catalog,
   for (auto it = begin; it != end; ++it) {
     Entry& e = *it->second;
     if (e.key_bytes != key.bytes) continue;  // fingerprint collision
+    if (e.is_param) continue;  // skeleton entries serve ProbeParam only
     if (e.epoch != now_version) {
       // Lazy epoch invalidation: the catalog mutated since this plan was
       // optimized. Drop the entry; the caller re-optimizes and re-inserts
@@ -124,7 +271,7 @@ void PlanCache::Insert(const Key& key, const catalog::Catalog& catalog,
   // keep the newer plan — same epoch, same answer).
   auto [begin, end] = sh.by_fp.equal_range(key.fingerprint);
   for (auto it = begin; it != end; ++it) {
-    if (it->second->key_bytes == key.bytes) {
+    if (it->second->key_bytes == key.bytes && !it->second->is_param) {
       Erase(sh, it);
       break;
     }
@@ -133,6 +280,168 @@ void PlanCache::Insert(const Key& key, const catalog::Catalog& catalog,
   sh.by_fp.emplace(key.fingerprint, sh.lru.begin());
   sh.bytes += sh.lru.front().bytes;
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  EvictOver(sh);
+}
+
+bool PlanCache::ProbeParam(const Key& key, const catalog::Catalog& catalog,
+                           const ParamInfo& info, Hit* hit,
+                           bool* dropped_stale, bool* guard_rejected) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  if (dropped_stale != nullptr) *dropped_stale = false;
+  if (guard_rejected != nullptr) *guard_rejected = false;
+  if (key.catalog_uid != catalog.uid()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t now_version = catalog.version();
+  std::vector<algebra::Scalar> values;
+  values.reserve(info.slots.size());
+  for (const algebra::ParamSlot& s : info.slots) values.push_back(s.value);
+
+  bool saw_stale = false;
+  bool saw_guard_reject = false;
+  bool have_rebind = false;
+  Plan rebind_plan;
+  std::string rebind_prov;
+  {
+    Shard& sh = ShardFor(key.fingerprint);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto [begin, end] = sh.by_fp.equal_range(key.fingerprint);
+    // Several variants may share one skeleton key (per-band plans,
+    // exact-only fallbacks); scan them all. The careful iterator advance
+    // keeps `it` valid across Erase (multimap erase invalidates only the
+    // erased iterator).
+    for (auto it = begin; it != end;) {
+      auto cur = it++;
+      Entry& e = *cur->second;
+      if (e.key_bytes != key.bytes || !e.is_param) continue;
+      if (e.epoch != now_version) {
+        Erase(sh, cur);
+        saw_stale = true;
+        continue;
+      }
+      if (e.rebindable) {
+        if (!BandCompatible(e.guard_est, info.guard_est,
+                            options_.param_band)) {
+          saw_guard_reject = true;
+          continue;
+        }
+        sh.lru.splice(sh.lru.begin(), sh.lru, cur->second);
+        rebind_plan = e.plan;
+        rebind_prov = e.provenance;
+        have_rebind = true;
+        break;
+      }
+      if (e.values == values) {
+        // Exact-only variant optimized for precisely this binding.
+        sh.lru.splice(sh.lru.begin(), sh.lru, cur->second);
+        hit->plan = e.plan;
+        hit->provenance = e.provenance;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        param_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (saw_stale) {
+          stale_drops_.fetch_add(1, std::memory_order_relaxed);
+          if (dropped_stale != nullptr) *dropped_stale = true;
+        }
+        return true;
+      }
+    }
+  }
+  if (saw_stale) {
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_stale != nullptr) *dropped_stale = true;
+  }
+  if (have_rebind) {
+    // Rebind outside the shard lock: the cached tree is immutable and
+    // reference-counted, so it stays valid even if the entry is evicted
+    // concurrently.
+    bool ok = true;
+    PhysNodeRef root = RebindNode(rebind_plan.root, values, &ok);
+    if (ok) {
+      hit->plan = Plan{std::move(root), rebind_plan.cost};
+      hit->provenance = std::move(rebind_prov);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      param_hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  if (saw_guard_reject) {
+    sensitivity_rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (guard_rejected != nullptr) *guard_rejected = true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void PlanCache::InsertParam(const Key& key, const catalog::Catalog& catalog,
+                            const ParamInfo& info, const Plan& plan,
+                            std::string provenance) {
+  if (key.catalog_uid != catalog.uid() || catalog.version() != key.epoch) {
+    skipped_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Entry entry;
+  entry.key_bytes = key.bytes;
+  entry.fingerprint = key.fingerprint;
+  entry.epoch = key.epoch;
+  entry.provenance = std::move(provenance);
+  entry.is_param = true;
+  entry.guard_est = info.guard_est;
+  entry.values.reserve(info.slots.size());
+  for (const algebra::ParamSlot& s : info.slots) {
+    entry.values.push_back(s.value);
+  }
+
+  // Try to put markers back into the winning plan. Only a plan whose
+  // constants are all accounted for — every stripped constant attributed
+  // to exactly the slot it came from, every slot's constant found — may be
+  // rebound for other bindings; anything else (a rule synthesized a new
+  // constant, two slots are indistinguishable, a predicate was optimized
+  // away) is cached for this exact binding only. Collisions cost misses,
+  // never wrong plans.
+  algebra::SlotMatcher matcher(info.slots);
+  bool ok = !matcher.ambiguous();
+  if (ok && plan.root != nullptr) {
+    std::vector<bool> used(info.slots.size(), false);
+    PhysNodeRef root = ParameterizeNode(plan.root, matcher, &used, &ok);
+    if (ok) {
+      for (bool u : used) ok = ok && u;
+      if (ok) {
+        entry.plan = Plan{std::move(root), plan.cost};
+        entry.rebindable = true;
+      }
+    }
+  }
+  if (!entry.rebindable) entry.plan = plan;
+  entry.bytes = EntryBytes(entry);
+
+  Shard& sh = ShardFor(key.fingerprint);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  // Replace the variant this entry supersedes: the rebindable one within
+  // the same band, or the exact-only one for the same binding. Other
+  // variants stay (per-band plans accumulate under the LRU budgets).
+  auto [begin, end] = sh.by_fp.equal_range(key.fingerprint);
+  for (auto it = begin; it != end; ++it) {
+    const Entry& e = *it->second;
+    if (e.key_bytes != key.bytes || !e.is_param) continue;
+    if (entry.rebindable
+            ? (e.rebindable && BandCompatible(e.guard_est, entry.guard_est,
+                                              options_.param_band))
+            : (!e.rebindable && e.values == entry.values)) {
+      Erase(sh, it);
+      break;
+    }
+  }
+  const bool rebindable = entry.rebindable;
+  sh.lru.push_front(std::move(entry));
+  sh.by_fp.emplace(key.fingerprint, sh.lru.begin());
+  sh.bytes += sh.lru.front().bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (rebindable) {
+    param_inserts_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    unrebindable_inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
   EvictOver(sh);
 }
 
@@ -172,6 +481,12 @@ PlanCacheStats PlanCache::stats() const {
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.skipped_inserts = skipped_inserts_.load(std::memory_order_relaxed);
+  s.param_hits = param_hits_.load(std::memory_order_relaxed);
+  s.param_inserts = param_inserts_.load(std::memory_order_relaxed);
+  s.unrebindable_inserts =
+      unrebindable_inserts_.load(std::memory_order_relaxed);
+  s.sensitivity_rejects =
+      sensitivity_rejects_.load(std::memory_order_relaxed);
   return s;
 }
 

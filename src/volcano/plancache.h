@@ -31,6 +31,16 @@
 // cost limit — the failure depends on the caller's limit, not just the
 // query), and plans whose optimization raced a catalog mutation (the
 // version moved between fingerprinting and insert).
+//
+// Parameterized entries (ProbeParam/InsertParam) extend exact matching to
+// queries that differ only in literal constants: keys are built over a
+// constant-stripped skeleton (algebra::ParameterizeQuery), entries store
+// the winning plan with parameter markers in place, and a hit rebinds the
+// probe's constants into a copy-on-write copy of the plan tree. A
+// selectivity band guard (PlanCacheOptions::param_band) keeps
+// parameter-sensitive plans from serving bindings they were not optimized
+// for; out-of-band bindings optimize fresh and may add per-band variants
+// under the same skeleton key.
 
 #pragma once
 
@@ -44,10 +54,21 @@
 
 #include "algebra/descriptor_store.h"
 #include "algebra/expr.h"
+#include "algebra/param.h"
 #include "catalog/catalog.h"
 #include "volcano/plan.h"
 
 namespace prairie::volcano {
+
+/// Value-aware selectivity estimate of a parameter binding: the product of
+/// per-slot factors derived from catalog distinct-value counts and, for
+/// range comparisons over integers, the constant's position within the
+/// [0, distinct) domain. Deliberately separate from the value-blind
+/// catalog::EstimateSelectivity the cost model uses (which must stay
+/// constant-independent so skeletons fingerprint identically) — this one
+/// exists only to judge whether two bindings are plan-compatible.
+double ParamSelectivity(const std::vector<algebra::ParamSlot>& slots,
+                        const catalog::Catalog& catalog);
 
 /// \brief Sizing knobs. Defaults fit a service-sized working set while
 /// keeping the TSan/unit suites able to force evictions cheaply.
@@ -59,8 +80,15 @@ struct PlanCacheOptions {
   /// entry budget.
   size_t max_entries = 4096;
   /// Approximate total retained bytes across shards (keys + plan trees +
-  /// provenance, split evenly); 0 disables the byte budget.
+  /// provenance + parameter vectors, split evenly); 0 disables the byte
+  /// budget.
   size_t max_bytes = 64u << 20;
+  /// Parameter-sensitivity band for skeleton entries (Cobra-style): a
+  /// parameterized probe whose estimated binding selectivity differs from
+  /// the cached entry's by more than this factor is rejected by the guard
+  /// and falls through to fresh optimization (which may populate a
+  /// per-band variant under the same skeleton key). 0 disables the guard.
+  double param_band = 4.0;
 };
 
 /// \brief Monotonic traffic counters (relaxed atomics; exact under any
@@ -73,6 +101,12 @@ struct PlanCacheStats {
   uint64_t inserts = 0;      ///< Entries stored.
   uint64_t evictions = 0;    ///< Entries evicted by the LRU budgets.
   uint64_t skipped_inserts = 0;  ///< Inserts refused (raced a mutation).
+  uint64_t param_hits = 0;   ///< ProbeParam probes served from a skeleton.
+  uint64_t param_inserts = 0;  ///< Rebindable skeleton entries stored.
+  uint64_t unrebindable_inserts = 0;  ///< Skeleton entries stored
+                                      ///< exact-only (plan constants could
+                                      ///< not be attributed to slots).
+  uint64_t sensitivity_rejects = 0;  ///< Probes a guard band turned away.
 };
 
 /// \brief Sharded, LRU-evicted, epoch-invalidated cache of winning plans.
@@ -133,6 +167,42 @@ class PlanCache {
   void Insert(const Key& key, const catalog::Catalog& catalog,
               const Plan& plan, std::string provenance = std::string());
 
+  /// \brief One parameterized probe/insert context: the slots the query
+  /// canonicalized into (values included) and the binding's selectivity
+  /// estimate (ParamSelectivity) for the sensitivity guard.
+  struct ParamInfo {
+    std::vector<algebra::ParamSlot> slots;
+    double guard_est = 1.0;
+  };
+
+  /// Probes a skeleton `key` (built over a ParameterizeQuery skeleton) for
+  /// an entry serving `info`'s binding. A rebindable entry within the
+  /// sensitivity band serves a hit by rebinding the probe's constants into
+  /// a fresh copy-on-write copy of the cached plan tree; an exact-only
+  /// entry serves a hit when its recorded constants equal the probe's.
+  /// Entries outside the band are left in place and `*guard_rejected` is
+  /// set — the caller should optimize fresh (and InsertParam may add a
+  /// band variant under the same key). Stale-epoch entries are dropped as
+  /// in Probe(). Skeleton entries are invisible to Probe() and vice versa.
+  bool ProbeParam(const Key& key, const catalog::Catalog& catalog,
+                  const ParamInfo& info, Hit* hit,
+                  bool* dropped_stale = nullptr,
+                  bool* guard_rejected = nullptr);
+
+  /// Stores the winner for a skeleton `key`, optimized with `info`'s
+  /// binding. The plan's constants are matched back to the slots
+  /// (algebra::SlotMatcher); if every slot is used exactly and
+  /// unambiguously the plan is stored with markers in place (rebindable,
+  /// param_inserts), otherwise verbatim with the binding recorded for
+  /// exact-value matching only (unrebindable_inserts) — a plan whose
+  /// constants cannot be proven to descend from the query's is never
+  /// rebound. Replaces the band-compatible rebindable variant (or the
+  /// equal-values exact variant); distinct bands accumulate as variants
+  /// under one key, bounded by the LRU budgets. Epoch-refusal as Insert().
+  void InsertParam(const Key& key, const catalog::Catalog& catalog,
+                   const ParamInfo& info, const Plan& plan,
+                   std::string provenance = std::string());
+
   PlanCacheStats stats() const;
 
   /// Live entries / approximate retained bytes across all shards.
@@ -147,6 +217,15 @@ class PlanCache {
     Plan plan;
     std::string provenance;
     size_t bytes = 0;  ///< Approximate retained size of this entry.
+    /// Skeleton entry (InsertParam): invisible to exact Probe().
+    bool is_param = false;
+    /// Plan tree carries markers; hits rebind the probe's constants.
+    bool rebindable = false;
+    /// The binding the plan was optimized for (slot order). Rebindable
+    /// entries keep it for diagnostics; exact-only entries match on it.
+    std::vector<algebra::Scalar> values;
+    /// ParamSelectivity of `values` at insert time (guard band anchor).
+    double guard_est = 1.0;
   };
 
   /// One shard: an LRU list (front = most recent) indexed by fingerprint.
@@ -183,6 +262,10 @@ class PlanCache {
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> skipped_inserts_{0};
+  std::atomic<uint64_t> param_hits_{0};
+  std::atomic<uint64_t> param_inserts_{0};
+  std::atomic<uint64_t> unrebindable_inserts_{0};
+  std::atomic<uint64_t> sensitivity_rejects_{0};
 };
 
 }  // namespace prairie::volcano

@@ -1,0 +1,103 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace prairie::workload {
+
+using algebra::ParameterizedQuery;
+using algebra::Scalar;
+using common::Result;
+using common::Rng;
+
+ZipfSampler::ZipfSampler(int n, double s, uint64_t seed) : rng_(seed) {
+  const int size = std::max(1, n);
+  cdf_.resize(static_cast<size_t>(size));
+  double total = 0;
+  for (int k = 0; k < size; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin());
+}
+
+Result<TrafficGenerator> TrafficGenerator::Make(
+    const algebra::Algebra& algebra, TrafficOptions options) {
+  TrafficGenerator gen;
+  const int num_skeletons = std::max(1, options.num_skeletons);
+  const int num_tenants = std::max(1, options.num_tenants);
+  for (int i = 0; i < num_skeletons; ++i) {
+    // Skeleton i: the Q{(i%8)+1} template with its own catalog (seed) and
+    // join structure (structure_seed), so the pool spans all eight paper
+    // templates and no two skeletons fingerprint alike.
+    QuerySpec spec = PaperQuery(i % 8 + 1, options.num_joins,
+                                options.seed + static_cast<uint64_t>(i));
+    spec.structure_seed = static_cast<uint64_t>(i) + 1;
+    auto sk = std::make_unique<Skeleton>();
+    PRAIRIE_ASSIGN_OR_RETURN(sk->load, MakeWorkload(algebra, spec));
+    ParameterizedQuery pq = algebra::ParameterizeQuery(*sk->load.query);
+    if (pq.skeleton != nullptr) {
+      sk->skeleton = std::move(pq.skeleton);
+      sk->slots = std::move(pq.slots);
+      sk->domains.reserve(sk->slots.size());
+      for (const algebra::ParamSlot& slot : sk->slots) {
+        sk->domains.push_back(
+            std::max<int64_t>(1, sk->load.catalog.DistinctValues(slot.attr)));
+      }
+    }
+    gen.pool_.push_back(std::move(sk));
+  }
+  for (int t = 0; t < num_tenants; ++t) {
+    // Independent per-tenant streams: both the skeleton choice and the
+    // constant draws are seeded off (master seed, tenant id).
+    const uint64_t tseed =
+        common::HashMix(options.seed, static_cast<uint64_t>(t));
+    auto tenant = std::make_unique<Tenant>(
+        Tenant{ZipfSampler(num_skeletons, options.zipf_s, tseed),
+               Rng(tseed ^ 0x7aff1cu)});
+    gen.tenants_.push_back(std::move(tenant));
+  }
+  return gen;
+}
+
+TrafficRequest TrafficGenerator::Next() {
+  const int tenant_idx =
+      static_cast<int>(ticket_++ % static_cast<uint64_t>(tenants_.size()));
+  Tenant& tenant = *tenants_[tenant_idx];
+  // Rotate each tenant's rank order through the pool so the tenants favor
+  // different skeletons while sharing one global popularity law.
+  const int rank = tenant.zipf.Next();
+  const int skeleton_idx =
+      (rank + tenant_idx) % static_cast<int>(pool_.size());
+  const Skeleton& sk = *pool_[skeleton_idx];
+
+  TrafficRequest req;
+  req.skeleton = skeleton_idx;
+  req.tenant = tenant_idx;
+  req.catalog = &sk.load.catalog;
+  if (sk.slots.empty()) {
+    // Q1-Q4 family: no constants to vary, traffic repeats byte-identically
+    // (the exact-match cache path).
+    req.query = sk.load.query->Clone();
+    return req;
+  }
+  std::vector<Scalar> values;
+  values.reserve(sk.slots.size());
+  for (int64_t domain : sk.domains) {
+    values.push_back(Scalar::Int(tenant.values.Uniform(0, domain - 1)));
+  }
+  req.query = algebra::BindQuery(*sk.skeleton, values);
+  return req;
+}
+
+}  // namespace prairie::workload

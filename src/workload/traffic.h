@@ -1,0 +1,115 @@
+// Zipfian query traffic for the parameterized-plan-cache experiments.
+//
+// Production optimizer traffic repeats in *structure* but varies in
+// *literals*: a handful of prepared-statement skeletons dominate, each
+// arriving with ever-different constants, and skeleton popularity follows
+// a power law across tenants. TrafficGenerator simulates exactly that
+// shape: it pre-builds a pool of Q1-Q8-family skeletons (each with its own
+// catalog), gives every simulated tenant a Zipf-distributed preference
+// over a rotated view of the pool, and emits requests whose queries differ
+// from their skeleton only in the selection constants — the traffic the
+// parameterized plan cache (DESIGN.md §8) is built to serve.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algebra/param.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace prairie::workload {
+
+/// \brief Zipf(s)-distributed rank sampler over {0, .., n-1} (rank k drawn
+/// with probability proportional to (k+1)^-s), via one precomputed CDF and
+/// a binary search per draw. Deterministic under a fixed seed.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s, uint64_t seed);
+
+  /// Draws a rank in [0, n).
+  int Next();
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+  common::Rng rng_;
+};
+
+/// \brief Traffic-mix knobs.
+struct TrafficOptions {
+  /// Distinct query skeletons in the pool; skeleton i is the Q{(i%8)+1}
+  /// template with its own structure and catalog.
+  int num_skeletons = 16;
+  /// Simulated tenants, served round-robin. Each tenant draws skeletons
+  /// from its own Zipf stream over its own rotation of the pool, so
+  /// tenants have different hot sets but one global popularity law.
+  int num_tenants = 4;
+  /// Zipf exponent; larger = more skew. 1.1 approximates the heavy-tailed
+  /// skeleton popularity of production traffic.
+  double zipf_s = 1.1;
+  /// Join count of every skeleton (N joins = N+1 classes).
+  int num_joins = 2;
+  /// Master seed: skeleton catalogs, tenant streams, and constant draws
+  /// all derive from it deterministically.
+  uint64_t seed = 1;
+};
+
+/// \brief One emitted request: a query that differs from its skeleton only
+/// in constants, plus the catalog it must be optimized against.
+struct TrafficRequest {
+  int skeleton = 0;  ///< Pool index of the skeleton drawn.
+  int tenant = 0;    ///< Tenant the request belongs to.
+  algebra::ExprPtr query;
+  const catalog::Catalog* catalog = nullptr;  ///< Borrowed from the pool.
+};
+
+/// \brief Deterministic generator of parameter-varying Zipfian traffic.
+///
+/// Requests borrow their catalog from the generator, which must therefore
+/// outlive them. Not thread-safe; drive it from one thread and hand the
+/// requests to a BatchOptimizer.
+class TrafficGenerator {
+ public:
+  /// Builds the skeleton pool against `algebra` (needs the OODB SELECT
+  /// operator for the Q5-Q8 templates, like MakeWorkload).
+  static common::Result<TrafficGenerator> Make(
+      const algebra::Algebra& algebra, TrafficOptions options);
+
+  /// Draws the next request (round-robin tenant, Zipf skeleton, uniform
+  /// fresh constants in each selection slot's attribute domain).
+  TrafficRequest Next();
+
+  int num_skeletons() const { return static_cast<int>(pool_.size()); }
+
+  /// The catalog of skeleton `i` (for verification runs).
+  const catalog::Catalog& catalog(int i) const { return pool_[i]->load.catalog; }
+
+  /// Whether skeleton `i` has parameterizable constants (Q5-Q8 family).
+  bool parameterized(int i) const { return !pool_[i]->slots.empty(); }
+
+ private:
+  struct Skeleton {
+    Workload load;  ///< Catalog + the original (constant-bearing) query.
+    algebra::ExprPtr skeleton;  ///< Marker form (null: no constants).
+    std::vector<algebra::ParamSlot> slots;
+    std::vector<int64_t> domains;  ///< Per-slot distinct-value counts.
+  };
+  struct Tenant {
+    ZipfSampler zipf;
+    common::Rng values;
+  };
+
+  TrafficGenerator() = default;
+
+  // unique_ptr: catalogs must stay address-stable while requests borrow
+  // them, and Tenant/ZipfSampler have no default construction.
+  std::vector<std::unique_ptr<Skeleton>> pool_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  uint64_t ticket_ = 0;  ///< Round-robin tenant cursor.
+};
+
+}  // namespace prairie::workload

@@ -181,12 +181,18 @@ Result<Workload> MakeWorkload(const algebra::Algebra& algebra,
     // Conjunction of equality predicates bc_i = const_i (paper §4.3; the
     // paper picks const_i = i arbitrarily — we reduce it into the
     // attribute's domain so executed results are non-trivially empty).
+    // param_seed != 0 draws the constants from their own RNG instead: the
+    // historical constants never touch `rng`, so the legacy stream stays
+    // byte-identical when param_seed is 0.
+    Rng param_rng(spec.param_seed * 0x85ebca77 + 41);
     std::vector<PredicateRef> conj;
     for (int i = 0; i < num_classes; ++i) {
       Attr attr{ClassName(i), "bc"};
-      int64_t domain = w.catalog.DistinctValues(attr);
-      conj.push_back(Predicate::EqConst(
-          std::move(attr), Scalar::Int((i + 1) % std::max<int64_t>(1, domain))));
+      int64_t domain = std::max<int64_t>(1, w.catalog.DistinctValues(attr));
+      const int64_t c = spec.param_seed != 0
+                            ? param_rng.Uniform(0, domain - 1)
+                            : (i + 1) % domain;
+      conj.push_back(Predicate::EqConst(std::move(attr), Scalar::Int(c)));
     }
     PRAIRIE_ASSIGN_OR_RETURN(
         tree, builder.Select(std::move(tree), Predicate::And(std::move(conj))));

@@ -48,6 +48,13 @@ struct QuerySpec {
   /// generate many distinct queries against one catalog for plan-cache
   /// working-set experiments.
   uint64_t structure_seed = 0;
+  /// 0 (default): the selection constants of E3/E4 are the paper's fixed
+  /// bc_i = (i+1) mod domain — byte-identical to historical behavior.
+  /// Non-zero: each constant draws uniformly from its attribute's domain
+  /// on an RNG seeded here, so queries vary ONLY in predicate literals
+  /// (catalog and structure fixed by seed/structure_seed) — the shape the
+  /// parameterized plan cache canonicalizes away.
+  uint64_t param_seed = 0;
   /// Cardinality range for base classes (the bench uses large values; the
   /// execution tests use small ones so results stay enumerable).
   int64_t min_card = 100;

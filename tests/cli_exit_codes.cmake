@@ -1,0 +1,54 @@
+# Exit-code contract of the prairie_opt driver, run as a CTest script:
+#
+#   cmake -DPRAIRIE_OPT=<path-to-prairie_opt> -P cli_exit_codes.cmake
+#
+# Checks: --help exits 0 and documents the flag surface; unknown flags
+# are named on stderr and exit 2 (the usage error code); invalid flag
+# values exit 2.
+
+if(NOT DEFINED PRAIRIE_OPT)
+  message(FATAL_ERROR "pass -DPRAIRIE_OPT=<path to prairie_opt>")
+endif()
+
+function(check_run expected_code)
+  execute_process(
+    COMMAND ${PRAIRIE_OPT} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_code})
+    message(FATAL_ERROR
+      "prairie_opt ${ARGN}: expected exit ${expected_code}, got '${rc}'\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+  set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# --help succeeds and documents the cache/traffic surface.
+check_run(0 --help)
+foreach(flag "--plan-cache" "--param-cache" "--traffic" "--repeat")
+  string(FIND "${last_out}" "${flag}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "--help output does not mention ${flag}")
+  endif()
+endforeach()
+
+# An unknown flag is named on stderr and exits with the usage code.
+check_run(2 --bogus)
+string(FIND "${last_err}" "unknown flag '--bogus'" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+    "unknown-flag error does not name the flag; stderr: ${last_err}")
+endif()
+
+# Invalid flag values exit with the usage code too.
+check_run(2 --query 9)
+check_run(2 --joins 0)
+check_run(2 --repeat 0)
+check_run(2 --plan-cache=0)
+check_run(2 --param-cache=0)
+check_run(2 --traffic -3)
+check_run(2 --trace)  # flag that requires a value, given none
+
+message(STATUS "prairie_opt exit codes OK")

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "algebra/descriptor_store.h"
+#include "algebra/param.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "optimizers/oodb.h"
@@ -572,6 +573,78 @@ TEST_F(PlanCacheConcurrencyTest, SharedCacheUnderProbesInsertsAndEpochBumps) {
 
   stop.store(true, std::memory_order_release);
   mutator.join();
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized cache under concurrency (TSan-covered): 8 workers race
+// constant-varying probes of ONE skeleton key — skeleton inserts, rebinds
+// of the shared marker tree, LRU splices — and every served plan must
+// still equal the serial cache-less reference for its own constants.
+
+using ParameterizedCacheTest = OodbFixture;
+
+TEST_F(ParameterizedCacheTest, RacingReboundProbesServeCorrectPlans) {
+  constexpr int kVariants = 24;
+  constexpr int kRounds = 3;
+  workload::Workload w = MakeQ(5, 2, 3);
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  ASSERT_NE(pq.skeleton, nullptr);
+
+  // Constant-varying instances of the one skeleton, all against the same
+  // catalog: every worker contends on the same cache key.
+  std::vector<algebra::ExprPtr> variants;
+  std::vector<double> ref_cost;
+  std::vector<std::string> ref_plan;
+  for (int v = 0; v < kVariants; ++v) {
+    std::vector<algebra::Scalar> values;
+    for (const algebra::ParamSlot& slot : pq.slots) {
+      const int64_t domain =
+          std::max<int64_t>(1, w.catalog.DistinctValues(slot.attr));
+      values.push_back(algebra::Scalar::Int((7 * v + 1) % domain));
+    }
+    algebra::ExprPtr bound = algebra::BindQuery(*pq.skeleton, values);
+    ASSERT_NE(bound, nullptr);
+    volcano::Optimizer ref(rules_.get(), &w.catalog, {});
+    auto plan = ref.Optimize(*bound);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ref_cost.push_back(plan->cost);
+    ref_plan.push_back(plan->root->ToString(*rules_->algebra));
+    variants.push_back(std::move(bound));
+  }
+
+  std::vector<volcano::BatchQuery> queries;
+  for (const auto& q : variants) {
+    queries.push_back(volcano::BatchQuery{q.get(), &w.catalog});
+  }
+  volcano::BatchOptions options;
+  options.jobs = 8;
+  options.plan_cache_entries = 1024;
+  options.optimizer.param_cache = true;
+  volcano::BatchOptimizer batch(rules_.get(), options);
+  for (int round = 0; round < kRounds; ++round) {
+    auto results = batch.OptimizeAll(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].plan.ok())
+          << "round " << round << " variant " << i << ": "
+          << results[i].plan.status().ToString();
+      EXPECT_EQ(results[i].plan->cost, ref_cost[i])
+          << "round " << round << " variant " << i;
+      EXPECT_EQ(results[i].plan->root->ToString(*rules_->algebra),
+                ref_plan[i])
+          << "round " << round << " variant " << i;
+    }
+  }
+  const volcano::PlanCacheStats stats = batch.plan_cache()->stats();
+  EXPECT_EQ(stats.probes,
+            static_cast<uint64_t>(kRounds) * queries.size());
+  EXPECT_EQ(stats.hits + stats.misses, stats.probes);
+  // After the cold round every probe rebinds from the skeleton: at least
+  // the two fully-warm rounds' worth of hits are parameterized.
+  EXPECT_GE(stats.param_hits,
+            static_cast<uint64_t>(kRounds - 1) * queries.size());
+  EXPECT_GE(stats.param_inserts, 1u);
+  EXPECT_EQ(stats.unrebindable_inserts, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "algebra/descriptor_store.h"
+#include "algebra/param.h"
 #include "optimizers/oodb.h"
 #include "p2v/translator.h"
 #include "volcano/batch.h"
@@ -381,6 +382,310 @@ TEST_F(PlanCacheTest, BatchCacheOnAndOffProduceIdenticalPlans) {
     EXPECT_EQ(Render(*warm[i].plan), Render(*ref[i].plan)) << "query " << i;
     EXPECT_TRUE(warm[i].stats.plan_from_cache) << "query " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized entries: constant-stripped skeleton keys, rebinding,
+// sensitivity guard, and exact-only fallbacks (DESIGN.md §8).
+
+using ParameterizedCacheTest = PlanCacheTest;
+
+TEST_F(ParameterizedCacheTest, ReboundPlansEqualFreshOptimizationAcrossQ5Q8) {
+  DescriptorStore store(&rules_->algebra->properties(), StoreMode::kSerial);
+  PlanCache cache(&store);
+  OptimizerOptions options;
+  options.plan_cache = &cache;
+  options.param_cache = true;
+
+  for (int q = 5; q <= 8; ++q) {
+    workload::Workload w = MakeQ(q, 2, 19);
+    algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+    ASSERT_NE(pq.skeleton, nullptr) << "Q" << q;
+    ASSERT_EQ(pq.slots.size(), 3u) << "Q" << q;  // bc_i = ?k per class
+
+    // Cold pass inserts the skeleton entry.
+    Optimizer cold(rules_.get(), &w.catalog, options, &store);
+    ASSERT_TRUE(cold.Optimize(*w.query).ok());
+    EXPECT_FALSE(cold.stats().plan_from_cache);
+
+    // Constant-varying probes of the same skeleton: every one must be
+    // served by rebinding, and every rebound plan must equal a fresh
+    // cache-less optimization of the same bound query.
+    for (int variant = 0; variant < 3; ++variant) {
+      std::vector<algebra::Scalar> values;
+      for (const algebra::ParamSlot& slot : pq.slots) {
+        const int64_t domain =
+            std::max<int64_t>(1, w.catalog.DistinctValues(slot.attr));
+        values.push_back(algebra::Scalar::Int(
+            (3 * static_cast<int64_t>(variant) + 7) % domain));
+      }
+      algebra::ExprPtr bound = algebra::BindQuery(*pq.skeleton, values);
+      ASSERT_NE(bound, nullptr);
+
+      Optimizer warm(rules_.get(), &w.catalog, options, &store);
+      auto warm_plan = warm.Optimize(*bound);
+      ASSERT_TRUE(warm_plan.ok()) << "Q" << q << " variant " << variant;
+      EXPECT_TRUE(warm.stats().plan_from_cache)
+          << "Q" << q << " variant " << variant;
+      EXPECT_EQ(warm.stats().cache_param_hits, 1u);
+
+      Optimizer ref(rules_.get(), &w.catalog, {});
+      auto ref_plan = ref.Optimize(*bound);
+      ASSERT_TRUE(ref_plan.ok());
+      EXPECT_EQ(warm_plan->cost, ref_plan->cost)
+          << "Q" << q << " variant " << variant;
+      EXPECT_EQ(Render(*warm_plan), Render(*ref_plan))
+          << "Q" << q << " variant " << variant;
+    }
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.param_inserts, 4u);
+  EXPECT_EQ(stats.unrebindable_inserts, 0u);
+  EXPECT_EQ(stats.param_hits, 12u);
+  EXPECT_EQ(stats.sensitivity_rejects, 0u);
+}
+
+TEST_F(ParameterizedCacheTest, DisabledParamCacheLeavesExactPathUntouched) {
+  DescriptorStore store(&rules_->algebra->properties(), StoreMode::kSerial);
+  PlanCache cache(&store);
+  OptimizerOptions options;
+  options.plan_cache = &cache;  // param_cache stays false
+
+  workload::Workload w = MakeQ(5, 2, 23);
+  Optimizer cold(rules_.get(), &w.catalog, options, &store);
+  ASSERT_TRUE(cold.Optimize(*w.query).ok());
+
+  // A constant-variant of the same query misses: the exact path keys on
+  // the literal bytes.
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  ASSERT_NE(pq.skeleton, nullptr);
+  std::vector<algebra::Scalar> values;
+  for (const algebra::ParamSlot& slot : pq.slots) {
+    const int64_t domain =
+        std::max<int64_t>(1, w.catalog.DistinctValues(slot.attr));
+    const int64_t* original = std::get_if<int64_t>(&slot.value.v);
+    ASSERT_NE(original, nullptr);
+    values.push_back(algebra::Scalar::Int((*original + 1) % domain));
+  }
+  algebra::ExprPtr variant = algebra::BindQuery(*pq.skeleton, values);
+  ASSERT_NE(variant, nullptr);
+  Optimizer probe(rules_.get(), &w.catalog, options, &store);
+  ASSERT_TRUE(probe.Optimize(*variant).ok());
+  EXPECT_FALSE(probe.stats().plan_from_cache);
+
+  // The byte-identical query still hits, and no parameterized machinery
+  // ever engaged.
+  Optimizer warm(rules_.get(), &w.catalog, options, &store);
+  ASSERT_TRUE(warm.Optimize(*w.query).ok());
+  EXPECT_TRUE(warm.stats().plan_from_cache);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.param_hits, 0u);
+  EXPECT_EQ(stats.param_inserts, 0u);
+  EXPECT_EQ(stats.unrebindable_inserts, 0u);
+  EXPECT_EQ(stats.sensitivity_rejects, 0u);
+}
+
+TEST_F(ParameterizedCacheTest, SkeletonEntriesInvisibleToExactProbes) {
+  DescriptorStore store(&rules_->algebra->properties(), StoreMode::kSerial);
+  PlanCache cache(&store);
+  workload::Workload w = MakeQ(5, 2, 27);
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  ASSERT_NE(pq.skeleton, nullptr);
+
+  const PlanCache::Key key =
+      PlanCache::MakeKey(*pq.skeleton, 0, w.catalog, &store);
+  PlanCache::ParamInfo info;
+  info.slots = pq.slots;
+  cache.InsertParam(key, w.catalog, info, Plan{});
+  ASSERT_EQ(cache.size(), 1u);
+
+  // The exact probe must not serve the skeleton entry even though the key
+  // bytes match...
+  PlanCache::Hit hit;
+  EXPECT_FALSE(cache.Probe(key, w.catalog, &hit));
+
+  // ...and an exact insert under the same key coexists rather than
+  // replacing it; each probe flavor sees only its own entry.
+  cache.Insert(key, w.catalog, Plan{});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Probe(key, w.catalog, &hit));
+  EXPECT_TRUE(cache.ProbeParam(key, w.catalog, info, &hit));
+}
+
+TEST_F(ParameterizedCacheTest, SensitivityGuardRejectsOutOfBandBindings) {
+  DescriptorStore store(&rules_->algebra->properties(), StoreMode::kSerial);
+  PlanCache cache(&store);  // default band: factor 4
+  workload::Workload w = MakeQ(5, 2, 29);
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  ASSERT_NE(pq.skeleton, nullptr);
+
+  Optimizer ref(rules_.get(), &w.catalog, {});
+  auto plan = ref.Optimize(*w.query);
+  ASSERT_TRUE(plan.ok());
+
+  const PlanCache::Key key =
+      PlanCache::MakeKey(*pq.skeleton, 0, w.catalog, &store);
+  PlanCache::ParamInfo selective;
+  selective.slots = pq.slots;
+  selective.guard_est = 0.01;
+  cache.InsertParam(key, w.catalog, selective, *plan);
+  ASSERT_EQ(cache.stats().param_inserts, 1u);
+
+  // Same skeleton, wildly different estimated selectivity: the guard must
+  // turn the probe away rather than serve a mis-fitted plan.
+  PlanCache::ParamInfo broad = selective;
+  broad.guard_est = 0.9;
+  PlanCache::Hit hit;
+  bool dropped_stale = false;
+  bool guard_rejected = false;
+  EXPECT_FALSE(cache.ProbeParam(key, w.catalog, broad, &hit, &dropped_stale,
+                                &guard_rejected));
+  EXPECT_TRUE(guard_rejected);
+  EXPECT_EQ(cache.stats().sensitivity_rejects, 1u);
+
+  // Fresh optimization under the rejected binding populates a per-band
+  // variant; afterwards both bands are served.
+  cache.InsertParam(key, w.catalog, broad, *plan);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.ProbeParam(key, w.catalog, broad, &hit));
+  EXPECT_TRUE(cache.ProbeParam(key, w.catalog, selective, &hit));
+
+  // A nearby estimate (within the 4x band) is served by the variant.
+  PlanCache::ParamInfo nearby = selective;
+  nearby.guard_est = 0.02;
+  EXPECT_TRUE(cache.ProbeParam(key, w.catalog, nearby, &hit));
+
+  // Band 0 disables the guard entirely.
+  PlanCacheOptions open_opts;
+  open_opts.param_band = 0;
+  PlanCache open_cache(&store, open_opts);
+  open_cache.InsertParam(key, w.catalog, selective, *plan);
+  EXPECT_TRUE(open_cache.ProbeParam(key, w.catalog, broad, &hit));
+}
+
+TEST_F(ParameterizedCacheTest, UnattributablePlanConstantsFallBackToExact) {
+  DescriptorStore store(&rules_->algebra->properties(), StoreMode::kSerial);
+  PlanCache cache(&store);
+  workload::Workload w = MakeQ(5, 2, 31);
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  ASSERT_NE(pq.skeleton, nullptr);
+
+  Optimizer ref(rules_.get(), &w.catalog, {});
+  auto plan = ref.Optimize(*w.query);
+  ASSERT_TRUE(plan.ok());
+
+  // Lie about one binding value: the plan's constant no longer matches any
+  // slot, so the insert must refuse to store markers.
+  PlanCache::ParamInfo info;
+  info.slots = pq.slots;
+  const int64_t* original = std::get_if<int64_t>(&info.slots[0].value.v);
+  ASSERT_NE(original, nullptr);
+  info.slots[0].value = algebra::Scalar::Int(*original + 1000);
+  const PlanCache::Key key =
+      PlanCache::MakeKey(*pq.skeleton, 0, w.catalog, &store);
+  cache.InsertParam(key, w.catalog, info, *plan);
+  EXPECT_EQ(cache.stats().unrebindable_inserts, 1u);
+  EXPECT_EQ(cache.stats().param_inserts, 0u);
+
+  // The exact-only entry serves precisely its own binding...
+  PlanCache::Hit hit;
+  EXPECT_TRUE(cache.ProbeParam(key, w.catalog, info, &hit));
+  EXPECT_EQ(Render(hit.plan), Render(*plan));
+
+  // ...and never a different one (an unrebindable plan must not be bent
+  // to fresh constants).
+  PlanCache::ParamInfo other = info;
+  other.slots[1].value = algebra::Scalar::Int(12345);
+  EXPECT_FALSE(cache.ProbeParam(key, w.catalog, other, &hit));
+
+  // Ambiguous slots (two indistinguishable comparison shapes) are equally
+  // unrebindable: binding could swap their constants.
+  PlanCache::ParamInfo ambiguous;
+  ambiguous.slots = pq.slots;
+  ambiguous.slots.push_back(pq.slots[0]);
+  EXPECT_TRUE(algebra::SlotMatcher(ambiguous.slots).ambiguous());
+  cache.InsertParam(key, w.catalog, ambiguous, *plan);
+  EXPECT_EQ(cache.stats().unrebindable_inserts, 2u);
+}
+
+TEST_F(ParameterizedCacheTest, ByteBudgetCoversParameterizedEntries) {
+  DescriptorStore store(&rules_->algebra->properties(), StoreMode::kSerial);
+  PlanCacheOptions copt;
+  copt.shards = 1;
+  copt.max_entries = 0;
+  copt.max_bytes = 2048;
+  PlanCache cache(&store, copt);
+
+  for (int i = 0; i < 8; ++i) {
+    workload::Workload w = MakeQ(5, 2, static_cast<uint64_t>(70 + i));
+    algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+    ASSERT_NE(pq.skeleton, nullptr);
+    PlanCache::ParamInfo info;
+    info.slots = pq.slots;
+    const PlanCache::Key key =
+        PlanCache::MakeKey(*pq.skeleton, 0, w.catalog, &store);
+    cache.InsertParam(key, w.catalog, info, Plan{});
+  }
+  // Parameterized entries charge their skeleton key AND parameter vector
+  // against the byte budget; eviction holds the cache under it.
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.bytes(), 2048u);
+  EXPECT_GE(cache.size(), 1u);
+
+  // An entry's accounted footprint exceeds the bare exact entry's by at
+  // least the parameter vector.
+  workload::Workload w = MakeQ(5, 2, 90);
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  const PlanCache::Key key =
+      PlanCache::MakeKey(*pq.skeleton, 0, w.catalog, &store);
+  PlanCache cache_exact(&store, PlanCacheOptions{});
+  PlanCache cache_param(&store, PlanCacheOptions{});
+  cache_exact.Insert(key, w.catalog, Plan{});
+  PlanCache::ParamInfo info;
+  info.slots = pq.slots;
+  cache_param.InsertParam(key, w.catalog, info, Plan{});
+  EXPECT_GT(cache_param.bytes(), cache_exact.bytes());
+}
+
+TEST_F(ParameterizedCacheTest, ParamSelectivityTracksDomainAndConstant) {
+  workload::Workload w = MakeQ(5, 2, 41);
+  const algebra::Attr bc{"C1", "bc"};
+  const int64_t domain = w.catalog.DistinctValues(bc);
+  ASSERT_GT(domain, 1);
+
+  using algebra::CmpOp;
+  using algebra::ParamSlot;
+  using algebra::Scalar;
+  const auto est = [&](std::vector<ParamSlot> slots) {
+    return volcano::ParamSelectivity(slots, w.catalog);
+  };
+
+  // Equality: 1/distinct, independent of the value.
+  EXPECT_DOUBLE_EQ(est({{CmpOp::kEq, bc, false, Scalar::Int(1)}}),
+                   1.0 / static_cast<double>(domain));
+  EXPECT_DOUBLE_EQ(est({{CmpOp::kEq, bc, false, Scalar::Int(domain - 1)}}),
+                   1.0 / static_cast<double>(domain));
+
+  // Ranges: the constant's position in the domain drives the estimate.
+  const double lt_small = est({{CmpOp::kLt, bc, false, Scalar::Int(1)}});
+  const double lt_large =
+      est({{CmpOp::kLt, bc, false, Scalar::Int(domain - 1)}});
+  EXPECT_LT(lt_small, lt_large);
+  const double gt_small = est({{CmpOp::kGt, bc, false, Scalar::Int(1)}});
+  const double gt_large =
+      est({{CmpOp::kGt, bc, false, Scalar::Int(domain - 1)}});
+  EXPECT_GT(gt_small, gt_large);
+
+  // A flipped comparison (constant on the left) mirrors the operator:
+  // c < attr  ==  attr > c.
+  EXPECT_DOUBLE_EQ(est({{CmpOp::kLt, bc, true, Scalar::Int(1)}}), gt_small);
+
+  // Conjunctions multiply, and the product stays clamped into (0, 1].
+  const double one = est({{CmpOp::kEq, bc, false, Scalar::Int(1)}});
+  const double two = est({{CmpOp::kEq, bc, false, Scalar::Int(1)},
+                          {CmpOp::kEq, bc, false, Scalar::Int(2)}});
+  EXPECT_DOUBLE_EQ(two, one * one);
+  EXPECT_GT(two, 0.0);
 }
 
 }  // namespace

@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "algebra/descriptor_store.h"
+#include "algebra/param.h"
 #include "optimizers/props.h"
 #include "optimizers/volcano_hand.h"
+#include "workload/traffic.h"
 #include "workload/workload.h"
 
 namespace prairie::workload {
@@ -342,6 +347,176 @@ TEST(MakeWorkload, ShapesShareTheCatalogDraws) {
     EXPECT_EQ(chain.catalog.Find(name)->cardinality(),
               clique.catalog.Find(name)->cardinality());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-varying traffic (DESIGN.md §8).
+
+TEST(MakeWorkload, ParamSeedVariesOnlyTheSelectionConstants) {
+  QuerySpec spec = PaperQuery(5, 3, 21);
+  ASSERT_OK_AND_ASSIGN(Workload legacy, MakeWorkload(*Rules()->algebra, spec));
+  spec.param_seed = 7;
+  ASSERT_OK_AND_ASSIGN(Workload a, MakeWorkload(*Rules()->algebra, spec));
+  spec.param_seed = 8;
+  ASSERT_OK_AND_ASSIGN(Workload b, MakeWorkload(*Rules()->algebra, spec));
+
+  // The catalog draws never touch the param stream.
+  EXPECT_EQ(legacy.catalog.ToString(), a.catalog.ToString());
+  EXPECT_EQ(a.catalog.ToString(), b.catalog.ToString());
+
+  // The queries differ in their serialized bytes (different literals;
+  // Expr::ToString elides predicates, so compare fingerprints)...
+  const auto& algebra = *Rules()->algebra;
+  algebra::DescriptorStore store(&algebra.properties(),
+                                 algebra::StoreMode::kSerial);
+  std::string qa, qb;
+  a.query->Fingerprint(&store, &qa);
+  b.query->Fingerprint(&store, &qb);
+  EXPECT_NE(qa, qb);
+
+  // ...but canonicalize to byte-identical skeletons: literals are the ONLY
+  // difference.
+  algebra::ParameterizedQuery pa = algebra::ParameterizeQuery(*a.query);
+  algebra::ParameterizedQuery pb = algebra::ParameterizeQuery(*b.query);
+  algebra::ParameterizedQuery pl = algebra::ParameterizeQuery(*legacy.query);
+  ASSERT_NE(pa.skeleton, nullptr);
+  ASSERT_NE(pb.skeleton, nullptr);
+  ASSERT_NE(pl.skeleton, nullptr);
+  std::string fa, fb, fl;
+  pa.skeleton->Fingerprint(&store, &fa);
+  pb.skeleton->Fingerprint(&store, &fb);
+  pl.skeleton->Fingerprint(&store, &fl);
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(fa, fl);
+  EXPECT_EQ(pa.slots.size(), 4u);  // one bc_i = ?k per class
+}
+
+TEST(MakeWorkload, BindQueryRoundTripsToTheOriginalQuery) {
+  QuerySpec spec = PaperQuery(7, 2, 33);
+  spec.param_seed = 3;
+  ASSERT_OK_AND_ASSIGN(Workload w, MakeWorkload(*Rules()->algebra, spec));
+  algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*w.query);
+  ASSERT_NE(pq.skeleton, nullptr);
+  ASSERT_FALSE(pq.slots.empty());
+
+  std::vector<algebra::Scalar> values;
+  for (const algebra::ParamSlot& s : pq.slots) values.push_back(s.value);
+  algebra::ExprPtr rebound = algebra::BindQuery(*pq.skeleton, values);
+  ASSERT_NE(rebound, nullptr);
+
+  algebra::DescriptorStore store(&Rules()->algebra->properties(),
+                                 algebra::StoreMode::kSerial);
+  std::string original, round_trip;
+  w.query->Fingerprint(&store, &original);
+  rebound->Fingerprint(&store, &round_trip);
+  EXPECT_EQ(original, round_trip);
+
+  // An out-of-range ordinal binds to null, never to a wrong query.
+  values.pop_back();
+  EXPECT_EQ(algebra::BindQuery(*pq.skeleton, values), nullptr);
+}
+
+TEST(ZipfSampler, RankFrequencyFollowsThePowerLaw) {
+  // Under s = 1, rank k should be drawn proportionally to 1/(k+1): rank 0
+  // twice as often as rank 1 and n times as often as rank n-1.
+  ZipfSampler zipf(8, 1.0, 99);
+  std::vector<int> counts(8, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const int k = zipf.Next();
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 8);
+    ++counts[k];
+  }
+  for (int k = 1; k < 8; ++k) {
+    EXPECT_LT(counts[k], counts[k - 1]) << "rank " << k;
+  }
+  const double head_to_second =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(head_to_second, 2.0, 0.3);
+  const double head_to_tail =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[7]);
+  EXPECT_NEAR(head_to_tail, 8.0, 2.0);
+}
+
+TEST(ZipfSampler, DeterministicUnderAFixedSeed) {
+  ZipfSampler a(16, 1.1, 42);
+  ZipfSampler b(16, 1.1, 42);
+  ZipfSampler c(16, 1.1, 43);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int ka = a.Next();
+    EXPECT_EQ(ka, b.Next());
+    differs = differs || ka != c.Next();
+  }
+  EXPECT_TRUE(differs);  // a different seed is a different stream
+}
+
+TEST(TrafficGenerator, DeterministicAndTenantStreamsAreIndependent) {
+  TrafficOptions options;
+  options.num_skeletons = 8;
+  options.num_tenants = 3;
+  ASSERT_OK_AND_ASSIGN(TrafficGenerator a,
+                       TrafficGenerator::Make(*Rules()->algebra, options));
+  ASSERT_OK_AND_ASSIGN(TrafficGenerator b,
+                       TrafficGenerator::Make(*Rules()->algebra, options));
+
+  const auto& algebra = *Rules()->algebra;
+  std::vector<std::vector<int>> per_tenant(3);
+  for (int i = 0; i < 300; ++i) {
+    TrafficRequest ra = a.Next();
+    TrafficRequest rb = b.Next();
+    // Same options + seed: the two generators replay one stream.
+    EXPECT_EQ(ra.skeleton, rb.skeleton);
+    EXPECT_EQ(ra.tenant, rb.tenant);
+    EXPECT_EQ(ra.query->ToString(algebra), rb.query->ToString(algebra));
+    per_tenant[static_cast<size_t>(ra.tenant)].push_back(ra.skeleton);
+  }
+  // Tenants are served round-robin, each drawing from its own stream: no
+  // two tenants replay the same skeleton sequence.
+  ASSERT_EQ(per_tenant[0].size(), 100u);
+  EXPECT_NE(per_tenant[0], per_tenant[1]);
+  EXPECT_NE(per_tenant[1], per_tenant[2]);
+}
+
+TEST(TrafficGenerator, RequestsVaryOnlyInConstantsWithinASkeleton) {
+  TrafficOptions options;
+  // Skeleton i is the Q{(i%8)+1} template: 8 skeletons cover Q5..Q8, the
+  // parameterized (selection-bearing) half of the pool.
+  options.num_skeletons = 8;
+  options.num_tenants = 2;
+  ASSERT_OK_AND_ASSIGN(TrafficGenerator gen,
+                       TrafficGenerator::Make(*Rules()->algebra, options));
+  algebra::DescriptorStore store(&Rules()->algebra->properties(),
+                                 algebra::StoreMode::kSerial);
+  // Requests of one parameterized skeleton must canonicalize to one
+  // skeleton fingerprint even as their rendered constants vary.
+  std::vector<std::string> fingerprints(8);
+  std::vector<bool> seen(8, false);
+  bool constants_varied = false;
+  std::vector<std::string> last_text(8);
+  for (int i = 0; i < 200; ++i) {
+    TrafficRequest r = gen.Next();
+    if (!gen.parameterized(r.skeleton)) continue;
+    algebra::ParameterizedQuery pq = algebra::ParameterizeQuery(*r.query);
+    ASSERT_NE(pq.skeleton, nullptr) << "skeleton " << r.skeleton;
+    std::string fp;
+    pq.skeleton->Fingerprint(&store, &fp);
+    const size_t k = static_cast<size_t>(r.skeleton);
+    if (seen[k]) {
+      EXPECT_EQ(fp, fingerprints[k]) << "skeleton " << r.skeleton;
+    } else {
+      fingerprints[k] = fp;
+      seen[k] = true;
+    }
+    std::string bytes;
+    r.query->Fingerprint(&store, &bytes);
+    if (!last_text[k].empty() && bytes != last_text[k]) {
+      constants_varied = true;
+    }
+    last_text[k] = std::move(bytes);
+  }
+  EXPECT_TRUE(constants_varied);
 }
 
 }  // namespace

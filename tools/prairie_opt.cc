@@ -5,7 +5,7 @@
 //   prairie_opt [--spec relational|oodb|FILE] [--query 1..8]
 //               [--joins N] [--seed S] [--expand-only] [--no-prune]
 //               [--jobs N] [--batch K] [--plan-cache[=ENTRIES]]
-//               [--repeat R]
+//               [--param-cache[=ENTRIES]] [--traffic N] [--repeat R]
 //               [--trace FILE] [--profile-rules] [--explain]
 //               [--metrics FILE] [--dump-memo FILE.{dot,json}] [--help]
 //
@@ -17,7 +17,17 @@
 // --plan-cache enables the fingerprinted plan cache (optionally sized to
 // ENTRIES; default 4096) and reports hit/miss/insert/evict/stale counts
 // after the run. --repeat R re-optimizes the same workload R times — the
-// natural way to watch the cache go from cold to warm.
+// natural way to watch the cache go from cold to warm. --param-cache
+// additionally strips predicate constants out of the cache key, so
+// queries differing only in literals share one skeleton entry and hits
+// rebind the probe's constants into the cached plan (DESIGN.md §8).
+//
+// --traffic N switches to traffic mode: a TrafficGenerator emits N
+// requests drawn from a Zipf-distributed pool of Q1-Q8-family skeletons
+// (per-tenant streams, fresh constants per request) and drives them
+// through the optimizer — serially, or on --jobs workers. The report
+// shows cache hit rate and optimize-latency percentiles: the
+// parameterized cache's headline numbers.
 //
 // Observability flags:
 //   --trace FILE     write the search trace as Chrome trace_event JSON
@@ -55,6 +65,7 @@
 #include "volcano/engine.h"
 #include "volcano/inspect.h"
 #include "volcano/profile.h"
+#include "workload/traffic.h"
 #include "workload/workload.h"
 
 namespace {
@@ -95,6 +106,16 @@ void PrintUsage(std::FILE* out) {
       "  --plan-cache[=ENTRIES]       reuse optimized plans by fingerprint\n"
       "                               (default 4096 entries); reports\n"
       "                               hit/miss/insert/evict/stale counts\n"
+      "  --param-cache[=ENTRIES]      plan cache keyed on constant-stripped\n"
+      "                               skeletons: queries differing only in\n"
+      "                               literals share an entry; hits rebind\n"
+      "                               the probe's constants (implies\n"
+      "                               --plan-cache)\n"
+      "  --traffic N                  optimize N requests of Zipf-skewed\n"
+      "                               parameter-varying traffic (Q1..Q8\n"
+      "                               skeleton pool, per-tenant streams);\n"
+      "                               honors --jobs; reports hit rate and\n"
+      "                               latency percentiles\n"
       "  --repeat R                   optimize the workload R times (cold\n"
       "                               first round, warm after)\n"
       "\n"
@@ -157,6 +178,8 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool plan_cache = false;
   size_t plan_cache_entries = 4096;
+  bool param_cache = false;
+  int traffic = 0;
   int repeat = 1;
   std::string shape = "chain";
   prairie::volcano::OptimizerOptions options;
@@ -227,6 +250,22 @@ int main(int argc, char** argv) {
       const long long n = std::atoll(arg.c_str() + std::strlen("--plan-cache="));
       if (n <= 0) return Usage();
       plan_cache_entries = static_cast<size_t>(n);
+    } else if (arg == "--param-cache") {
+      plan_cache = true;
+      param_cache = true;
+    } else if (arg.rfind("--param-cache=", 0) == 0) {
+      plan_cache = true;
+      param_cache = true;
+      const long long n =
+          std::atoll(arg.c_str() + std::strlen("--param-cache="));
+      if (n <= 0) return Usage();
+      plan_cache_entries = static_cast<size_t>(n);
+    } else if (arg == "--traffic") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      traffic = std::atoi(v);
+    } else if (arg.rfind("--traffic=", 0) == 0) {
+      traffic = std::atoi(arg.c_str() + std::strlen("--traffic="));
     } else if (arg == "--repeat") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -262,10 +301,12 @@ int main(int argc, char** argv) {
       PrintUsage(stdout);
       return 0;
     } else {
+      std::fprintf(stderr, "prairie_opt: unknown flag '%s'\n", arg.c_str());
       return Usage();
     }
   }
-  if (query < 1 || query > 8 || joins < 1 || batch < 0 || repeat < 1) {
+  if (query < 1 || query > 8 || joins < 1 || batch < 0 || repeat < 1 ||
+      traffic < 0) {
     return Usage();
   }
   prairie::workload::JoinShape join_shape =
@@ -313,14 +354,101 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  options.param_cache = param_cache;
+
   // The metrics bundle registers every series (per-rule histograms need the
-  // rule names) once, up front; both modes then share it — batch workers
-  // flush into the same sharded counters without contention.
+  // rule names) once, up front; all modes then share it — batch workers
+  // flush into the same sharded counters without contention. Traffic mode
+  // always wants it: the latency percentiles come out of its histograms.
   prairie::volcano::VolcanoMetrics metrics_bundle;
-  if (!metrics_path.empty()) {
+  if (!metrics_path.empty() || traffic > 0) {
     metrics_bundle = prairie::volcano::VolcanoMetrics::ForRuleSet(
         prairie::common::MetricsRegistry::Global(), **volcano_rules);
     options.metrics = &metrics_bundle;
+  }
+
+  if (traffic > 0) {
+    // Traffic mode: N parameter-varying requests over a Zipf-skewed
+    // skeleton pool, optimized through one BatchOptimizer (serial unless
+    // --jobs). The interesting outputs are the cache counters and the
+    // optimize-latency percentiles, not the individual plans.
+    const auto& algebra = *(*volcano_rules)->algebra;
+    prairie::workload::TrafficOptions topt;
+    topt.num_joins = joins;
+    topt.seed = seed;
+    auto gen = prairie::workload::TrafficGenerator::Make(algebra, topt);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n",
+                   gen.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<prairie::workload::TrafficRequest> requests;
+    requests.reserve(static_cast<size_t>(traffic));
+    for (int i = 0; i < traffic; ++i) requests.push_back(gen->Next());
+    std::vector<prairie::volcano::BatchQuery> queries;
+    queries.reserve(requests.size());
+    for (const auto& r : requests) {
+      queries.push_back(prairie::volcano::BatchQuery{r.query.get(), r.catalog});
+    }
+    prairie::volcano::BatchOptions batch_options;
+    batch_options.jobs = jobs == 0 ? 1 : jobs;
+    batch_options.optimizer = options;
+    if (plan_cache) batch_options.plan_cache_entries = plan_cache_entries;
+    prairie::volcano::BatchOptimizer batcher(volcano_rules->get(),
+                                             batch_options);
+    prairie::common::Stopwatch sw;
+    std::vector<prairie::volcano::BatchResult> results =
+        batcher.OptimizeAll(queries);
+    const double wall = sw.ElapsedSeconds();
+    int failures = 0;
+    size_t cached = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      if (!r.plan.ok()) {
+        std::printf("request %zu (skeleton %d): ERROR %s\n", i,
+                    requests[i].skeleton, r.plan.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      if (r.stats.plan_from_cache) ++cached;
+    }
+    std::printf(
+        "traffic: %zu requests over %d skeletons on %d worker(s) in %.2f ms "
+        "(%.1f queries/s)\n",
+        results.size(), gen->num_skeletons(), batcher.jobs(), wall * 1e3,
+        static_cast<double>(results.size()) / wall);
+    std::printf("         %zu served from cache (%.1f%% hit rate)\n", cached,
+                results.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(cached) /
+                          static_cast<double>(results.size()));
+    const prairie::common::HistogramSnapshot lat =
+        metrics_bundle.query_latency_ns->Snapshot();
+    std::printf("latency: p50 %.1f us, p90 %.1f us, p99 %.1f us\n",
+                lat.Percentile(50) / 1e3, lat.Percentile(90) / 1e3,
+                lat.Percentile(99) / 1e3);
+    if (const prairie::volcano::PlanCache* cache = batcher.plan_cache()) {
+      const prairie::volcano::PlanCacheStats cs = cache->stats();
+      std::printf(
+          "plan cache: %llu hits (%llu rebound), %llu misses, %llu inserts "
+          "(%llu skeleton, %llu unrebindable), %llu guard rejects,\n"
+          "            %llu evictions, %llu stale drops (%zu live entries, "
+          "%zu bytes)\n",
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.param_hits),
+          static_cast<unsigned long long>(cs.misses),
+          static_cast<unsigned long long>(cs.inserts),
+          static_cast<unsigned long long>(cs.param_inserts),
+          static_cast<unsigned long long>(cs.unrebindable_inserts),
+          static_cast<unsigned long long>(cs.sensitivity_rejects),
+          static_cast<unsigned long long>(cs.evictions),
+          static_cast<unsigned long long>(cs.stale_drops), cache->size(),
+          cache->bytes());
+    }
+    if (!metrics_path.empty() && WriteMetricsFile(metrics_path) != 0) {
+      return 1;
+    }
+    return failures == 0 ? 0 : 1;
   }
 
   if (jobs != 0 || batch > 1) {
@@ -409,6 +537,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cs.evictions),
           static_cast<unsigned long long>(cs.stale_drops), cache->size(),
           cache->bytes());
+      if (param_cache) {
+        std::printf(
+            "param cache: %llu rebound hits, %llu skeleton inserts, %llu "
+            "unrebindable inserts, %llu guard rejects\n",
+            static_cast<unsigned long long>(cs.param_hits),
+            static_cast<unsigned long long>(cs.param_inserts),
+            static_cast<unsigned long long>(cs.unrebindable_inserts),
+            static_cast<unsigned long long>(cs.sensitivity_rejects));
+      }
     }
     if (profile_rules) {
       prairie::volcano::RuleProfile profile = prairie::volcano::BuildRuleProfile(
@@ -586,6 +723,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cs.evictions),
         static_cast<unsigned long long>(cs.stale_drops), cache->size(),
         cache->bytes());
+    if (param_cache) {
+      std::printf(
+          "param cache: %llu rebound hits, %llu skeleton inserts, %llu "
+          "unrebindable inserts, %llu guard rejects\n",
+          static_cast<unsigned long long>(cs.param_hits),
+          static_cast<unsigned long long>(cs.param_inserts),
+          static_cast<unsigned long long>(cs.unrebindable_inserts),
+          static_cast<unsigned long long>(cs.sensitivity_rejects));
+    }
   }
   if (explain) {
     std::printf("\nprovenance (winner -> rule -> source expression):\n%s",
