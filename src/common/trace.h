@@ -49,11 +49,18 @@ enum class TraceEventKind : uint8_t {
   kWinnerSelected,   ///< Instant: winner memoized for (group, requirement).
   kPrune,            ///< Instant: branch-and-bound cut a branch.
   kCycleGuard,       ///< Instant: cyclic (group, requirement) search hit.
+  // Executor kinds (emitted after a run from ExecStats, in the same
+  // steady-clock domain, so optimize and execute share one timeline).
+  kExecQuery,     ///< Span: one full query execution (open..close).
+  kExecOperator,  ///< Span: one operator's lifetime; desc = algebra OpId.
+  kExecQError,    ///< Instant: per-operator Q-error (in `cost`).
 };
 
 /// True for kinds that represent a timed interval rather than a point.
 inline bool IsSpanKind(TraceEventKind k) {
-  return k <= TraceEventKind::kEnforcerAttempt;
+  return k <= TraceEventKind::kEnforcerAttempt ||
+         k == TraceEventKind::kExecQuery ||
+         k == TraceEventKind::kExecOperator;
 }
 
 /// \brief One fixed-size trace record (no owned memory: rule and group

@@ -17,6 +17,26 @@ Status ExecutorRegistry::Register(std::string alg_name, AlgFactory factory) {
 Result<IterPtr> ExecutorRegistry::Build(const algebra::Expr& plan,
                                         const algebra::Algebra& algebra,
                                         const Database& db) const {
+  return BuildNode(plan, algebra, db, /*stats=*/nullptr, /*parent=*/nullptr,
+                   /*child_index=*/0);
+}
+
+Result<IterPtr> ExecutorRegistry::Build(const algebra::Expr& plan,
+                                        const algebra::Algebra& algebra,
+                                        const Database& db,
+                                        ExecStats* stats) const {
+#if !PRAIRIE_EXEC_STATS
+  stats = nullptr;
+#endif
+  return BuildNode(plan, algebra, db, stats, /*parent=*/nullptr,
+                   /*child_index=*/0);
+}
+
+Result<IterPtr> ExecutorRegistry::BuildNode(const algebra::Expr& plan,
+                                            const algebra::Algebra& algebra,
+                                            const Database& db,
+                                            ExecStats* stats, OpStats* parent,
+                                            int child_index) const {
   if (plan.is_file()) {
     return Status::ExecError(
         "cannot execute a bare stored file; wrap it in a scan algorithm");
@@ -31,15 +51,27 @@ Result<IterPtr> ExecutorRegistry::Build(const algebra::Expr& plan,
     return Status::NotFound("no executor registered for algorithm '" + name +
                             "'");
   }
-  PlanBuilder builder(this, &plan, &algebra, &db);
-  return it->second(plan, builder);
+  OpStats* node_stats = nullptr;
+  if (stats != nullptr) {
+    double est_rows = -1;
+    auto est = plan.descriptor().Get(stats->est_rows_property());
+    if (est.ok()) est_rows = est->ToReal().ValueOr(-1);
+    node_stats = stats->NewNode(name, plan.op(), est_rows, parent,
+                                child_index);
+  }
+  PlanBuilder builder(this, &plan, &algebra, &db, stats, node_stats);
+  Result<IterPtr> built = it->second(plan, builder);
+  if (!built.ok() || node_stats == nullptr) return built;
+  return IterPtr(std::make_unique<InstrumentedIterator>(
+      std::move(built).ValueUnsafe(), node_stats));
 }
 
 Result<IterPtr> PlanBuilder::BuildChild(size_t i) const {
   if (i >= node_->num_children()) {
     return Status::Internal("plan child index out of range");
   }
-  return registry_->Build(node_->child(i), *algebra_, *db_);
+  return registry_->BuildNode(node_->child(i), *algebra_, *db_, stats_,
+                              stats_node_, static_cast<int>(i));
 }
 
 Result<const Table*> PlanBuilder::ChildTable(size_t i) const {

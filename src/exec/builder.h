@@ -12,6 +12,7 @@
 
 #include "algebra/expr.h"
 #include "exec/operators.h"
+#include "exec/stats.h"
 
 namespace prairie::exec {
 
@@ -32,8 +33,23 @@ class ExecutorRegistry {
                                 const algebra::Algebra& algebra,
                                 const Database& db) const;
 
+  /// Like Build, but additionally attaches runtime instrumentation: every
+  /// algorithm node gets an OpStats node in `stats` (est_rows read from
+  /// the descriptor property stats->est_rows_property()) and its iterator
+  /// is wrapped in an InstrumentedIterator. A null `stats` — or building
+  /// with PRAIRIE_EXEC_STATS=0 — degrades to the plain Build.
+  common::Result<IterPtr> Build(const algebra::Expr& plan,
+                                const algebra::Algebra& algebra,
+                                const Database& db, ExecStats* stats) const;
+
  private:
   friend class PlanBuilder;
+
+  common::Result<IterPtr> BuildNode(const algebra::Expr& plan,
+                                    const algebra::Algebra& algebra,
+                                    const Database& db, ExecStats* stats,
+                                    OpStats* parent, int child_index) const;
+
   std::unordered_map<std::string, AlgFactory> factories_;
 };
 
@@ -41,8 +57,14 @@ class ExecutorRegistry {
 class PlanBuilder {
  public:
   PlanBuilder(const ExecutorRegistry* registry, const algebra::Expr* node,
-              const algebra::Algebra* algebra, const Database* db)
-      : registry_(registry), node_(node), algebra_(algebra), db_(db) {}
+              const algebra::Algebra* algebra, const Database* db,
+              ExecStats* stats = nullptr, OpStats* stats_node = nullptr)
+      : registry_(registry),
+        node_(node),
+        algebra_(algebra),
+        db_(db),
+        stats_(stats),
+        stats_node_(stats_node) {}
 
   const algebra::Expr& node() const { return *node_; }
   const algebra::Algebra& algebra() const { return *algebra_; }
@@ -64,6 +86,8 @@ class PlanBuilder {
   const algebra::Expr* node_;
   const algebra::Algebra* algebra_;
   const Database* db_;
+  ExecStats* stats_;      ///< Null when building uninstrumented.
+  OpStats* stats_node_;   ///< This node's stats (parent of children's).
 };
 
 }  // namespace prairie::exec

@@ -1,0 +1,84 @@
+#include "exec/feedback.h"
+
+#include "algebra/descriptor_store.h"
+
+namespace prairie::exec {
+
+using common::Status;
+
+void CardinalityFeedback::Record(const std::string& fingerprint_key,
+                                 double est_rows, uint64_t actual_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[fingerprint_key];
+  e.est_rows = est_rows;
+  e.actual_rows = actual_rows;
+  ++e.observations;
+}
+
+std::optional<CardinalityFeedback::Entry> CardinalityFeedback::Lookup(
+    const std::string& fingerprint_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint_key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t CardinalityFeedback::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, CardinalityFeedback::Entry>>
+CardinalityFeedback::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+namespace {
+
+Status RecordRec(const algebra::Expr& plan, const OpStats& stats,
+                 algebra::DescriptorStore* store, CardinalityFeedback* fb) {
+  std::string key;
+  plan.Fingerprint(store, &key);
+  fb->Record(key, stats.est_rows, stats.rows);
+  size_t next_stats_child = 0;
+  for (size_t i = 0; i < plan.num_children(); ++i) {
+    if (plan.child(i).is_file()) continue;
+    if (next_stats_child >= stats.children.size() ||
+        stats.children[next_stats_child]->child_index !=
+            static_cast<int>(i)) {
+      return Status::Internal(
+          "cardinality feedback: stats tree does not match the plan under "
+          "algorithm '" +
+          stats.alg + "'");
+    }
+    Status s = RecordRec(plan.child(i), *stats.children[next_stats_child],
+                         store, fb);
+    if (!s.ok()) return s;
+    ++next_stats_child;
+  }
+  if (next_stats_child != stats.children.size()) {
+    return Status::Internal(
+        "cardinality feedback: stats tree has extra children under "
+        "algorithm '" +
+        stats.alg + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RecordPlanFeedback(const algebra::Expr& plan, const ExecStats& stats,
+                          algebra::DescriptorStore* store,
+                          CardinalityFeedback* fb) {
+  if (stats.root() == nullptr) {
+    return Status::OK();  // Nothing collected (stats disabled or no run).
+  }
+  if (plan.is_file()) {
+    return Status::Internal(
+        "cardinality feedback: plan root is a stored file");
+  }
+  return RecordRec(plan, *stats.root(), store, fb);
+}
+
+}  // namespace prairie::exec

@@ -167,6 +167,20 @@ std::string EventName(const RuleSet& rules, const TraceEvent& e) {
       return "prune";
     case TraceEventKind::kCycleGuard:
       return "cycle";
+    // Executor events carry the algebra OpId in `desc` (there is no group
+    // or rule identity at run time).
+    case TraceEventKind::kExecQuery:
+      return "execute";
+    case TraceEventKind::kExecOperator:
+    case TraceEventKind::kExecQError: {
+      std::string alg = "op";
+      if (rules.algebra != nullptr && e.desc >= 0 &&
+          e.desc < rules.algebra->size()) {
+        alg = rules.algebra->name(e.desc);
+      }
+      return (e.kind == TraceEventKind::kExecOperator ? "exec:" : "qerror:") +
+             alg;
+    }
   }
   return "event";
 }

@@ -25,9 +25,10 @@ function(check_run expected_code)
   set(last_err "${err}" PARENT_SCOPE)
 endfunction()
 
-# --help succeeds and documents the cache/traffic surface.
+# --help succeeds and documents the cache/traffic/execution surface.
 check_run(0 --help)
-foreach(flag "--plan-cache" "--param-cache" "--traffic" "--repeat")
+foreach(flag "--plan-cache" "--param-cache" "--traffic" "--repeat"
+        "--execute" "--analyze")
   string(FIND "${last_out}" "${flag}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "--help output does not mention ${flag}")
@@ -50,5 +51,22 @@ check_run(2 --plan-cache=0)
 check_run(2 --param-cache=0)
 check_run(2 --traffic -3)
 check_run(2 --trace)  # flag that requires a value, given none
+check_run(2 --analyze=)  # =FILE form with an empty value
+
+# --execute on a plan whose winning algorithm has no registered executor
+# must fail with the usage code and name the algorithm on stderr — not
+# crash. The fixture spec renames File_scan to Seq_scan, so Q1 (E1: no
+# indexes, sequential scans are forced) deterministically hits it.
+if(DEFINED PRAIRIE_SPEC_DIR)
+  check_run(2 --spec ${PRAIRIE_SPEC_DIR}/relational_noexec.prairie
+            --query 1 --execute)
+  string(FIND "${last_err}" "no executor registered for algorithm 'Seq_scan'"
+         pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "--execute without an executor does not name the algorithm; "
+      "stderr: ${last_err}")
+  endif()
+endif()
 
 message(STATUS "prairie_opt exit codes OK")

@@ -355,6 +355,11 @@ TEST(TraceEvent, SpanKindsArePreciselyTheTimedKinds) {
   EXPECT_FALSE(IsSpanKind(TraceEventKind::kWinnerSelected));
   EXPECT_FALSE(IsSpanKind(TraceEventKind::kPrune));
   EXPECT_FALSE(IsSpanKind(TraceEventKind::kCycleGuard));
+  // Executor kinds sit after the optimizer instants, so the span set is
+  // no longer a prefix of the enum.
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kExecQuery));
+  EXPECT_TRUE(IsSpanKind(TraceEventKind::kExecOperator));
+  EXPECT_FALSE(IsSpanKind(TraceEventKind::kExecQError));
 }
 
 // ---------------------------------------------------------------------------
@@ -430,6 +435,36 @@ TEST(MetricsHistogram, PercentileWalksCumulativeCounts) {
   EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Percentile(50), 0.0);
 }
 
+TEST(MetricsHistogram, PercentileOfEmptyHistogramIsZeroEverywhere) {
+  const HistogramSnapshot empty = Histogram().Snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100), 0.0);
+}
+
+TEST(MetricsHistogram, PercentileSingleSample) {
+  Histogram h;
+  h.Observe(100);  // Bucket 7: [64, 127].
+  const HistogramSnapshot s = h.Snapshot();
+  // Every percentile of a one-sample distribution is that sample's
+  // bucket upper bound, including the p0 edge (rank 0 clamps to 1).
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 127.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 127.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 127.0);
+}
+
+TEST(MetricsHistogram, PercentileEndpointsSpanTheDistribution) {
+  Histogram h;
+  h.Observe(0);
+  for (int i = 0; i < 8; ++i) h.Observe(2);
+  h.Observe(1 << 20);
+  const HistogramSnapshot s = h.Snapshot();
+  // p0 is the smallest occupied bucket, p100 the largest.
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), (1 << 21) - 1);
+}
+
 TEST(MetricsRegistry, SameIdentityReturnsSameSeries) {
   MetricsRegistry reg;
   Counter* a = reg.GetCounter("x_total", "help");
@@ -475,6 +510,26 @@ TEST(MetricsRegistry, PrometheusTextExposition) {
             std::string::npos);
   EXPECT_NE(text.find("prairie_lat_ns_count{rule=\"a\\\"b\"} 3\n"),
             std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusTextZeroCountHistogram) {
+  // A registered-but-never-observed histogram (e.g. prairie_exec_qerror
+  // before any --execute) must still render a valid exposition: headers,
+  // the mandatory +Inf bucket, _sum and _count — all zero, no other
+  // buckets.
+  MetricsRegistry reg;
+  reg.GetHistogram("prairie_idle_ns", "never observed");
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# TYPE prairie_idle_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prairie_idle_ns_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prairie_idle_ns_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("prairie_idle_ns_count 0\n"), std::string::npos);
+  // Empty finite buckets are elided: +Inf is the only le= line.
+  size_t first = text.find("le=\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("le=\"", first + 1), std::string::npos);
 }
 
 TEST(MetricsRegistry, JsonSnapshotOneObjectPerSeries) {

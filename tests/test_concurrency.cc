@@ -20,6 +20,10 @@
 #include "algebra/param.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "exec/builder.h"
+#include "exec/feedback.h"
+#include "exec/operators.h"
+#include "exec/stats.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
 #include "p2v/translator.h"
@@ -749,6 +753,116 @@ TEST_F(ConcurrentMemoTest, ParallelSearchStressMatchesSerialPlans) {
     EXPECT_GE(parallel.stats().groups, serial.stats().groups);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Executor observability under concurrency (TSan-covered): N threads each
+// build and run their own instrumented iterator over one shared read-only
+// plan/database, then rendezvous on the shared aggregate surfaces — the
+// sharded ExecMetrics series, the mutex-protected CardinalityFeedback, and
+// a concurrent DescriptorStore interning fingerprints from every thread.
+
+#if PRAIRIE_EXEC_STATS
+TEST(ExecObserveConcurrencyTest, SharedAggregatesTakeParallelFlushes) {
+  // A 256-row table with k in [0, 16); the filter selects k == 3.
+  algebra::PropertySchema schema;
+  ASSERT_TRUE(schema.Add("num_records", algebra::ValueType::kReal).ok());
+  algebra::Algebra algebra;
+  const algebra::OpId scan_op = *algebra.RegisterAlgorithm("Scan", 1);
+  const algebra::OpId filter_op = *algebra.RegisterAlgorithm("Filter", 1);
+  exec::RowSchema row_schema;
+  row_schema.attrs = {algebra::Attr{"T", "oid"}, algebra::Attr{"T", "k"}};
+  exec::Table table("T", row_schema);
+  size_t expected = 0;
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(
+        table.Append({exec::Datum::Int(i), exec::Datum::Int(i % 16)}).ok());
+    if (i % 16 == 3) ++expected;
+  }
+  exec::Database db;
+  ASSERT_TRUE(db.AddTable(std::move(table)).ok());
+  exec::ExecutorRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("Scan",
+                            [](const algebra::Expr&, exec::PlanBuilder& b)
+                                -> common::Result<exec::IterPtr> {
+                              auto t = b.ChildTable(0);
+                              if (!t.ok()) return t.status();
+                              return exec::MakeTableScan(*t);
+                            })
+                  .ok());
+  ASSERT_TRUE(registry
+                  .Register("Filter",
+                            [](const algebra::Expr&, exec::PlanBuilder& b)
+                                -> common::Result<exec::IterPtr> {
+                              auto child = b.BuildChild(0);
+                              if (!child.ok()) return child.status();
+                              return exec::MakeFilter(
+                                  std::move(*child),
+                                  algebra::Predicate::EqConst(
+                                      algebra::Attr{"T", "k"},
+                                      algebra::Scalar::Int(3)));
+                            })
+                  .ok());
+  auto desc = [&](double est) {
+    algebra::Descriptor d(&schema);
+    EXPECT_TRUE(d.Set("num_records", algebra::Value::Real(est)).ok());
+    return d;
+  };
+  std::vector<algebra::ExprPtr> leaf;
+  leaf.push_back(algebra::Expr::MakeFile("T", algebra::Descriptor(&schema)));
+  std::vector<algebra::ExprPtr> kids;
+  kids.push_back(algebra::Expr::MakeOp(scan_op, std::move(leaf), desc(256)));
+  const algebra::ExprPtr plan =
+      algebra::Expr::MakeOp(filter_op, std::move(kids), desc(16));
+
+  common::MetricsRegistry metrics_registry;
+  const exec::ExecMetrics metrics =
+      exec::ExecMetrics::ForRegistry(&metrics_registry);
+  exec::CardinalityFeedback feedback;
+  algebra::DescriptorStore store(&schema, algebra::StoreMode::kConcurrent);
+
+  constexpr int kThreads = 8;
+  constexpr int kRunsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int run = 0; run < kRunsPerThread; ++run) {
+        exec::ExecStats stats;  // Per-thread collector, like TraceSink.
+        auto it = registry.Build(*plan, algebra, db, &stats);
+        if (!it.ok()) {
+          ++failures;
+          return;
+        }
+        auto rows = exec::CollectAll(it->get());
+        if (!rows.ok() || rows->size() != expected ||
+            stats.root() == nullptr || stats.root()->rows != expected) {
+          ++failures;
+          return;
+        }
+        metrics.FlushExecStats(stats);
+        if (!exec::RecordPlanFeedback(*plan, stats, &store, &feedback)
+                 .ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  constexpr uint64_t kRuns = uint64_t{kThreads} * kRunsPerThread;
+  EXPECT_EQ(metrics.queries->Value(), kRuns);
+  EXPECT_EQ(metrics.operators->Value(), 2 * kRuns);
+  EXPECT_EQ(metrics.query_latency_ns->Snapshot().count, kRuns);
+  // Every thread fingerprinted the same two sub-plans.
+  EXPECT_EQ(feedback.size(), 2u);
+  for (const auto& [key, entry] : feedback.Snapshot()) {
+    EXPECT_EQ(entry.observations, kRuns) << key;
+  }
+}
+#endif  // PRAIRIE_EXEC_STATS
 
 }  // namespace
 }  // namespace prairie

@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include "algebra/descriptor_store.h"
+#include "common/trace.h"
 #include "exec/builder.h"
 #include "exec/eval.h"
+#include "exec/feedback.h"
 #include "exec/operators.h"
+#include "exec/stats.h"
 
 namespace prairie::exec {
 namespace {
@@ -356,6 +360,257 @@ TEST(ExecutorRegistry, DuplicateRegistrationRejected) {
   ASSERT_TRUE(reg.Register("X", factory).ok());
   EXPECT_FALSE(reg.Register("X", factory).ok());
 }
+
+// ---------------------------------------------------------------------------
+// Runtime stats (ExecStats / InstrumentedIterator / feedback / metrics)
+// ---------------------------------------------------------------------------
+
+/// A two-algorithm executable algebra: Filter(Scan(Emp)) with the filter
+/// selecting dept == 10 — known selectivity 2 of 4 on MakeEmp(), so
+/// Q-errors are exact when estimates are planted in `num_records`.
+struct StatsFixture {
+  algebra::Algebra algebra;
+  algebra::PropertySchema schema;
+  Database db;
+  ExecutorRegistry registry;
+  algebra::OpId scan = -1;
+  algebra::OpId filter = -1;
+
+  StatsFixture() {
+    EXPECT_TRUE(
+        schema.Add("num_records", algebra::ValueType::kReal).ok());
+    scan = *algebra.RegisterAlgorithm("Scan", 1);
+    filter = *algebra.RegisterAlgorithm("Filter", 1);
+    EXPECT_TRUE(db.AddTable(MakeEmp()).ok());
+    EXPECT_TRUE(registry
+                    .Register("Scan",
+                              [](const algebra::Expr&,
+                                 PlanBuilder& b) -> common::Result<IterPtr> {
+                                auto t = b.ChildTable(0);
+                                if (!t.ok()) return t.status();
+                                return MakeTableScan(*t);
+                              })
+                    .ok());
+    EXPECT_TRUE(registry
+                    .Register("Filter",
+                              [](const algebra::Expr&,
+                                 PlanBuilder& b) -> common::Result<IterPtr> {
+                                auto child = b.BuildChild(0);
+                                if (!child.ok()) return child.status();
+                                return MakeFilter(
+                                    std::move(*child),
+                                    Predicate::EqConst(A("Emp", "dept"),
+                                                       Scalar::Int(10)));
+                              })
+                    .ok());
+  }
+
+  algebra::Descriptor Desc(double est_rows) {
+    algebra::Descriptor d(&schema);
+    EXPECT_TRUE(
+        d.Set("num_records", algebra::Value::Real(est_rows)).ok());
+    return d;
+  }
+
+  /// Filter[est=filter_est](Scan[est=scan_est](Emp)).
+  algebra::ExprPtr Plan(double scan_est, double filter_est) {
+    std::vector<algebra::ExprPtr> leaf;
+    leaf.push_back(
+        algebra::Expr::MakeFile("Emp", algebra::Descriptor(&schema)));
+    std::vector<algebra::ExprPtr> scan_kids;
+    scan_kids.push_back(algebra::Expr::MakeOp(scan, std::move(leaf),
+                                              Desc(scan_est)));
+    return algebra::Expr::MakeOp(filter, std::move(scan_kids),
+                                 Desc(filter_est));
+  }
+};
+
+TEST(ExecStats, InstrumentedExecutionIsResultIdentical) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 2);
+  auto plain = f.registry.Build(*plan, f.algebra, f.db);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ExecStats stats;
+  auto instrumented = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+  auto plain_rows = Drain(std::move(*plain));
+  auto inst_rows = Drain(std::move(*instrumented));
+  EXPECT_EQ(plain_rows.size(), 2u);
+  EXPECT_TRUE(SameResult(plain_rows, inst_rows));
+}
+
+TEST(ExecStats, NullCollectorBuildsPlainTree) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 2);
+  auto it = f.registry.Build(*plan, f.algebra, f.db, nullptr);
+  ASSERT_TRUE(it.ok());
+  EXPECT_EQ(Drain(std::move(*it)).size(), 2u);
+}
+
+#if PRAIRIE_EXEC_STATS
+
+TEST(ExecStats, RowCountsMatchCollectAllSizes) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 2);
+  ExecStats stats;
+  auto it = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  auto rows = Drain(std::move(*it));
+  ASSERT_NE(stats.root(), nullptr);
+  const OpStats& filter = *stats.root();
+  EXPECT_EQ(filter.alg, "Filter");
+  EXPECT_EQ(filter.rows, rows.size());
+  // CollectAll drains to exhaustion: one extra Next() call returns false.
+  EXPECT_EQ(filter.next_calls, rows.size() + 1);
+  ASSERT_EQ(filter.children.size(), 1u);
+  const OpStats& scan = *filter.children[0];
+  EXPECT_EQ(scan.alg, "Scan");
+  EXPECT_EQ(scan.rows, 4u);  // The filter drains the whole table.
+  EXPECT_EQ(scan.depth, 1);
+  EXPECT_EQ(stats.TotalRows(), filter.rows + scan.rows);
+  // Open/Close ran, so the operator lifetime spans are non-degenerate.
+  EXPECT_GT(filter.first_open_ns, 0u);
+  EXPECT_GE(filter.last_close_ns, filter.first_open_ns);
+}
+
+TEST(ExecStats, QErrorExactOnKnownSelectivity) {
+  StatsFixture f;
+  // The planted estimates: scan exact (4 of 4), filter off by the known
+  // selectivity (estimate 4, actual 2 -> Q-error exactly 2).
+  auto plan = f.Plan(4, 4);
+  ExecStats stats;
+  auto it = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  Drain(std::move(*it));
+  ASSERT_NE(stats.root(), nullptr);
+  EXPECT_DOUBLE_EQ(stats.root()->QError(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.root()->children[0]->QError(), 1.0);
+  // Symmetric: underestimates score the same.
+  OpStats under;
+  under.est_rows = 1;
+  under.rows = 2;
+  EXPECT_DOUBLE_EQ(under.QError(), 2.0);
+  // No estimate -> no Q-error; empty actuals clamp to one row.
+  OpStats none;
+  EXPECT_DOUBLE_EQ(none.QError(), 0.0);
+  OpStats empty;
+  empty.est_rows = 8;
+  empty.rows = 0;
+  EXPECT_DOUBLE_EQ(empty.QError(), 8.0);
+}
+
+TEST(ExecStats, TextAndJsonRenderTheTree) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 4);
+  ExecStats stats;
+  auto it = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  Drain(std::move(*it));
+  const std::string text = stats.ToText();
+  EXPECT_NE(text.find("Filter  est=4  act=2  q=2.00"), std::string::npos);
+  EXPECT_NE(text.find("  Scan  est=4  act=4  q=1.00"), std::string::npos);
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"alg\":\"Filter\""), std::string::npos);
+  EXPECT_NE(json.find("\"est_rows\":4,\"qerror\":2,\"rows\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_rows\":6"), std::string::npos);
+}
+
+TEST(ExecStats, EmitTraceReplaysTheRunIntoASink) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 4);
+  ExecStats stats;
+  auto it = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  Drain(std::move(*it));
+  common::RingBufferSink sink(64);
+  stats.EmitTrace(&sink);
+  size_t query_spans = 0, op_spans = 0, qerrors = 0;
+  for (const common::TraceEvent& e : sink.Snapshot()) {
+    if (e.kind == common::TraceEventKind::kExecQuery) ++query_spans;
+    if (e.kind == common::TraceEventKind::kExecOperator) ++op_spans;
+    if (e.kind == common::TraceEventKind::kExecQError) ++qerrors;
+  }
+  EXPECT_EQ(query_spans, 1u);
+  EXPECT_EQ(op_spans, 2u);   // Filter + Scan.
+  EXPECT_EQ(qerrors, 2u);    // Both nodes carry estimates.
+  // An empty collector emits nothing.
+  ExecStats idle;
+  common::RingBufferSink empty_sink(8);
+  idle.EmitTrace(&empty_sink);
+  EXPECT_EQ(empty_sink.total_emitted(), 0u);
+}
+
+TEST(CardinalityFeedback, RecordsEverySubPlanFingerprint) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 4);
+  ExecStats stats;
+  auto it = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  Drain(std::move(*it));
+  algebra::DescriptorStore store(&f.schema);
+  CardinalityFeedback fb;
+  ASSERT_TRUE(RecordPlanFeedback(*plan, stats, &store, &fb).ok());
+  EXPECT_EQ(fb.size(), 2u);  // Filter(Scan(Emp)) and Scan(Emp).
+  std::string key;
+  plan->Fingerprint(&store, &key);
+  auto whole = fb.Lookup(key);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_DOUBLE_EQ(whole->est_rows, 4.0);
+  EXPECT_EQ(whole->actual_rows, 2u);
+  EXPECT_EQ(whole->observations, 1u);
+  key.clear();
+  plan->child(0).Fingerprint(&store, &key);
+  auto sub = fb.Lookup(key);
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->actual_rows, 4u);
+  // A second run of the same plan bumps the observation count.
+  ASSERT_TRUE(RecordPlanFeedback(*plan, stats, &store, &fb).ok());
+  EXPECT_EQ(fb.size(), 2u);
+  EXPECT_EQ(fb.Lookup(key)->observations, 2u);
+  EXPECT_FALSE(fb.Lookup("unknown").has_value());
+}
+
+TEST(CardinalityFeedback, MismatchedStatsTreeIsRejected) {
+  StatsFixture f;
+  auto deep = f.Plan(4, 4);
+  ExecStats stats;
+  auto it = f.registry.Build(*deep, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  Drain(std::move(*it));
+  // Walk a *different* plan (the bare scan) with the filter's stats.
+  algebra::DescriptorStore store(&f.schema);
+  CardinalityFeedback fb;
+  auto st = RecordPlanFeedback(deep->child(0), stats, &store, &fb);
+  EXPECT_FALSE(st.ok());
+}
+
+#if PRAIRIE_METRICS
+TEST(ExecMetrics, FlushAggregatesIntoRegistry) {
+  StatsFixture f;
+  auto plan = f.Plan(4, 4);
+  ExecStats stats;
+  auto it = f.registry.Build(*plan, f.algebra, f.db, &stats);
+  ASSERT_TRUE(it.ok());
+  auto rows = Drain(std::move(*it));
+  common::MetricsRegistry reg;
+  ExecMetrics metrics = ExecMetrics::ForRegistry(&reg);
+  metrics.FlushExecStats(stats);
+  EXPECT_EQ(metrics.queries->Value(), 1u);
+  EXPECT_EQ(metrics.operators->Value(), 2u);
+  EXPECT_EQ(metrics.rows->Value(), stats.TotalRows());
+  EXPECT_EQ(metrics.next_calls->Value(), stats.TotalNextCalls());
+  EXPECT_EQ(metrics.query_latency_ns->Snapshot().count, 1u);
+  // Q-errors 2 (filter) and 1 (scan) land in log-2 buckets 2 and 1.
+  const common::HistogramSnapshot q = metrics.qerror->Snapshot();
+  EXPECT_EQ(q.count, 2u);
+  EXPECT_EQ(q.counts[1], 1u);
+  EXPECT_EQ(q.counts[2], 1u);
+  (void)rows;
+}
+#endif  // PRAIRIE_METRICS
+
+#endif  // PRAIRIE_EXEC_STATS
 
 }  // namespace
 }  // namespace prairie::exec

@@ -7,6 +7,7 @@
 //               [--jobs N] [--batch K] [--plan-cache[=ENTRIES]]
 //               [--param-cache[=ENTRIES]] [--traffic N] [--repeat R]
 //               [--trace FILE] [--profile-rules] [--explain]
+//               [--execute] [--analyze[=FILE.json]]
 //               [--metrics FILE] [--dump-memo FILE.{dot,json}] [--help]
 //
 // With --jobs and/or --batch the driver switches to batch mode: it
@@ -44,6 +45,22 @@
 //   --dump-memo FILE write the finished memo (groups, expressions,
 //                    winners, provenance edges) as Graphviz DOT or JSON,
 //                    by extension. Single-query mode only.
+//
+// Execution flags (single-query mode):
+//   --execute        populate an in-memory database from the generated
+//                    catalog (base classes capped at a few hundred rows so
+//                    plans run in milliseconds), build the winning plan
+//                    through the ExecutorRegistry, and run it. Exits 2 if
+//                    the plan uses an algorithm with no registered
+//                    executor.
+//   --analyze[=FILE] EXPLAIN ANALYZE (implies --execute): print the plan
+//                    annotated per operator with estimated rows, actual
+//                    rows, elapsed ns and Q-error max(est/act, act/est);
+//                    with =FILE, also write the stats tree as JSON.
+//                    Combined with --trace, execution spans land on the
+//                    same Chrome timeline as the optimizer's search; with
+//                    --metrics, the prairie_exec_* series (incl. the
+//                    log-2 Q-error histogram) are flushed to the registry.
 
 #include <cstdio>
 #include <cstring>
@@ -53,10 +70,15 @@
 #include <string>
 #include <vector>
 
+#include "algebra/descriptor_store.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "dsl/parser.h"
+#include "exec/builder.h"
+#include "exec/feedback.h"
+#include "exec/stats.h"
+#include "optimizers/executors.h"
 #include "optimizers/oodb.h"
 #include "optimizers/props.h"
 #include "optimizers/relational.h"
@@ -69,6 +91,12 @@
 #include "workload/workload.h"
 
 namespace {
+
+// --execute shrinks the generated base classes to executable sizes (the
+// default workload cardinalities, up to 10k rows, make worst-case joins
+// take minutes; these match the integration tests' enumerable scale).
+constexpr int kExecMinCard = 16;
+constexpr int kExecMaxCard = 256;
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(
@@ -129,7 +157,20 @@ void PrintUsage(std::FILE* out) {
       "  --dump-memo FILE.{dot,json}  dump the finished memo as Graphviz\n"
       "                               DOT or JSON (single-query mode)\n"
       "\n"
-      "  --help                       show this help and exit\n");
+      "execution (single-query mode):\n"
+      "  --execute                    run the winning plan on an in-memory\n"
+      "                               database generated from the catalog\n"
+      "                               (classes capped at %d rows); exits 2\n"
+      "                               if an algorithm has no registered\n"
+      "                               executor\n"
+      "  --analyze[=FILE.json]        EXPLAIN ANALYZE (implies --execute):\n"
+      "                               annotate each operator with estimated\n"
+      "                               rows, actual rows, elapsed ns and\n"
+      "                               Q-error; optionally export the stats\n"
+      "                               tree as JSON\n"
+      "\n"
+      "  --help                       show this help and exit\n",
+      kExecMaxCard);
 }
 
 int Usage() {
@@ -176,6 +217,9 @@ int main(int argc, char** argv) {
   std::string dump_memo_path;
   bool profile_rules = false;
   bool explain = false;
+  bool execute = false;
+  bool analyze = false;
+  std::string analyze_path;
   bool plan_cache = false;
   size_t plan_cache_entries = 4096;
   bool param_cache = false;
@@ -297,6 +341,16 @@ int main(int argc, char** argv) {
       profile_rules = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--execute") {
+      execute = true;
+    } else if (arg == "--analyze") {
+      execute = true;
+      analyze = true;
+    } else if (arg.rfind("--analyze=", 0) == 0) {
+      execute = true;
+      analyze = true;
+      analyze_path = arg.substr(std::strlen("--analyze="));
+      if (analyze_path.empty()) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -308,6 +362,13 @@ int main(int argc, char** argv) {
   if (query < 1 || query > 8 || joins < 1 || batch < 0 || repeat < 1 ||
       traffic < 0) {
     return Usage();
+  }
+  if (execute && (traffic > 0 || jobs != 0 || batch > 1 || expand_only)) {
+    std::fprintf(stderr,
+                 "prairie_opt: --execute/--analyze apply to single-query "
+                 "full-optimization mode; ignoring\n");
+    execute = false;
+    analyze = false;
   }
   prairie::workload::JoinShape join_shape =
       prairie::workload::JoinShape::kChain;
@@ -582,6 +643,10 @@ int main(int argc, char** argv) {
   prairie::workload::QuerySpec qspec =
       prairie::workload::PaperQuery(query, joins, seed);
   qspec.shape = join_shape;
+  if (execute) {
+    qspec.min_card = kExecMinCard;
+    qspec.max_card = kExecMaxCard;
+  }
   auto w = prairie::workload::MakeWorkload(*(*volcano_rules)->algebra, qspec);
   if (!w.ok()) {
     std::fprintf(stderr, "prairie_opt: %s\n", w.status().ToString().c_str());
@@ -736,6 +801,80 @@ int main(int argc, char** argv) {
   if (explain) {
     std::printf("\nprovenance (winner -> rule -> source expression):\n%s",
                 optimizer.ExplainWinner().c_str());
+  }
+  if (execute) {
+    auto db = prairie::workload::MakeDatabase(w->catalog, seed);
+    if (!db.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    prairie::exec::ExecutorRegistry exec_registry;
+    if (auto st = prairie::opt::RegisterStandardExecutors(&exec_registry);
+        !st.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    prairie::algebra::ExprPtr plan_expr = plan->root->ToExpr(algebra);
+    prairie::exec::ExecStats exec_stats;
+    auto iter = exec_registry.Build(*plan_expr, algebra, *db, &exec_stats);
+    if (!iter.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n",
+                   iter.status().ToString().c_str());
+      // A plan whose algorithm has no executor is a usage-level error (the
+      // spec defines algorithms the binary cannot run), not a crash.
+      return iter.status().code() == prairie::common::StatusCode::kNotFound
+                 ? 2
+                 : 1;
+    }
+    prairie::common::Stopwatch exec_sw;
+    auto rows = prairie::exec::CollectAll(iter->get());
+    if (!rows.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nexecuted: %zu result rows in %.3f ms\n", rows->size(),
+                exec_sw.ElapsedSeconds() * 1e3);
+    if (analyze) {
+      std::printf("\nexplain analyze (est vs actual rows, q = Q-error):\n%s",
+                  exec_stats.ToText().c_str());
+      if (!analyze_path.empty()) {
+        std::ofstream out(analyze_path, std::ios::out | std::ios::trunc);
+        if (out) out << exec_stats.ToJson() << "\n";
+        if (!out) {
+          std::fprintf(stderr,
+                       "prairie_opt: cannot write analyze file '%s'\n",
+                       analyze_path.c_str());
+          return 1;
+        }
+        out.close();
+        std::printf("analyze: stats -> %s\n", analyze_path.c_str());
+      }
+    }
+    // Record (sub-plan fingerprint) -> actual rows: the feedback surface
+    // the calibrated-cost-model roadmap item consumes.
+    prairie::exec::CardinalityFeedback feedback;
+    prairie::algebra::DescriptorStore fp_store(&algebra.properties());
+    auto fb_st = prairie::exec::RecordPlanFeedback(*plan_expr, exec_stats,
+                                                   &fp_store, &feedback);
+    if (!fb_st.ok()) {
+      std::fprintf(stderr, "prairie_opt: %s\n", fb_st.ToString().c_str());
+      return 1;
+    }
+    if (exec_stats.root() != nullptr) {
+      std::printf("cardinality feedback: %zu sub-plan fingerprints recorded\n",
+                  feedback.size());
+    }
+    if (!metrics_path.empty()) {
+      prairie::exec::ExecMetrics exec_metrics =
+          prairie::exec::ExecMetrics::ForRegistry(
+              prairie::common::MetricsRegistry::Global());
+      exec_metrics.FlushExecStats(exec_stats);
+    }
+    // Execution spans join the search trace: one timeline, optimize then
+    // execute.
+    if (sink != nullptr) exec_stats.EmitTrace(sink.get());
   }
   if (int rc = emit_trace_outputs(); rc != 0) return rc;
   return emit_dumps();
