@@ -42,4 +42,9 @@ std::string Indent(std::string_view text, int spaces);
 /// surrounding quotes.
 std::string JsonEscape(std::string_view s);
 
+/// Lowercase hex rendering of `v`'s low `digits` nibbles, most significant
+/// first ("00ab12..."). Used for stable query fingerprints in filenames
+/// and log records.
+std::string HexEncode(uint64_t v, int digits = 16);
+
 }  // namespace prairie::common

@@ -1,6 +1,7 @@
 #include "exec/feedback.h"
 
 #include "algebra/descriptor_store.h"
+#include "common/strings.h"
 
 namespace prairie::exec {
 
@@ -32,6 +33,28 @@ std::vector<std::pair<std::string, CardinalityFeedback::Entry>>
 CardinalityFeedback::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {entries_.begin(), entries_.end()};
+}
+
+std::string CardinalityFeedback::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [key, e] : entries_) {
+    std::string hex;
+    hex.reserve(key.size() * 2);
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (const char c : key) {
+      const auto b = static_cast<unsigned char>(c);
+      hex += kHex[b >> 4];
+      hex += kHex[b & 0xf];
+    }
+    out += "{\"key\":\"" + hex + "\"";
+    if (e.est_rows >= 0) {
+      out += ",\"est_rows\":" + common::FormatDouble(e.est_rows);
+    }
+    out += ",\"actual_rows\":" + std::to_string(e.actual_rows) +
+           ",\"observations\":" + std::to_string(e.observations) + "}\n";
+  }
+  return out;
 }
 
 namespace {

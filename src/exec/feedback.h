@@ -51,6 +51,11 @@ class CardinalityFeedback {
   /// All entries ordered by key bytes (deterministic for export/tests).
   std::vector<std::pair<std::string, Entry>> Snapshot() const;
 
+  /// JSON-lines export (one entry per line, key order): keys are raw
+  /// fingerprint bytes, so they are rendered as lowercase hex; est_rows
+  /// is omitted when unknown. Diagnostic bundles embed this file.
+  std::string ToJson() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;

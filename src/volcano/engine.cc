@@ -210,6 +210,7 @@ Result<Plan> Optimizer::OptimizeCached(const algebra::Expr& tree,
                     : cache->Probe(key, *catalog_, &hit, &dropped_stale);
   ++stats_.cache_probes;
   if (guard_rejected) ++stats_.cache_param_rejects;
+  if (dropped_stale) ++stats_.cache_stale_drops;
 #if PRAIRIE_METRICS
   if (mm != nullptr) {
     if (mm->plan_cache_probe_ns != nullptr) {

@@ -115,6 +115,13 @@ struct OptimizerOptions {
   /// single-threaded — give each optimizer its own (BatchOptimizer wires
   /// one per worker and merges afterwards).
   common::TraceSink* trace = nullptr;
+  /// Granularity of the stream `trace` receives. kFull (default) emits
+  /// every kind — the post-mortem/profiling setting. kCoarse emits only
+  /// group-level spans and winner instants (common::IsCoarseKind); the
+  /// per-attempt kinds are skipped with no clock reads, which is what
+  /// lets the diagnostics flight recorder stay armed under traffic
+  /// within bench_diag's 2% overhead gate.
+  common::TraceDetail trace_detail = common::TraceDetail::kFull;
   /// Aggregate metrics bundle (borrowed; must outlive the optimizer). Null
   /// disables metrics: counters cost nothing (they flush per query), and
   /// the per-attempt sampling check is one branch. Compiling with
@@ -184,6 +191,9 @@ struct OptimizerStats {
   size_t cache_param_hits = 0;  ///< Hits served by skeleton rebinding.
   size_t cache_param_rejects = 0;  ///< Probes the sensitivity guard
                                    ///< turned away (optimized fresh).
+  size_t cache_stale_drops = 0;  ///< Hits discarded because the entry's
+                                 ///< descriptors no longer resolve (store
+                                 ///< mismatch after eviction/rebuild).
   /// True when the last Optimize() answer came from the plan cache (the
   /// memo then holds no search to explain or dump).
   bool plan_from_cache = false;
@@ -343,7 +353,9 @@ class Optimizer {
   void TraceInstant(common::TraceEventKind kind, GroupId gid, int rule,
                     algebra::DescriptorId desc, double cost) {
 #if PRAIRIE_TRACING
-    if (options_.trace != nullptr) {
+    if (options_.trace != nullptr &&
+        (options_.trace_detail == common::TraceDetail::kFull ||
+         common::IsCoarseKind(kind))) {
       TraceInstantSlow(kind, gid, rule, desc, cost);
     }
 #else
@@ -365,7 +377,9 @@ class Optimizer {
               int rule, algebra::DescriptorId desc) {
       bool traced = false;
 #if PRAIRIE_TRACING
-      traced = opt->options_.trace != nullptr;
+      traced = opt->options_.trace != nullptr &&
+               (opt->options_.trace_detail == common::TraceDetail::kFull ||
+                common::IsCoarseKind(kind));
 #endif
 #if PRAIRIE_METRICS
       hist_ = opt->SampledLatency(kind, rule);

@@ -189,7 +189,7 @@ std::string EventName(const RuleSet& rules, const TraceEvent& e) {
 
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<TraceEvent>& events,
-                        const RuleSet& rules) {
+                        const RuleSet& rules, size_t dropped) {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   if (!out) {
     return Status::ExecError("cannot open trace output file '" + path + "'");
@@ -223,7 +223,7 @@ Status WriteChromeTrace(const std::string& path,
         "\"cost\":%g}}",
         e.group, e.rule, e.desc, e.depth, e.cost);
   }
-  out << "\n]}\n";
+  out << "\n],\"metadata\":{\"dropped_events\":" << dropped << "}}\n";
   out.close();
   if (!out) {
     return Status::ExecError("error writing trace output file '" + path +

@@ -55,8 +55,11 @@ RuleProfile BuildRuleProfile(const std::vector<common::TraceEvent>& events,
 /// Writes `events` to `path` in Chrome trace_event JSON ("X" complete
 /// events for spans, "i" instants; timestamps rebased to the earliest
 /// event). Load the file in chrome://tracing or https://ui.perfetto.dev.
+/// `dropped` is the emitting sink's ring-wrap loss count; it is recorded
+/// as metadata ("dropped_events") so a viewer of an incomplete stream
+/// knows it is incomplete.
 common::Status WriteChromeTrace(const std::string& path,
                                 const std::vector<common::TraceEvent>& events,
-                                const RuleSet& rules);
+                                const RuleSet& rules, size_t dropped = 0);
 
 }  // namespace prairie::volcano

@@ -25,10 +25,23 @@ function(check_run expected_code)
   set(last_err "${err}" PARENT_SCOPE)
 endfunction()
 
-# --help succeeds and documents the cache/traffic/execution surface.
+# --version succeeds and reports the compiled-in observability switches
+# (so a bug report can name the exact build shape).
+check_run(0 --version)
+foreach(token "prairie_opt" "tracing=" "metrics=" "exec_stats=")
+  string(FIND "${last_out}" "${token}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "--version output does not mention ${token}; stdout: ${last_out}")
+  endif()
+endforeach()
+
+# --help succeeds and documents the cache/traffic/execution/diagnostics
+# surface.
 check_run(0 --help)
 foreach(flag "--plan-cache" "--param-cache" "--traffic" "--repeat"
-        "--execute" "--analyze")
+        "--execute" "--analyze" "--slow-ms" "--slow-log" "--diag-dir"
+        "--timeseries" "--qerror-limit" "--version")
   string(FIND "${last_out}" "${flag}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "--help output does not mention ${flag}")
@@ -52,6 +65,12 @@ check_run(2 --param-cache=0)
 check_run(2 --traffic -3)
 check_run(2 --trace)  # flag that requires a value, given none
 check_run(2 --analyze=)  # =FILE form with an empty value
+check_run(2 --slow-ms -1)  # diagnostics thresholds must be non-negative
+check_run(2 --slow-p99 -2)
+check_run(2 --qerror-limit -1)
+check_run(2 --diag-detail verbose)  # only full|coarse
+check_run(2 --slow-log)  # requires a value
+check_run(2 --timeseries=)  # =FILE[,interval] form with an empty value
 
 # --execute on a plan whose winning algorithm has no registered executor
 # must fail with the usage code and name the algorithm on stderr — not

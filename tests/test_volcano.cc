@@ -747,7 +747,9 @@ TEST_F(ObservabilityTest, ChromeTraceExportIsWellFormedJson) {
   EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_NE(text.find("T:commute"), std::string::npos);
-  EXPECT_NE(text.find("\n]}\n"), std::string::npos);
+  // The export closes with metadata carrying the ring's drop count.
+  EXPECT_NE(text.find("\n],\"metadata\":{\"dropped_events\":0}}\n"),
+            std::string::npos);
 }
 
 TEST_F(ObservabilityTest, ExplainWinnerWalksProvenanceChains) {

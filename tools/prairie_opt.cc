@@ -8,7 +8,10 @@
 //               [--param-cache[=ENTRIES]] [--traffic N] [--repeat R]
 //               [--trace FILE] [--profile-rules] [--explain]
 //               [--execute] [--analyze[=FILE.json]]
-//               [--metrics FILE] [--dump-memo FILE.{dot,json}] [--help]
+//               [--metrics FILE] [--dump-memo FILE.{dot,json}]
+//               [--timeseries FILE[,MS]] [--slow-ms MS] [--slow-p99 K]
+//               [--qerror-limit Q] [--slow-log FILE] [--diag-dir DIR]
+//               [--diag-detail full|coarse] [--version] [--help]
 //
 // With --jobs and/or --batch the driver switches to batch mode: it
 // generates K instances of the query (seeds S..S+K-1) and optimizes them
@@ -61,7 +64,34 @@
 //                    same Chrome timeline as the optimizer's search; with
 //                    --metrics, the prairie_exec_* series (incl. the
 //                    log-2 Q-error histogram) are flushed to the registry.
+//
+// Diagnostics (docs/OBSERVABILITY.md):
+//   --timeseries FILE[,MS]  windowed metrics: scrape the registry every MS
+//                    milliseconds (default 250; 0 = every chunk) and write
+//                    one JSON-lines interval-delta record per window —
+//                    per-window p50/p99, counter deltas — instead of one
+//                    end-of-run aggregate. Traffic/batch modes.
+//   --slow-ms MS     anomaly trigger: flag queries slower than MS.
+//   --slow-p99 K     adaptive trigger: flag queries slower than K x the
+//                    running p99 of the query-latency histogram.
+//   --qerror-limit Q flag executed queries whose max operator Q-error
+//                    exceeds Q (single-query --execute/--analyze mode).
+//   --slow-log FILE  one JSON-lines record per flagged query: fingerprint,
+//                    trigger, cache outcome, latency breakdown, top-k rule
+//                    latencies, est-vs-actual rows.
+//   --diag-dir DIR   on each trigger, write a diagnostic bundle under
+//                    DIR/<fingerprint>-<seq>/: manifest.json, the flight-
+//                    recorder slice as Chrome trace JSON, a metrics delta,
+//                    plan provenance, and (when executing) the EXPLAIN
+//                    ANALYZE tree + cardinality feedback.
+//   --diag-detail full|coarse  flight-recorder granularity (default
+//                    coarse: group-level spans + winners, cheap enough to
+//                    stay armed; full adds per-attempt spans).
+//   Budget-exhausted searches and plan-cache reject/stale storms also
+//   fire; the flight recorder is armed automatically in traffic/batch
+//   mode whenever any diagnostics flag is given.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,8 +101,10 @@
 #include <vector>
 
 #include "algebra/descriptor_store.h"
+#include "common/buildinfo.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "dsl/parser.h"
 #include "exec/builder.h"
@@ -84,6 +116,7 @@
 #include "optimizers/relational.h"
 #include "p2v/translator.h"
 #include "volcano/batch.h"
+#include "volcano/diag.h"
 #include "volcano/engine.h"
 #include "volcano/inspect.h"
 #include "volcano/profile.h"
@@ -157,6 +190,23 @@ void PrintUsage(std::FILE* out) {
       "  --dump-memo FILE.{dot,json}  dump the finished memo as Graphviz\n"
       "                               DOT or JSON (single-query mode)\n"
       "\n"
+      "diagnostics:\n"
+      "  --timeseries FILE[,MS]       windowed time-series metrics: one\n"
+      "                               JSON-lines interval-delta record per\n"
+      "                               MS-millisecond window (default 250;\n"
+      "                               0 = every chunk); traffic/batch modes\n"
+      "  --slow-ms MS                 flag queries slower than MS ms\n"
+      "  --slow-p99 K                 flag queries slower than K x the\n"
+      "                               running p99 latency (adaptive)\n"
+      "  --qerror-limit Q             flag executed queries whose max\n"
+      "                               operator Q-error exceeds Q\n"
+      "  --slow-log FILE              JSON-lines record per flagged query\n"
+      "  --diag-dir DIR               write a diagnostic bundle (manifest,\n"
+      "                               trace slice, metrics delta,\n"
+      "                               provenance) per trigger under DIR\n"
+      "  --diag-detail full|coarse    flight-recorder granularity\n"
+      "                               (default coarse)\n"
+      "\n"
       "execution (single-query mode):\n"
       "  --execute                    run the winning plan on an in-memory\n"
       "                               database generated from the catalog\n"
@@ -169,6 +219,7 @@ void PrintUsage(std::FILE* out) {
       "                               Q-error; optionally export the stats\n"
       "                               tree as JSON\n"
       "\n"
+      "  --version                    print build configuration and exit\n"
       "  --help                       show this help and exit\n",
       kExecMaxCard);
 }
@@ -202,6 +253,51 @@ int WriteMetricsFile(const std::string& path) {
   return 0;
 }
 
+/// Joins argv into one provenance string for bundle manifests.
+std::string RenderFlags(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) out += " ";
+    out += argv[i];
+  }
+  return out;
+}
+
+/// Wrap-around loss is silent at the ring; every trace export surfaces it.
+void WarnDropped(size_t dropped, const char* what) {
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "prairie_opt: warning: %zu trace events lost to %s "
+                 "ring wrap-around (exported stream is incomplete)\n",
+                 dropped, what);
+  }
+}
+
+/// Max per-operator Q-error over an ExecStats tree (0 = no estimates).
+double MaxQError(const prairie::exec::OpStats* node) {
+  if (node == nullptr) return 0;
+  double q = node->QError();
+  for (const prairie::exec::OpStats* c : node->children) {
+    q = std::max(q, MaxQError(c));
+  }
+  return q;
+}
+
+/// Splits "FILE[,MS]" into path + scrape interval (default 250 ms). The
+/// interval suffix must be all digits — a comma inside the path stays in
+/// the path.
+void ParseTimeSeriesSpec(const std::string& spec, std::string* path,
+                         uint64_t* interval_ms) {
+  *path = spec;
+  *interval_ms = 250;
+  const size_t comma = spec.rfind(',');
+  if (comma == std::string::npos || comma + 1 >= spec.size()) return;
+  const std::string tail = spec.substr(comma + 1);
+  if (tail.find_first_not_of("0123456789") != std::string::npos) return;
+  *path = spec.substr(0, comma);
+  *interval_ms = static_cast<uint64_t>(std::atoll(tail.c_str()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +322,13 @@ int main(int argc, char** argv) {
   int traffic = 0;
   int repeat = 1;
   std::string shape = "chain";
+  std::string timeseries_spec;
+  double slow_ms = 0;
+  double slow_p99 = 0;
+  double qerror_limit = 0;
+  std::string slow_log_path;
+  std::string diag_dir;
+  std::string diag_detail = "coarse";
   prairie::volcano::OptimizerOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -351,6 +454,55 @@ int main(int argc, char** argv) {
       analyze = true;
       analyze_path = arg.substr(std::strlen("--analyze="));
       if (analyze_path.empty()) return Usage();
+    } else if (arg == "--timeseries") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      timeseries_spec = v;
+    } else if (arg.rfind("--timeseries=", 0) == 0) {
+      timeseries_spec = arg.substr(std::strlen("--timeseries="));
+      if (timeseries_spec.empty()) return Usage();
+    } else if (arg == "--slow-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      slow_ms = std::atof(v);
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      slow_ms = std::atof(arg.c_str() + std::strlen("--slow-ms="));
+    } else if (arg == "--slow-p99") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      slow_p99 = std::atof(v);
+    } else if (arg.rfind("--slow-p99=", 0) == 0) {
+      slow_p99 = std::atof(arg.c_str() + std::strlen("--slow-p99="));
+    } else if (arg == "--qerror-limit") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      qerror_limit = std::atof(v);
+    } else if (arg.rfind("--qerror-limit=", 0) == 0) {
+      qerror_limit = std::atof(arg.c_str() + std::strlen("--qerror-limit="));
+    } else if (arg == "--slow-log") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      slow_log_path = v;
+    } else if (arg.rfind("--slow-log=", 0) == 0) {
+      slow_log_path = arg.substr(std::strlen("--slow-log="));
+      if (slow_log_path.empty()) return Usage();
+    } else if (arg == "--diag-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      diag_dir = v;
+    } else if (arg.rfind("--diag-dir=", 0) == 0) {
+      diag_dir = arg.substr(std::strlen("--diag-dir="));
+      if (diag_dir.empty()) return Usage();
+    } else if (arg == "--diag-detail") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      diag_detail = v;
+    } else if (arg.rfind("--diag-detail=", 0) == 0) {
+      diag_detail = arg.substr(std::strlen("--diag-detail="));
+    } else if (arg == "--version") {
+      std::printf("prairie_opt (%s)\n",
+                  prairie::common::BuildConfigText().c_str());
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -360,9 +512,10 @@ int main(int argc, char** argv) {
     }
   }
   if (query < 1 || query > 8 || joins < 1 || batch < 0 || repeat < 1 ||
-      traffic < 0) {
+      traffic < 0 || slow_ms < 0 || slow_p99 < 0 || qerror_limit < 0) {
     return Usage();
   }
+  if (diag_detail != "full" && diag_detail != "coarse") return Usage();
   if (execute && (traffic > 0 || jobs != 0 || batch > 1 || expand_only)) {
     std::fprintf(stderr,
                  "prairie_opt: --execute/--analyze apply to single-query "
@@ -421,11 +574,67 @@ int main(int argc, char** argv) {
   // rule names) once, up front; all modes then share it — batch workers
   // flush into the same sharded counters without contention. Traffic mode
   // always wants it: the latency percentiles come out of its histograms.
+  const bool diag_requested = slow_ms > 0 || slow_p99 > 0 ||
+                              qerror_limit > 0 || !slow_log_path.empty() ||
+                              !diag_dir.empty();
   prairie::volcano::VolcanoMetrics metrics_bundle;
-  if (!metrics_path.empty() || traffic > 0) {
+  if (!metrics_path.empty() || traffic > 0 || diag_requested) {
     metrics_bundle = prairie::volcano::VolcanoMetrics::ForRuleSet(
         prairie::common::MetricsRegistry::Global(), **volcano_rules);
     options.metrics = &metrics_bundle;
+  }
+
+  // Diagnostics (DESIGN.md §7.4): one service shared by whichever mode
+  // runs. Check() is evaluated after every query; the slow log and bundle
+  // directory are only touched on a firing trigger.
+  const prairie::common::TraceDetail flight_detail =
+      diag_detail == "full" ? prairie::common::TraceDetail::kFull
+                            : prairie::common::TraceDetail::kCoarse;
+  std::ofstream slow_log_stream;
+  std::unique_ptr<prairie::volcano::DiagService> diag;
+  if (diag_requested) {
+    if (!slow_log_path.empty()) {
+      slow_log_stream.open(slow_log_path, std::ios::out | std::ios::trunc);
+      if (!slow_log_stream) {
+        std::fprintf(stderr, "prairie_opt: cannot open slow log '%s'\n",
+                     slow_log_path.c_str());
+        return 1;
+      }
+    }
+    prairie::volcano::DiagOptions dopt;
+    dopt.slow_ms = slow_ms;
+    dopt.adaptive_k = slow_p99;
+    dopt.latency_hist = metrics_bundle.query_latency_ns;
+    dopt.qerror_limit = qerror_limit;
+    dopt.cache_storm_threshold = plan_cache ? 64 : 0;
+    dopt.diag_dir = diag_dir;
+    dopt.slow_log = slow_log_stream.is_open() ? &slow_log_stream : nullptr;
+    dopt.registry = prairie::common::MetricsRegistry::Global();
+    dopt.rules = volcano_rules->get();
+    dopt.flags = RenderFlags(argc, argv);
+    dopt.seed = seed;
+    diag = std::make_unique<prairie::volcano::DiagService>(dopt);
+  }
+
+  // Windowed time-series metrics: armed here (after the bundle registered
+  // its series) so the baseline sample covers them; scraped between work
+  // chunks by the traffic/batch loops below.
+  std::ofstream ts_stream;
+  std::unique_ptr<prairie::common::TimeSeriesWriter> timeseries;
+  std::string ts_path;
+  if (!timeseries_spec.empty()) {
+    uint64_t ts_interval_ms = 250;
+    ParseTimeSeriesSpec(timeseries_spec, &ts_path, &ts_interval_ms);
+    ts_stream.open(ts_path, std::ios::out | std::ios::trunc);
+    if (!ts_stream) {
+      std::fprintf(stderr, "prairie_opt: cannot open timeseries file '%s'\n",
+                   ts_path.c_str());
+      return 1;
+    }
+    prairie::common::TimeSeriesOptions tso;
+    tso.interval_ms = ts_interval_ms;
+    timeseries = std::make_unique<prairie::common::TimeSeriesWriter>(
+        prairie::common::MetricsRegistry::Global(), &ts_stream, tso);
   }
 
   if (traffic > 0) {
@@ -455,12 +664,37 @@ int main(int argc, char** argv) {
     batch_options.jobs = jobs == 0 ? 1 : jobs;
     batch_options.optimizer = options;
     if (plan_cache) batch_options.plan_cache_entries = plan_cache_entries;
+    if (diag != nullptr) {
+      // Arm the per-worker flight recorders; under traffic they run at
+      // the (coarse by default) diagnostics detail.
+      batch_options.diag = diag.get();
+      batch_options.optimizer.trace_detail = flight_detail;
+    }
     prairie::volcano::BatchOptimizer batcher(volcano_rules->get(),
                                              batch_options);
+    // With --timeseries the request stream is fed in ~8 chunks so the
+    // scraper observes the run in flight; without it, one call.
+    const size_t chunk =
+        timeseries != nullptr
+            ? std::max<size_t>(1, (queries.size() + 7) / 8)
+            : queries.size();
+    std::vector<prairie::volcano::BatchResult> results;
+    results.reserve(queries.size());
     prairie::common::Stopwatch sw;
-    std::vector<prairie::volcano::BatchResult> results =
-        batcher.OptimizeAll(queries);
+    for (size_t off = 0; off < queries.size(); off += chunk) {
+      const size_t end = std::min(off + chunk, queries.size());
+      std::vector<prairie::volcano::BatchQuery> part(
+          queries.begin() + static_cast<ptrdiff_t>(off),
+          queries.begin() + static_cast<ptrdiff_t>(end));
+      std::vector<prairie::volcano::BatchResult> part_results =
+          batcher.OptimizeAll(part);
+      results.insert(results.end(),
+                     std::make_move_iterator(part_results.begin()),
+                     std::make_move_iterator(part_results.end()));
+      if (timeseries != nullptr) timeseries->MaybeScrape();
+    }
     const double wall = sw.ElapsedSeconds();
+    if (timeseries != nullptr) timeseries->MaybeScrape(/*force=*/true);
     int failures = 0;
     size_t cached = 0;
     for (size_t i = 0; i < results.size(); ++i) {
@@ -506,6 +740,16 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cs.stale_drops), cache->size(),
           cache->bytes());
     }
+    if (timeseries != nullptr) {
+      std::printf("timeseries: %llu interval records -> %s\n",
+                  static_cast<unsigned long long>(timeseries->seq()),
+                  ts_path.c_str());
+    }
+    if (diag != nullptr) {
+      std::printf("diag: %zu queries flagged, %zu bundles written%s%s\n",
+                  diag->reports(), diag->bundles_written(),
+                  diag_dir.empty() ? "" : " -> ", diag_dir.c_str());
+    }
     if (!metrics_path.empty() && WriteMetricsFile(metrics_path) != 0) {
       return 1;
     }
@@ -545,6 +789,14 @@ int main(int argc, char** argv) {
       batch_options.trace_capacity =
           prairie::common::RingBufferSink::kDefaultCapacity;
     }
+    if (diag != nullptr) {
+      batch_options.diag = diag.get();
+      // A full batch trace (--trace/--profile-rules) overrides the coarse
+      // flight-recorder detail: one sink serves both consumers.
+      if (batch_options.trace_capacity == 0) {
+        batch_options.optimizer.trace_detail = flight_detail;
+      }
+    }
     prairie::volcano::BatchOptimizer batcher(volcano_rules->get(),
                                              batch_options);
     // With --repeat the same batch runs R times; round 1 is cold, later
@@ -561,8 +813,10 @@ int main(int argc, char** argv) {
                     repeat, round_wall * 1e3,
                     static_cast<double>(results.size()) / round_wall);
       }
+      if (timeseries != nullptr) timeseries->MaybeScrape();
     }
     wall = sw.ElapsedSeconds();
+    if (timeseries != nullptr) timeseries->MaybeScrape(/*force=*/true);
     int failures = 0;
     for (size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
@@ -615,8 +869,10 @@ int main(int argc, char** argv) {
                   profile.ToTable().c_str());
     }
     if (!trace_path.empty()) {
+      WarnDropped(batcher.trace_dropped(), "per-worker");
       auto st = prairie::volcano::WriteChromeTrace(
-          trace_path, batcher.trace_events(), **volcano_rules);
+          trace_path, batcher.trace_events(), **volcano_rules,
+          batcher.trace_dropped());
       if (!st.ok()) {
         std::fprintf(stderr, "prairie_opt: %s\n", st.ToString().c_str());
         return 1;
@@ -633,6 +889,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "prairie_opt: --dump-memo applies to single-query mode "
                    "(batch memos are discarded per query)\n");
+    }
+    if (timeseries != nullptr) {
+      std::printf("timeseries: %llu interval records -> %s\n",
+                  static_cast<unsigned long long>(timeseries->seq()),
+                  ts_path.c_str());
+    }
+    if (diag != nullptr) {
+      std::printf("diag: %zu queries flagged, %zu bundles written%s%s\n",
+                  diag->reports(), diag->bundles_written(),
+                  diag_dir.empty() ? "" : " -> ", diag_dir.c_str());
     }
     if (!metrics_path.empty() && WriteMetricsFile(metrics_path) != 0) {
       return 1;
@@ -660,9 +926,15 @@ int main(int argc, char** argv) {
               w->query->ToString(algebra).c_str());
 
   std::unique_ptr<prairie::common::RingBufferSink> sink;
-  if (!trace_path.empty() || profile_rules) {
+  if (!trace_path.empty() || profile_rules || diag != nullptr) {
     sink = std::make_unique<prairie::common::RingBufferSink>();
     options.trace = sink.get();
+    // When only the diagnostics layer wants the sink it runs as a coarse
+    // flight recorder; an explicit --trace/--profile-rules keeps the full
+    // stream.
+    if (trace_path.empty() && !profile_rules) {
+      options.trace_detail = flight_detail;
+    }
   }
   // The cache outlives every per-round optimizer; its keys intern through
   // one store that all rounds share.
@@ -708,8 +980,9 @@ int main(int argc, char** argv) {
       std::printf("\nrule profile:\n%s", profile.ToTable().c_str());
     }
     if (!trace_path.empty()) {
-      auto st = prairie::volcano::WriteChromeTrace(trace_path, events,
-                                                   **volcano_rules);
+      WarnDropped(sink->dropped(), "trace");
+      auto st = prairie::volcano::WriteChromeTrace(
+          trace_path, events, **volcano_rules, sink->dropped());
       if (!st.ok()) {
         std::fprintf(stderr, "prairie_opt: %s\n", st.ToString().c_str());
         return 1;
@@ -751,7 +1024,9 @@ int main(int argc, char** argv) {
     if (int rc = emit_trace_outputs(); rc != 0) return rc;
     return emit_dumps();
   }
+  prairie::common::Stopwatch opt_sw;
   auto plan = optimizer.Optimize(*w->query);
+  const double optimize_ms = opt_sw.ElapsedSeconds() * 1e3;
   if (!plan.ok()) {
     std::fprintf(stderr, "prairie_opt: %s\n",
                  plan.status().ToString().c_str());
@@ -802,6 +1077,9 @@ int main(int argc, char** argv) {
     std::printf("\nprovenance (winner -> rule -> source expression):\n%s",
                 optimizer.ExplainWinner().c_str());
   }
+  prairie::exec::ExecStats exec_stats;
+  prairie::exec::CardinalityFeedback feedback;
+  bool executed = false;
   if (execute) {
     auto db = prairie::workload::MakeDatabase(w->catalog, seed);
     if (!db.ok()) {
@@ -816,7 +1094,6 @@ int main(int argc, char** argv) {
       return 1;
     }
     prairie::algebra::ExprPtr plan_expr = plan->root->ToExpr(algebra);
-    prairie::exec::ExecStats exec_stats;
     auto iter = exec_registry.Build(*plan_expr, algebra, *db, &exec_stats);
     if (!iter.ok()) {
       std::fprintf(stderr, "prairie_opt: %s\n",
@@ -854,7 +1131,6 @@ int main(int argc, char** argv) {
     }
     // Record (sub-plan fingerprint) -> actual rows: the feedback surface
     // the calibrated-cost-model roadmap item consumes.
-    prairie::exec::CardinalityFeedback feedback;
     prairie::algebra::DescriptorStore fp_store(&algebra.properties());
     auto fb_st = prairie::exec::RecordPlanFeedback(*plan_expr, exec_stats,
                                                    &fp_store, &feedback);
@@ -875,6 +1151,39 @@ int main(int argc, char** argv) {
     // Execution spans join the search trace: one timeline, optimize then
     // execute.
     if (sink != nullptr) exec_stats.EmitTrace(sink.get());
+    executed = true;
+  }
+  if (diag != nullptr) {
+    const double max_qerror = executed ? MaxQError(exec_stats.root()) : 0;
+    const prairie::volcano::DiagTrigger trig =
+        diag->Check(optimize_ms, stats, max_qerror);
+    if (trig != prairie::volcano::DiagTrigger::kNone) {
+      prairie::volcano::QueryDiag qd;
+      qd.query_text = w->query->TreeString(algebra);
+      qd.latency_ms = optimize_ms;
+      qd.stats = &stats;
+      qd.max_qerror = max_qerror;
+      if (sink != nullptr) {
+        qd.trace_slice = sink->Snapshot();
+        qd.trace_dropped = sink->dropped();
+      }
+      if (!stats.plan_from_cache) {
+        qd.provenance = optimizer.ExplainWinner();
+        qd.memo_dot =
+            prairie::volcano::MemoToDot(optimizer.memo(), **volcano_rules);
+      }
+      if (executed && exec_stats.root() != nullptr) {
+        qd.analyze_text = exec_stats.ToText();
+        qd.analyze_json = exec_stats.ToJson();
+        qd.feedback_json = feedback.ToJson();
+        qd.est_rows = exec_stats.root()->est_rows;
+        qd.actual_rows = static_cast<double>(exec_stats.root()->rows);
+      }
+      const std::string bundle = diag->Report(trig, qd);
+      std::printf("diag: trigger %s%s%s\n",
+                  prairie::volcano::DiagTriggerName(trig),
+                  bundle.empty() ? "" : " -> ", bundle.c_str());
+    }
   }
   if (int rc = emit_trace_outputs(); rc != 0) return rc;
   return emit_dumps();
